@@ -1,0 +1,286 @@
+package repro
+
+// One benchmark per reproduced table and figure (DESIGN.md's experiment
+// index E1-E8), plus throughput micro-benchmarks for the simulators
+// themselves. Campaign benchmarks use miniature samples so `go test
+// -bench=.` completes in minutes; cmd/paper runs the full versions.
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bench"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/refsim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func workloadProgram(b *testing.B, name string) *asm.Program {
+	b.Helper()
+	w, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// ------------------------------------------------------------------- E1
+
+// BenchmarkTable1Config regenerates TABLE I (configuration rendering and
+// validation; the content check lives in the core package tests).
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		setup := core.DefaultSetup()
+		if err := setup.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if rows := core.TableI(setup); len(rows) != 7 {
+			b.Fatalf("TABLE I has %d rows", len(rows))
+		}
+	}
+}
+
+// ------------------------------------------------------------------- E2
+
+// goldenRun measures one full golden run (a TABLE II cell).
+func goldenRun(b *testing.B, model core.Model, workload string) {
+	b.Helper()
+	p := workloadProgram(b, workload)
+	setup := core.CampaignSetup()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		sim, err := core.NewSimulator(model, p, setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.SetPinout(&trace.Pinout{})
+		if stop := sim.Run(1 << 40); stop != refsim.StopExit && stop != refsim.StopHalt {
+			b.Fatalf("stop = %v", stop)
+		}
+		cycles = sim.Cycles()
+	}
+	b.ReportMetric(float64(cycles)/1e6, "Mcycles/run")
+}
+
+func BenchmarkTable2_FFT_GeFIN(b *testing.B)   { goldenRun(b, core.ModelMicroarch, "fft") }
+func BenchmarkTable2_FFT_RTL(b *testing.B)     { goldenRun(b, core.ModelRTL, "fft") }
+func BenchmarkTable2_Qsort_GeFIN(b *testing.B) { goldenRun(b, core.ModelMicroarch, "qsort") }
+func BenchmarkTable2_Qsort_RTL(b *testing.B)   { goldenRun(b, core.ModelRTL, "qsort") }
+func BenchmarkTable2_CAES_GeFIN(b *testing.B)  { goldenRun(b, core.ModelMicroarch, "caes") }
+func BenchmarkTable2_CAES_RTL(b *testing.B)    { goldenRun(b, core.ModelRTL, "caes") }
+func BenchmarkTable2_SHA_GeFIN(b *testing.B)   { goldenRun(b, core.ModelMicroarch, "sha") }
+func BenchmarkTable2_SHA_RTL(b *testing.B)     { goldenRun(b, core.ModelRTL, "sha") }
+func BenchmarkTable2_Stringsearch_GeFIN(b *testing.B) {
+	goldenRun(b, core.ModelMicroarch, "stringsearch")
+}
+func BenchmarkTable2_Stringsearch_RTL(b *testing.B) { goldenRun(b, core.ModelRTL, "stringsearch") }
+func BenchmarkTable2_SusanC_GeFIN(b *testing.B)     { goldenRun(b, core.ModelMicroarch, "susan_c") }
+func BenchmarkTable2_SusanC_RTL(b *testing.B)       { goldenRun(b, core.ModelRTL, "susan_c") }
+func BenchmarkTable2_SusanE_GeFIN(b *testing.B)     { goldenRun(b, core.ModelMicroarch, "susan_e") }
+func BenchmarkTable2_SusanE_RTL(b *testing.B)       { goldenRun(b, core.ModelRTL, "susan_e") }
+func BenchmarkTable2_SusanS_GeFIN(b *testing.B)     { goldenRun(b, core.ModelMicroarch, "susan_s") }
+func BenchmarkTable2_SusanS_RTL(b *testing.B)       { goldenRun(b, core.ModelRTL, "susan_s") }
+
+// --------------------------------------------------------------- E3-E5
+
+// miniCampaign runs a miniature of one figure's campaign cell and reports
+// the unsafeness estimate as a metric.
+func miniCampaign(b *testing.B, model core.Model, workload string, cfg campaign.Config) {
+	b.Helper()
+	b.ResetTimer()
+	var unsafe float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunCampaign(workload, model, core.CampaignSetup(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unsafe = res.Unsafeness.P
+	}
+	b.ReportMetric(unsafe, "unsafeness")
+}
+
+func fig1Cfg() campaign.Config {
+	return campaign.Config{
+		Injections: 20, Seed: 1, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 500,
+	}
+}
+
+func BenchmarkFig1_RF_GeFIN(b *testing.B) {
+	miniCampaign(b, core.ModelMicroarch, "sha", fig1Cfg())
+}
+
+func BenchmarkFig1_RF_RTL(b *testing.B) {
+	miniCampaign(b, core.ModelRTL, "sha", fig1Cfg())
+}
+
+func BenchmarkFig1_RF_GeFIN_NoTimer(b *testing.B) {
+	cfg := fig1Cfg()
+	cfg.Window = 0
+	miniCampaign(b, core.ModelMicroarch, "sha", cfg)
+}
+
+func fig2Cfg() campaign.Config {
+	return campaign.Config{
+		Injections: 20, Seed: 1, Target: fault.TargetL1D,
+		Obs: campaign.ObsPinout, Window: 500,
+	}
+}
+
+func BenchmarkFig2_L1D_GeFIN(b *testing.B) {
+	miniCampaign(b, core.ModelMicroarch, "sha", fig2Cfg())
+}
+
+func BenchmarkFig2_L1D_RTL_Advanced(b *testing.B) {
+	cfg := fig2Cfg()
+	cfg.AdvanceToUse = true
+	miniCampaign(b, core.ModelRTL, "sha", cfg)
+}
+
+func BenchmarkFig2_L1D_GeFIN_NoTimer(b *testing.B) {
+	cfg := fig2Cfg()
+	cfg.Window = 0
+	miniCampaign(b, core.ModelMicroarch, "sha", cfg)
+}
+
+func fig3Cfg() campaign.Config {
+	return campaign.Config{
+		Injections: 10, Seed: 1, Target: fault.TargetL1D,
+		Obs: campaign.ObsSOP,
+	}
+}
+
+func BenchmarkFig3_SOP_GeFIN(b *testing.B) {
+	miniCampaign(b, core.ModelMicroarch, "caes", fig3Cfg())
+}
+
+func BenchmarkFig3_SOP_RTL(b *testing.B) {
+	miniCampaign(b, core.ModelRTL, "caes", fig3Cfg())
+}
+
+// ------------------------------------------------------------------- E6
+
+func BenchmarkLeveugleSampleSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n, err := stats.LeveugleSampleSize(0, 0.02, 0.99)
+		if err != nil || n < 4000 {
+			b.Fatalf("n = %d, err = %v", n, err)
+		}
+	}
+}
+
+// --------------------------------------------------------------- E7-E8
+
+func BenchmarkAblationLatches_RTL(b *testing.B) {
+	cfg := campaign.Config{
+		Injections: 20, Seed: 1, Target: fault.TargetLatches,
+		Obs: campaign.ObsPinout, Window: 500,
+	}
+	miniCampaign(b, core.ModelRTL, "sha", cfg)
+}
+
+func BenchmarkAblationWindow_GeFIN(b *testing.B) {
+	cfg := fig2Cfg()
+	cfg.Window = 2000
+	miniCampaign(b, core.ModelMicroarch, "sha", cfg)
+}
+
+// ------------------------------------------- simulator micro-benchmarks
+
+func BenchmarkMicroarchCyclesPerSecond(b *testing.B) {
+	p := workloadProgram(b, "qsort")
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		sim, err := core.NewSimulator(core.ModelMicroarch, p, core.CampaignSetup())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Run(1 << 40)
+		cycles += sim.Cycles()
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "Mcyc/s")
+}
+
+func BenchmarkRTLCyclesPerSecond(b *testing.B) {
+	p := workloadProgram(b, "qsort")
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		sim, err := core.NewSimulator(core.ModelRTL, p, core.CampaignSetup())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Run(1 << 40)
+		cycles += sim.Cycles()
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "Mcyc/s")
+}
+
+func BenchmarkReferenceInterpreter(b *testing.B) {
+	p := workloadProgram(b, "qsort")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu, err := refsim.New(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stop := cpu.Run(1 << 40); stop != refsim.StopExit {
+			b.Fatal(stop)
+		}
+	}
+}
+
+func BenchmarkAssembler(b *testing.B) {
+	w, err := bench.ByName("caes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := w.Source()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble("caes.s", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotRestoreRTL(b *testing.B) {
+	p := workloadProgram(b, "sha")
+	sim, err := core.NewSimulator(core.ModelRTL, p, core.CampaignSetup())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		sim.Step()
+	}
+	snap := sim.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Restore(snap)
+	}
+}
+
+func BenchmarkCloneMicroarch(b *testing.B) {
+	p := workloadProgram(b, "sha")
+	sim, err := core.NewSimulator(core.ModelMicroarch, p, core.CampaignSetup())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		sim.Step()
+	}
+	snap := sim.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Restore(snap)
+	}
+}

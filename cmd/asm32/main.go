@@ -1,0 +1,67 @@
+// Command asm32 assembles AL32 source and prints a listing, symbols or a
+// hex dump:
+//
+//	asm32 prog.s              listing
+//	asm32 -symbols prog.s     symbol table
+//	asm32 -hex prog.s         text section as hex words
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/asm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "asm32:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("asm32", flag.ContinueOnError)
+	var (
+		symbols = fs.Bool("symbols", false, "print the symbol table")
+		hex     = fs.Bool("hex", false, "print text as hex words")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: asm32 [-symbols|-hex] file.s")
+	}
+	path := fs.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	p, err := asm.Assemble(path, string(src))
+	if err != nil {
+		return err
+	}
+	switch {
+	case *symbols:
+		names := make([]string, 0, len(p.Symbols))
+		for n := range p.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return p.Symbols[names[i]] < p.Symbols[names[j]] })
+		for _, n := range names {
+			fmt.Printf("%08x %s\n", p.Symbols[n], n)
+		}
+	case *hex:
+		for _, w := range p.Text {
+			fmt.Printf("%08x\n", w)
+		}
+	default:
+		for _, line := range p.Disassemble() {
+			fmt.Println(line)
+		}
+		fmt.Printf("; text %d words, data %d bytes\n", len(p.Text), len(p.Data))
+	}
+	return nil
+}

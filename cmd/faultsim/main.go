@@ -1,0 +1,87 @@
+// Command faultsim runs a single statistical fault-injection campaign:
+//
+//	faultsim -bench qsort -model rtl -target rf -n 400 -window 500
+//	faultsim -bench caes -model microarch -target l1d -obs sop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
+	var (
+		benchName = fs.String("bench", "qsort", "workload name (see cmd/runsim -list)")
+		model     = fs.String("model", "microarch", "simulation model: microarch or rtl")
+		target    = fs.String("target", "rf", "injection target: rf, l1d or latches (rtl only)")
+		obs       = fs.String("obs", "pinout", "observation point: pinout or sop")
+		n         = fs.Int("n", 400, "number of injections")
+		seed      = fs.Int64("seed", 1, "RNG seed")
+		window    = fs.Uint64("window", 500, "cycles simulated after injection (0 = to program end)")
+		advance   = fs.Bool("advance", false, "advance L1D injections to next line use (RTL flow optimisation)")
+		uniform   = fs.Bool("uniform", false, "uniform injection instants instead of normal")
+		strict    = fs.Bool("strict-cycle", false, "require cycle-exact pinout matches")
+		workers   = fs.Int("workers", 0, "parallel workers (default GOMAXPROCS)")
+		fullSize  = fs.Bool("paper-size", false, "use the paper's 4000-injection Leveugle sample")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := core.ParseModel(*model)
+	if err != nil {
+		return err
+	}
+	tgt, err := fault.ParseTarget(*target)
+	if err != nil {
+		return err
+	}
+	cfg := campaign.Config{
+		Injections:   *n,
+		Seed:         *seed,
+		Target:       tgt,
+		Window:       *window,
+		Workers:      *workers,
+		AdvanceToUse: *advance,
+	}
+	if *fullSize {
+		cfg.Injections = 4000
+	}
+	switch *obs {
+	case "pinout":
+		cfg.Obs = campaign.ObsPinout
+	case "sop":
+		cfg.Obs = campaign.ObsSOP
+		cfg.Window = 0
+	default:
+		return fmt.Errorf("unknown observation point %q", *obs)
+	}
+	if *uniform {
+		cfg.TimeDist = fault.DistUniform
+	}
+	if *strict {
+		cfg.CompareMode = trace.CompareStrictCycle
+	}
+
+	res, err := core.RunCampaign(*benchName, m, core.CampaignSetup(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Campaign(fmt.Sprintf("%s/%s", *benchName, m), res))
+	return nil
+}

@@ -1,0 +1,139 @@
+// Command paper regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	paper -table 1                 TABLE I (configuration)
+//	paper -table 2                 TABLE II (throughput + ratio)
+//	paper -table sample            §IV sample-size formulation
+//	paper -fig 1                   Fig. 1 (register file, pinout OP)
+//	paper -fig 2                   Fig. 2 (L1D, pinout OP)
+//	paper -fig 3                   Fig. 3 (L1D AVF, software OP)
+//	paper -fig ablation-window     window-length sweep (E8)
+//	paper -fig ablation-latches    RTL-only latch injection (E7)
+//	paper -all                     everything above
+//
+// Use -injections 4000 for the paper's full Leveugle sample (slow); the
+// default keeps a complete regeneration laptop-scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("paper", flag.ContinueOnError)
+	var (
+		table      = fs.String("table", "", "regenerate a table: 1, 2 or sample")
+		figure     = fs.String("fig", "", "regenerate a figure: 1, 2, 3, ablation-window, ablation-latches")
+		all        = fs.Bool("all", false, "regenerate every table and figure")
+		injections = fs.Int("injections", 0, "statistical sample size per campaign (default 400; paper: 4000)")
+		seed       = fs.Int64("seed", 1, "campaign RNG seed")
+		window     = fs.Uint64("window", 0, "pinout observation window in cycles (default 500, the scaled 20k)")
+		workers    = fs.Int("workers", 0, "parallel campaign workers (default GOMAXPROCS)")
+		benches    = fs.String("benches", "", "comma-separated benchmark subset")
+		csv        = fs.Bool("csv", false, "emit figures as CSV instead of tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := core.DefaultParams()
+	if *injections > 0 {
+		params.Injections = *injections
+	}
+	params.Seed = *seed
+	if *window > 0 {
+		params.Window = *window
+	}
+	params.Workers = *workers
+	if *benches != "" {
+		params.Benches = strings.Split(*benches, ",")
+	}
+
+	emitFig := func(fig *core.FigureResult, err error) error {
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Print(report.FigureCSV(fig))
+		} else {
+			fmt.Print(report.Figure(fig))
+		}
+		return nil
+	}
+
+	did := false
+	wantTable := func(name string) bool { return *all || *table == name }
+	wantFig := func(name string) bool { return *all || *figure == name }
+
+	if wantTable("1") {
+		did = true
+		fmt.Println(report.TableI(core.DefaultSetup()))
+	}
+	if wantTable("sample") {
+		did = true
+		n, err := stats.LeveugleSampleSize(0, 0.02, 0.99)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Statistical sample (Leveugle et al.) ==\n\n")
+		fmt.Printf("error margin 2%%, confidence 99%%  ->  n = %d (paper rounds to 4000)\n", n)
+		fmt.Printf("this run uses n = %d per campaign\n\n", params.Injections)
+	}
+	if wantTable("2") {
+		did = true
+		rows, avg, err := params.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.TableII(rows, avg))
+	}
+	if wantFig("1") {
+		did = true
+		if err := emitFig(params.Figure1()); err != nil {
+			return err
+		}
+	}
+	if wantFig("2") {
+		did = true
+		if err := emitFig(params.Figure2()); err != nil {
+			return err
+		}
+	}
+	if wantFig("3") {
+		did = true
+		if err := emitFig(params.Figure3()); err != nil {
+			return err
+		}
+	}
+	if wantFig("ablation-window") {
+		did = true
+		if err := emitFig(params.AblationWindow([]uint64{100, 500, 2_000, 20_000, 0})); err != nil {
+			return err
+		}
+	}
+	if wantFig("ablation-latches") {
+		did = true
+		if err := emitFig(params.AblationLatches()); err != nil {
+			return err
+		}
+	}
+	if !did {
+		fs.Usage()
+		return fmt.Errorf("nothing selected: pass -table, -fig or -all")
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Command runsim runs a built-in workload (or an assembled .s file) on a
+// chosen simulation model and reports execution statistics:
+//
+//	runsim -list
+//	runsim -bench sha -model rtl
+//	runsim -file prog.s -model microarch -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/refsim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "runsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("runsim", flag.ContinueOnError)
+	var (
+		benchName = fs.String("bench", "", "built-in workload name")
+		file      = fs.String("file", "", "assemble and run this AL32 source file")
+		model     = fs.String("model", "microarch", "model: microarch, rtl or ref")
+		list      = fs.Bool("list", false, "list built-in workloads")
+		maxCycles = fs.Uint64("max-cycles", 1<<32, "cycle budget")
+		paperCfg  = fs.Bool("tableI", false, "use TABLE I caches (32KB) instead of the campaign scaling")
+		verbose   = fs.Bool("v", false, "print program output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, w := range bench.All() {
+			fmt.Printf("%-14s %s\n", w.Name, w.Desc)
+		}
+		return nil
+	}
+
+	var prog *asm.Program
+	switch {
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		prog, err = asm.Assemble(*file, string(src))
+		if err != nil {
+			return err
+		}
+	case *benchName != "":
+		w, err := bench.ByName(*benchName)
+		if err != nil {
+			return err
+		}
+		prog, err = w.Program()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("pass -bench or -file (or -list)")
+	}
+
+	if *model == "ref" {
+		cpu, err := refsim.New(prog)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		stop := cpu.Run(*maxCycles)
+		fmt.Printf("model=ref stop=%v insts=%d wall=%v\n", stop, cpu.InstCount, time.Since(start))
+		if stop == refsim.StopFault {
+			fmt.Printf("fault: %s\n", cpu.FaultDesc)
+		}
+		if *verbose {
+			os.Stdout.Write(cpu.Output)
+		}
+		return nil
+	}
+
+	m, err := core.ParseModel(*model)
+	if err != nil {
+		return err
+	}
+	setup := core.CampaignSetup()
+	if *paperCfg {
+		setup = core.DefaultSetup()
+	}
+	sim, err := core.NewSimulator(m, prog, setup)
+	if err != nil {
+		return err
+	}
+	pin := &trace.Pinout{}
+	sim.SetPinout(pin)
+	start := time.Now()
+	stop := sim.Run(*maxCycles)
+	wall := time.Since(start)
+	fmt.Printf("model=%v setup=%s stop=%v cycles=%d pinout-txns=%d wall=%v (%.2f Mcyc/s)\n",
+		m, setup.Name, stop, sim.Cycles(), pin.Len(), wall,
+		float64(sim.Cycles())/wall.Seconds()/1e6)
+	if *verbose {
+		os.Stdout.Write(sim.Output())
+	}
+	return nil
+}

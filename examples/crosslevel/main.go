@@ -1,0 +1,33 @@
+// crosslevel: a miniature of the paper's full point-to-point comparison —
+// Fig. 1's register-file experiment over a benchmark subset, printing
+// per-benchmark bars and the headline difference statistics.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crosslevel:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	params := core.DefaultParams()
+	params.Injections = 120
+	params.Benches = []string{"sha", "stringsearch", "qsort"}
+
+	fig, err := params.Figure1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Figure(fig))
+	fmt.Println("\n(see cmd/paper -fig 1 for the full benchmark list and larger samples)")
+	return nil
+}

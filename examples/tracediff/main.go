@@ -1,0 +1,85 @@
+// tracediff: inject one register-file fault into the RTL core and show
+// how the Safeness methodology sees it — the faulty run's core-pinout
+// transaction stream diverging from the golden stream.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracediff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	w, err := bench.ByName("qsort")
+	if err != nil {
+		return err
+	}
+	prog, err := w.Program()
+	if err != nil {
+		return err
+	}
+	setup := core.CampaignSetup()
+
+	// Golden run.
+	golden, err := core.NewSimulator(core.ModelRTL, prog, setup)
+	if err != nil {
+		return err
+	}
+	gPin := &trace.Pinout{}
+	golden.SetPinout(gPin)
+	golden.Run(1 << 30)
+	fmt.Printf("golden: %d cycles, %d pinout transactions\n", golden.Cycles(), gPin.Len())
+
+	// Faulty run: flip a stack-pointer bit a third of the way in.
+	faulty, err := core.NewSimulator(core.ModelRTL, prog, setup)
+	if err != nil {
+		return err
+	}
+	fPin := &trace.Pinout{}
+	faulty.SetPinout(fPin)
+	injectAt := golden.Cycles() / 3
+	for faulty.Cycles() < injectAt {
+		faulty.Step()
+	}
+	const spBit = 13*32 + 6 // r13 (sp), bit 6
+	if err := faulty.Flip(fault.TargetRF, spBit); err != nil {
+		return err
+	}
+	fmt.Printf("injected: sp bit 6 at cycle %d\n", injectAt)
+	faulty.Run(1 << 30)
+	fmt.Printf("faulty: stop=%v after %d cycles, %d transactions\n",
+		faulty.StopReason(), faulty.Cycles(), fPin.Len())
+
+	d := trace.Compare(gPin, fPin, faulty.Cycles(), trace.CompareContent)
+	if d.Match {
+		fmt.Println("traces match: the fault was masked at the pinout")
+		return nil
+	}
+	fmt.Printf("traces diverge at transaction %d (%s):\n", d.Index, d.Why)
+	show := func(name string, p *trace.Pinout) {
+		lo := d.Index - 1
+		if lo < 0 {
+			lo = 0
+		}
+		fmt.Printf("  %s:\n", name)
+		for i := lo; i < d.Index+2 && i < len(p.Txns); i++ {
+			t := p.Txns[i]
+			fmt.Printf("    [%d] cycle=%-8d %s addr=%#06x digest=%016x\n",
+				i, t.Cycle, t.Kind, t.Addr, t.Digest)
+		}
+	}
+	show("golden", gPin)
+	show("faulty", fPin)
+	return nil
+}

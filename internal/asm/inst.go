@@ -1,0 +1,306 @@
+package asm
+
+import (
+	"strings"
+
+	"repro/internal/isa"
+)
+
+var mnemonicOps = map[string]isa.Opcode{
+	"add": isa.OpADD, "sub": isa.OpSUB, "rsb": isa.OpRSB, "and": isa.OpAND,
+	"orr": isa.OpORR, "eor": isa.OpEOR, "lsl": isa.OpLSL, "lsr": isa.OpLSR,
+	"asr": isa.OpASR, "mul": isa.OpMUL, "udiv": isa.OpUDIV, "sdiv": isa.OpSDIV,
+	"mov": isa.OpMOV, "mvn": isa.OpMVN,
+	"addi": isa.OpADDI, "subi": isa.OpSUBI, "rsbi": isa.OpRSBI,
+	"andi": isa.OpANDI, "orri": isa.OpORRI, "eori": isa.OpEORI,
+	"lsli": isa.OpLSLI, "lsri": isa.OpLSRI, "asri": isa.OpASRI,
+	"movi": isa.OpMOVI, "movt": isa.OpMOVT,
+	"cmp": isa.OpCMP, "cmpi": isa.OpCMPI,
+	"ldr": isa.OpLDR, "str": isa.OpSTR, "ldrb": isa.OpLDRB, "strb": isa.OpSTRB,
+	"b": isa.OpB, "bl": isa.OpBL, "beq": isa.OpBEQ, "bne": isa.OpBNE,
+	"blt": isa.OpBLT, "bge": isa.OpBGE, "bgt": isa.OpBGT, "ble": isa.OpBLE,
+	"bhs": isa.OpBHS, "blo": isa.OpBLO, "bhi": isa.OpBHI, "bls": isa.OpBLS,
+	"ret": isa.OpRET, "svc": isa.OpSVC, "nop": isa.OpNOP, "hlt": isa.OpHLT,
+}
+
+// aluImmFor maps a register-form ALU opcode to its immediate form, used to
+// accept "add r1, r2, #3" as sugar for "addi r1, r2, #3".
+var aluImmFor = map[isa.Opcode]isa.Opcode{
+	isa.OpADD: isa.OpADDI, isa.OpSUB: isa.OpSUBI, isa.OpRSB: isa.OpRSBI,
+	isa.OpAND: isa.OpANDI, isa.OpORR: isa.OpORRI, isa.OpEOR: isa.OpEORI,
+	isa.OpLSL: isa.OpLSLI, isa.OpLSR: isa.OpLSRI, isa.OpASR: isa.OpASRI,
+}
+
+func (a *assembler) emitInst(st *stmt) {
+	if got := a.textAddr(); got != st.addr {
+		a.errorf(st.line, "internal: layout address %#x != emit address %#x", st.addr, got)
+		return
+	}
+	// Keep the layout and the emitted stream in step even when an operand
+	// error suppresses emission, so later branch offsets stay correct and
+	// one mistake does not cascade.
+	defer func() {
+		for end := st.addr + 4*a.instWords(st); a.textAddr() < end; {
+			a.prog.Text = append(a.prog.Text, 0)
+		}
+	}()
+	ops := splitOperands(st.rest)
+	switch st.mnem {
+	case "li", "adr":
+		a.emitLI(st, ops)
+		return
+	case "push", "pop":
+		a.emitPushPop(st, ops)
+		return
+	}
+	op, ok := mnemonicOps[st.mnem]
+	if !ok {
+		a.errorf(st.line, "unknown mnemonic %q", st.mnem)
+		return
+	}
+	switch {
+	case op == isa.OpNOP || op == isa.OpHLT || op == isa.OpRET:
+		if len(ops) != 0 {
+			a.errorf(st.line, "%s takes no operands", st.mnem)
+			return
+		}
+		a.appendInst(st.line, isa.Inst{Op: op})
+	case op == isa.OpSVC:
+		if !a.want(st, ops, 1) {
+			return
+		}
+		v, err := a.eval(ops[0], st.line)
+		if err != nil {
+			return
+		}
+		a.appendInst(st.line, isa.Inst{Op: op, Imm: int32(v)})
+	case op == isa.OpMOV || op == isa.OpMVN:
+		if !a.want(st, ops, 2) {
+			return
+		}
+		rd, ok := a.reg(st, ops[0])
+		if !ok {
+			return
+		}
+		if rm, isReg := parseReg(ops[1]); isReg {
+			a.appendInst(st.line, isa.Inst{Op: op, Rd: rd, Rm: rm})
+			return
+		}
+		if op == isa.OpMOV {
+			// mov rd, #imm is sugar for movi.
+			v, err := a.eval(ops[1], st.line)
+			if err != nil {
+				return
+			}
+			a.appendInst(st.line, isa.Inst{Op: isa.OpMOVI, Rd: rd, Imm: int32(v)})
+			return
+		}
+		a.errorf(st.line, "mvn needs a register source")
+	case op == isa.OpMOVI:
+		if !a.want(st, ops, 2) {
+			return
+		}
+		rd, ok := a.reg(st, ops[0])
+		if !ok {
+			return
+		}
+		v, err := a.eval(ops[1], st.line)
+		if err != nil {
+			return
+		}
+		a.appendInst(st.line, isa.Inst{Op: op, Rd: rd, Imm: int32(v)})
+	case op == isa.OpMOVT:
+		if !a.want(st, ops, 2) {
+			return
+		}
+		rd, ok := a.reg(st, ops[0])
+		if !ok {
+			return
+		}
+		v, err := a.eval(ops[1], st.line)
+		if err != nil {
+			return
+		}
+		// MOVT reads rd; record the dependency through rn.
+		a.appendInst(st.line, isa.Inst{Op: op, Rd: rd, Rn: rd, Imm: int32(v)})
+	case op == isa.OpCMP:
+		if !a.want(st, ops, 2) {
+			return
+		}
+		rn, ok := a.reg(st, ops[0])
+		if !ok {
+			return
+		}
+		if rm, isReg := parseReg(ops[1]); isReg {
+			a.appendInst(st.line, isa.Inst{Op: op, Rn: rn, Rm: rm})
+			return
+		}
+		v, err := a.eval(ops[1], st.line)
+		if err != nil {
+			return
+		}
+		a.appendInst(st.line, isa.Inst{Op: isa.OpCMPI, Rn: rn, Imm: int32(v)})
+	case op == isa.OpCMPI:
+		if !a.want(st, ops, 2) {
+			return
+		}
+		rn, ok := a.reg(st, ops[0])
+		if !ok {
+			return
+		}
+		v, err := a.eval(ops[1], st.line)
+		if err != nil {
+			return
+		}
+		a.appendInst(st.line, isa.Inst{Op: op, Rn: rn, Imm: int32(v)})
+	case op.IsMem():
+		a.emitMem(st, op, ops)
+	case op.IsBranch():
+		if !a.want(st, ops, 1) {
+			return
+		}
+		v, err := a.eval(ops[0], st.line)
+		if err != nil {
+			return
+		}
+		off := isa.OffsetFor(st.addr, uint32(v))
+		a.appendInst(st.line, isa.Inst{Op: op, Imm: off})
+	case op.IsALUReg():
+		if !a.want(st, ops, 3) {
+			return
+		}
+		rd, ok1 := a.reg(st, ops[0])
+		rn, ok2 := a.reg(st, ops[1])
+		if !ok1 || !ok2 {
+			return
+		}
+		if rm, isReg := parseReg(ops[2]); isReg {
+			a.appendInst(st.line, isa.Inst{Op: op, Rd: rd, Rn: rn, Rm: rm})
+			return
+		}
+		immOp, canImm := aluImmFor[op]
+		if !canImm {
+			a.errorf(st.line, "%s needs a register third operand", st.mnem)
+			return
+		}
+		v, err := a.eval(ops[2], st.line)
+		if err != nil {
+			return
+		}
+		a.appendInst(st.line, isa.Inst{Op: immOp, Rd: rd, Rn: rn, Imm: int32(v)})
+	case op.IsALUImm():
+		if !a.want(st, ops, 3) {
+			return
+		}
+		rd, ok1 := a.reg(st, ops[0])
+		rn, ok2 := a.reg(st, ops[1])
+		if !ok1 || !ok2 {
+			return
+		}
+		v, err := a.eval(ops[2], st.line)
+		if err != nil {
+			return
+		}
+		a.appendInst(st.line, isa.Inst{Op: op, Rd: rd, Rn: rn, Imm: int32(v)})
+	default:
+		a.errorf(st.line, "unhandled mnemonic %q", st.mnem)
+	}
+}
+
+// emitMem handles loads and stores, selecting the register-offset opcode
+// when the operand is [rn, rm].
+func (a *assembler) emitMem(st *stmt, op isa.Opcode, ops []string) {
+	if !a.want(st, ops, 2) {
+		return
+	}
+	rd, ok := a.reg(st, ops[0])
+	if !ok {
+		return
+	}
+	m, ok := a.parseMem(ops[1], st.line)
+	if !ok {
+		return
+	}
+	if m.hasIdx {
+		switch op {
+		case isa.OpLDR:
+			op = isa.OpLDRR
+		case isa.OpSTR:
+			op = isa.OpSTRR
+		case isa.OpLDRB:
+			op = isa.OpLDRBR
+		case isa.OpSTRB:
+			op = isa.OpSTRBR
+		}
+		a.appendInst(st.line, isa.Inst{Op: op, Rd: rd, Rn: m.base, Rm: m.index})
+		return
+	}
+	a.appendInst(st.line, isa.Inst{Op: op, Rd: rd, Rn: m.base, Imm: m.off})
+}
+
+// emitLI expands "li rd, expr" to a movi/movt pair loading a full 32-bit
+// value.
+func (a *assembler) emitLI(st *stmt, ops []string) {
+	if !a.want(st, ops, 2) {
+		return
+	}
+	rd, ok := a.reg(st, ops[0])
+	if !ok {
+		return
+	}
+	v, err := a.eval(ops[1], st.line)
+	if err != nil {
+		return
+	}
+	u := uint32(v)
+	a.appendInst(st.line, isa.Inst{Op: isa.OpMOVI, Rd: rd, Imm: int32(int16(u))})
+	a.appendInst(st.line, isa.Inst{Op: isa.OpMOVT, Rd: rd, Rn: rd, Imm: int32(u >> 16)})
+}
+
+// emitPushPop expands register-list push/pop against the stack pointer.
+func (a *assembler) emitPushPop(st *stmt, ops []string) {
+	if len(ops) == 0 {
+		a.errorf(st.line, "%s needs a register list", st.mnem)
+		return
+	}
+	list := strings.TrimSpace(strings.Join(ops, ","))
+	list = strings.TrimPrefix(list, "{")
+	list = strings.TrimSuffix(list, "}")
+	var regs []isa.Reg
+	for _, name := range strings.Split(list, ",") {
+		r, ok := parseReg(name)
+		if !ok {
+			a.errorf(st.line, "bad register %q in list", name)
+			return
+		}
+		regs = append(regs, r)
+	}
+	n := int32(len(regs))
+	if st.mnem == "push" {
+		a.appendInst(st.line, isa.Inst{Op: isa.OpSUBI, Rd: isa.SP, Rn: isa.SP, Imm: 4 * n})
+		for i, r := range regs {
+			a.appendInst(st.line, isa.Inst{Op: isa.OpSTR, Rd: r, Rn: isa.SP, Imm: int32(4 * i)})
+		}
+		return
+	}
+	for i, r := range regs {
+		a.appendInst(st.line, isa.Inst{Op: isa.OpLDR, Rd: r, Rn: isa.SP, Imm: int32(4 * i)})
+	}
+	a.appendInst(st.line, isa.Inst{Op: isa.OpADDI, Rd: isa.SP, Rn: isa.SP, Imm: 4 * n})
+}
+
+func (a *assembler) want(st *stmt, ops []string, n int) bool {
+	if len(ops) != n {
+		a.errorf(st.line, "%s needs %d operands, got %d", st.mnem, n, len(ops))
+		return false
+	}
+	return true
+}
+
+func (a *assembler) reg(st *stmt, s string) (isa.Reg, bool) {
+	r, ok := parseReg(s)
+	if !ok {
+		a.errorf(st.line, "bad register %q", s)
+	}
+	return r, ok
+}

@@ -1,0 +1,287 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// splitOperands splits an operand list on top-level commas, respecting
+// [...], {...} and string literals.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var (
+		out   []string
+		depth int
+		inStr bool
+		start int
+	)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			inStr = !inStr
+		case inStr && c == '\\':
+			i++
+		case inStr:
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+var regNames = map[string]isa.Reg{
+	"r0": isa.R0, "r1": isa.R1, "r2": isa.R2, "r3": isa.R3,
+	"r4": isa.R4, "r5": isa.R5, "r6": isa.R6, "r7": isa.R7,
+	"r8": isa.R8, "r9": isa.R9, "r10": isa.R10, "r11": isa.R11,
+	"r12": isa.R12, "r13": isa.SP, "r14": isa.LR, "r15": isa.R15,
+	"sp": isa.SP, "lr": isa.LR, "fp": isa.R11, "ip": isa.R12,
+}
+
+func parseReg(s string) (isa.Reg, bool) {
+	r, ok := regNames[strings.ToLower(strings.TrimSpace(s))]
+	return r, ok
+}
+
+// eval evaluates an additive expression of literals and symbols.
+func (a *assembler) eval(expr string, line int) (int64, error) {
+	v, err := evalExpr(expr, a.prog.Symbols)
+	if err != nil {
+		a.errorf(line, "%v", err)
+		return 0, err
+	}
+	return v, nil
+}
+
+func evalExpr(expr string, syms map[string]uint32) (int64, error) {
+	s := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(expr), "#"))
+	if s == "" {
+		return 0, fmt.Errorf("empty expression")
+	}
+	var (
+		total int64
+		sign  int64 = 1
+		i     int
+	)
+	for i < len(s) {
+		// Skip spaces.
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("trailing operator in %q", expr)
+		}
+		// Unary signs before the term.
+		for i < len(s) && (s[i] == '-' || s[i] == '+' || s[i] == ' ' || s[i] == '\t') {
+			if s[i] == '-' {
+				sign = -sign
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("trailing operator in %q", expr)
+		}
+		// Term: char literal, number, or symbol.
+		start := i
+		var v int64
+		switch {
+		case s[i] == '\'':
+			j := strings.IndexByte(s[i+1:], '\'')
+			if j < 0 {
+				return 0, fmt.Errorf("unterminated char literal in %q", expr)
+			}
+			lit := s[i+1 : i+1+j]
+			b, err := unescapeChar(lit)
+			if err != nil {
+				return 0, fmt.Errorf("%v in %q", err, expr)
+			}
+			v = int64(b)
+			i += j + 2
+		case s[i] >= '0' && s[i] <= '9':
+			for i < len(s) && isNumChar(s[i]) {
+				i++
+			}
+			n, err := strconv.ParseInt(s[start:i], 0, 64)
+			if err != nil {
+				// Retry as unsigned for values like 0xFFFFFFFF.
+				u, uerr := strconv.ParseUint(s[start:i], 0, 64)
+				if uerr != nil {
+					return 0, fmt.Errorf("bad number %q", s[start:i])
+				}
+				n = int64(u)
+			}
+			v = n
+		default:
+			for i < len(s) && isIdentChar(s[i]) {
+				i++
+			}
+			name := s[start:i]
+			if !isIdent(name) {
+				return 0, fmt.Errorf("bad token at %q", s[start:])
+			}
+			sv, ok := syms[name]
+			if !ok {
+				return 0, fmt.Errorf("undefined symbol %q", name)
+			}
+			v = int64(sv)
+		}
+		total += sign * v
+		// Operator or end.
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		switch s[i] {
+		case '+':
+			sign = 1
+		case '-':
+			sign = -1
+		case '*':
+			// Multiplication by a literal: evaluate right term eagerly.
+			i++
+			for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+				i++
+			}
+			start = i
+			for i < len(s) && isNumChar(s[i]) {
+				i++
+			}
+			f, err := strconv.ParseInt(s[start:i], 0, 64)
+			if err != nil {
+				return 0, fmt.Errorf("bad multiplier %q", s[start:i])
+			}
+			total = total - sign*v + sign*v*f
+			continue
+		default:
+			return 0, fmt.Errorf("unexpected %q in %q", s[i], expr)
+		}
+		i++
+	}
+	return total, nil
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' ||
+		c == 'x' || c == 'X' || c == 'o' || c == 'O'
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '.'
+}
+
+func unescapeChar(lit string) (byte, error) {
+	switch lit {
+	case `\n`:
+		return '\n', nil
+	case `\t`:
+		return '\t', nil
+	case `\0`:
+		return 0, nil
+	case `\\`:
+		return '\\', nil
+	case `\'`:
+		return '\'', nil
+	}
+	if len(lit) != 1 {
+		return 0, fmt.Errorf("bad char literal '%s'", lit)
+	}
+	return lit[0], nil
+}
+
+// parseString parses a double-quoted string with escapes.
+func (a *assembler) parseString(s string, line int) ([]byte, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		err := fmt.Errorf("expected string literal, got %q", s)
+		a.errorf(line, "%v", err)
+		return nil, err
+	}
+	body := s[1 : len(s)-1]
+	out := make([]byte, 0, len(body))
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			err := fmt.Errorf("trailing backslash in string")
+			a.errorf(line, "%v", err)
+			return nil, err
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case '0':
+			out = append(out, 0)
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		default:
+			err := fmt.Errorf("unknown escape \\%c", body[i])
+			a.errorf(line, "%v", err)
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// memOperand is a parsed [rn], [rn, #imm] or [rn, rm] operand.
+type memOperand struct {
+	base   isa.Reg
+	index  isa.Reg
+	hasIdx bool
+	off    int32
+}
+
+func (a *assembler) parseMem(s string, line int) (memOperand, bool) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		a.errorf(line, "expected memory operand, got %q", s)
+		return memOperand{}, false
+	}
+	parts := splitOperands(s[1 : len(s)-1])
+	var m memOperand
+	base, ok := parseReg(parts[0])
+	if !ok {
+		a.errorf(line, "bad base register %q", parts[0])
+		return memOperand{}, false
+	}
+	m.base = base
+	switch len(parts) {
+	case 1:
+	case 2:
+		if idx, ok := parseReg(parts[1]); ok {
+			m.index = idx
+			m.hasIdx = true
+			break
+		}
+		v, err := a.eval(parts[1], line)
+		if err != nil {
+			return memOperand{}, false
+		}
+		m.off = int32(v)
+	default:
+		a.errorf(line, "bad memory operand %q", s)
+		return memOperand{}, false
+	}
+	return m, true
+}

@@ -1,0 +1,392 @@
+package bench
+
+import (
+	"crypto/aes"
+	"fmt"
+	"strings"
+)
+
+// workloadAES encrypts 128 pseudo-random bytes (8 blocks, ECB) with
+// AES-128 using the FIPS-197 example key, implementing key expansion,
+// SubBytes, ShiftRows, MixColumns and AddRoundKey from scratch in
+// assembly. The oracle uses crypto/aes, so this validates the assembly
+// against an independent implementation. MiBench analogue: cAES
+// (rijndael).
+var workloadAES = &Workload{
+	Name:   "caes",
+	Desc:   "AES-128 ECB encryption of 8 blocks",
+	source: aesSource,
+	oracle: aesOracle,
+}
+
+const aesBlocks = 8
+
+// aesKey is the FIPS-197 appendix example key.
+var aesKey = [16]byte{
+	0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+	0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+}
+
+// aesSbox computes the AES S-box from first principles (GF(2^8) inverse
+// plus the affine transform), avoiding a hardcoded table.
+func aesSbox() [256]byte {
+	var sbox [256]byte
+	rotl8 := func(x byte, n uint) byte { return x<<n | x>>(8-n) }
+	p, q := byte(1), byte(1)
+	for {
+		// p *= 3 in GF(2^8).
+		hi := p&0x80 != 0
+		p ^= p << 1
+		if hi {
+			p ^= 0x1B
+		}
+		// q /= 3 (multiply by the inverse of 3).
+		q ^= q << 1
+		q ^= q << 2
+		q ^= q << 4
+		if q&0x80 != 0 {
+			q ^= 0x09
+		}
+		sbox[p] = q ^ rotl8(q, 1) ^ rotl8(q, 2) ^ rotl8(q, 3) ^ rotl8(q, 4) ^ 0x63
+		if p == 1 {
+			break
+		}
+	}
+	sbox[0] = 0x63
+	return sbox
+}
+
+func byteTable(b []byte) string {
+	var sb strings.Builder
+	for i := 0; i < len(b); i += 16 {
+		sb.WriteString("\t.byte ")
+		for j := i; j < i+16 && j < len(b); j++ {
+			if j > i {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%d", b[j])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func aesSource() string {
+	sbox := aesSbox()
+	return `
+; caes: AES-128 ECB over 8 blocks. State is column-major s[4c+r].
+	bl	gen_input
+	bl	key_expand
+	li	r0, bctr
+	movi	r1, #0
+	str	r1, [r0]
+blk_loop:
+	li	r0, bctr
+	ldr	r1, [r0]
+	cmp	r1, #8
+	bge	enc_done
+	lsl	r2, r1, #4
+	li	r3, buf
+	add	r12, r3, r2
+	li	r3, baddr
+	str	r12, [r3]
+	; state <- block
+	li	r10, state
+	movi	r1, #0
+cpin:
+	ldrb	r3, [r12, r1]
+	strb	r3, [r10, r1]
+	addi	r1, r1, #1
+	cmp	r1, #16
+	blt	cpin
+	movi	r0, #0
+	bl	addroundkey
+	li	r0, rctr
+	movi	r1, #1
+	str	r1, [r0]
+round_loop:
+	bl	subbytes
+	bl	shiftrows
+	bl	mixcolumns
+	li	r0, rctr
+	ldr	r0, [r0]
+	bl	addroundkey
+	li	r0, rctr
+	ldr	r1, [r0]
+	addi	r1, r1, #1
+	str	r1, [r0]
+	cmp	r1, #10
+	blt	round_loop
+	bl	subbytes
+	bl	shiftrows
+	movi	r0, #10
+	bl	addroundkey
+	; block <- state
+	li	r3, baddr
+	ldr	r12, [r3]
+	li	r10, state
+	movi	r1, #0
+cpout:
+	ldrb	r3, [r10, r1]
+	strb	r3, [r12, r1]
+	addi	r1, r1, #1
+	cmp	r1, #16
+	blt	cpout
+	li	r0, bctr
+	ldr	r1, [r0]
+	addi	r1, r1, #1
+	str	r1, [r0]
+	b	blk_loop
+enc_done:
+	; weighted checksum of the ciphertext + first word
+	li	r10, buf
+	movi	r1, #0
+	movi	r4, #0
+cks:
+	ldrb	r2, [r10, r1]
+	addi	r0, r1, #1
+	mul	r2, r2, r0
+	add	r4, r4, r2
+	addi	r1, r1, #1
+	cmp	r1, #128
+	blt	cks
+	mov	r0, r4
+	movi	r7, #4			; SysPutint
+	svc	#0
+	ldr	r0, [r10]
+	svc	#0
+	movi	r7, #1			; SysExit
+	svc	#0
+
+gen_input:
+	li	r0, 12345
+	li	r11, 1664525
+	li	r12, 1013904223
+	li	r10, buf
+	movi	r1, #0
+gi1:
+	mul	r0, r0, r11
+	add	r0, r0, r12
+	lsr	r2, r0, #16
+	and	r2, r2, #255
+	strb	r2, [r10, r1]
+	addi	r1, r1, #1
+	cmp	r1, #128
+	blt	gi1
+	ret
+
+key_expand:
+	li	r10, rk
+	li	r11, key
+	movi	r1, #0
+ke1:
+	ldrb	r2, [r11, r1]
+	strb	r2, [r10, r1]
+	addi	r1, r1, #1
+	cmp	r1, #16
+	blt	ke1
+	movi	r4, #4			; word index i
+ke2:
+	cmp	r4, #44
+	bge	ke_done
+	lsl	r1, r4, #2
+	subi	r1, r1, #4
+	add	r1, r10, r1		; &rk[4(i-1)]
+	ldrb	r5, [r1]
+	ldrb	r6, [r1, #1]
+	ldrb	r8, [r1, #2]
+	ldrb	r9, [r1, #3]
+	and	r2, r4, #3
+	cmp	r2, #0
+	bne	ke_xor
+	mov	r2, r5			; RotWord
+	mov	r5, r6
+	mov	r6, r8
+	mov	r8, r9
+	mov	r9, r2
+	li	r3, sbox		; SubWord
+	ldrb	r5, [r3, r5]
+	ldrb	r6, [r3, r6]
+	ldrb	r8, [r3, r8]
+	ldrb	r9, [r3, r9]
+	lsr	r2, r4, #2		; rcon[i/4-1]
+	subi	r2, r2, #1
+	li	r3, rcon
+	ldrb	r2, [r3, r2]
+	eor	r5, r5, r2
+ke_xor:
+	lsl	r1, r4, #2
+	subi	r2, r1, #16
+	add	r2, r10, r2		; &rk[4(i-4)]
+	add	r1, r10, r1		; &rk[4i]
+	ldrb	r3, [r2]
+	eor	r3, r3, r5
+	strb	r3, [r1]
+	ldrb	r3, [r2, #1]
+	eor	r3, r3, r6
+	strb	r3, [r1, #1]
+	ldrb	r3, [r2, #2]
+	eor	r3, r3, r8
+	strb	r3, [r1, #2]
+	ldrb	r3, [r2, #3]
+	eor	r3, r3, r9
+	strb	r3, [r1, #3]
+	addi	r4, r4, #1
+	b	ke2
+ke_done:
+	ret
+
+subbytes:
+	li	r10, state
+	li	r11, sbox
+	movi	r1, #0
+sb1:
+	ldrb	r3, [r10, r1]
+	ldrb	r3, [r11, r3]
+	strb	r3, [r10, r1]
+	addi	r1, r1, #1
+	cmp	r1, #16
+	blt	sb1
+	ret
+
+shiftrows:
+	li	r10, state
+	li	r11, srtbl
+	li	r12, state2
+	movi	r1, #0
+sr1:
+	ldrb	r2, [r11, r1]
+	ldrb	r3, [r10, r2]
+	strb	r3, [r12, r1]
+	addi	r1, r1, #1
+	cmp	r1, #16
+	blt	sr1
+	movi	r1, #0
+sr2:
+	ldrb	r3, [r12, r1]
+	strb	r3, [r10, r1]
+	addi	r1, r1, #1
+	cmp	r1, #16
+	blt	sr2
+	ret
+
+mixcolumns:
+	li	r10, state
+	movi	r0, #0			; column byte offset
+mc1:
+	add	r11, r10, r0
+	ldrb	r1, [r11]
+	ldrb	r2, [r11, #1]
+	ldrb	r3, [r11, #2]
+	ldrb	r4, [r11, #3]
+	lsl	r5, r1, #1		; b0 = xtime(a0)
+	and	r5, r5, #255
+	and	r12, r1, #0x80
+	cmp	r12, #0
+	beq	mc_b0
+	eor	r5, r5, #0x1b
+mc_b0:
+	lsl	r6, r2, #1		; b1
+	and	r6, r6, #255
+	and	r12, r2, #0x80
+	cmp	r12, #0
+	beq	mc_b1
+	eor	r6, r6, #0x1b
+mc_b1:
+	lsl	r8, r3, #1		; b2
+	and	r8, r8, #255
+	and	r12, r3, #0x80
+	cmp	r12, #0
+	beq	mc_b2
+	eor	r8, r8, #0x1b
+mc_b2:
+	lsl	r9, r4, #1		; b3
+	and	r9, r9, #255
+	and	r12, r4, #0x80
+	cmp	r12, #0
+	beq	mc_b3
+	eor	r9, r9, #0x1b
+mc_b3:
+	eor	r12, r5, r2		; s0 = b0^a1^b1^a2^a3
+	eor	r12, r12, r6
+	eor	r12, r12, r3
+	eor	r12, r12, r4
+	strb	r12, [r11]
+	eor	r12, r1, r6		; s1 = a0^b1^a2^b2^a3
+	eor	r12, r12, r3
+	eor	r12, r12, r8
+	eor	r12, r12, r4
+	strb	r12, [r11, #1]
+	eor	r12, r1, r2		; s2 = a0^a1^b2^a3^b3
+	eor	r12, r12, r8
+	eor	r12, r12, r4
+	eor	r12, r12, r9
+	strb	r12, [r11, #2]
+	eor	r12, r1, r5		; s3 = a0^b0^a1^a2^b3
+	eor	r12, r12, r2
+	eor	r12, r12, r3
+	eor	r12, r12, r9
+	strb	r12, [r11, #3]
+	addi	r0, r0, #4
+	cmp	r0, #16
+	blt	mc1
+	ret
+
+addroundkey:
+	li	r10, state
+	li	r11, rk
+	lsl	r0, r0, #4
+	add	r11, r11, r0
+	movi	r1, #0
+ark1:
+	ldrb	r2, [r10, r1]
+	ldrb	r3, [r11, r1]
+	eor	r2, r2, r3
+	strb	r2, [r10, r1]
+	addi	r1, r1, #1
+	cmp	r1, #16
+	blt	ark1
+	ret
+
+.data
+.align 4
+key:
+` + byteTable(aesKey[:]) + `rcon:
+	.byte 1, 2, 4, 8, 16, 32, 64, 128, 27, 54
+srtbl:
+	.byte 0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11
+.align 4
+sbox:
+` + byteTable(sbox[:]) + `.align 4
+rk:	.space 176
+state:	.space 16
+state2:	.space 16
+buf:	.space 128
+bctr:	.word 0
+rctr:	.word 0
+baddr:	.word 0
+`
+}
+
+func aesOracle() []byte {
+	x := uint32(lcgSeed)
+	buf := make([]byte, 16*aesBlocks)
+	for i := range buf {
+		x = lcgNext(x)
+		buf[i] = byte(x >> 16)
+	}
+	c, err := aes.NewCipher(aesKey[:])
+	if err != nil {
+		panic("aes: " + err.Error()) // static key, cannot happen
+	}
+	for b := 0; b < aesBlocks; b++ {
+		c.Encrypt(buf[16*b:16*b+16], buf[16*b:16*b+16])
+	}
+	var sum uint32
+	for i, v := range buf {
+		sum += uint32(v) * uint32(i+1)
+	}
+	out := putint(nil, int32(sum))
+	word := uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24
+	return putint(out, int32(word))
+}

@@ -1,0 +1,111 @@
+// Package bench provides the MiBench-subset workloads used by the paper's
+// evaluation (FFT, qsort, cAES, sha, stringsearch and the three susan
+// kernels), re-implemented in AL32 assembly, together with pure-Go
+// reference implementations of the same algorithms.
+//
+// Each workload's assembly program and its Go reference consume identical
+// pseudo-random inputs (a shared LCG), so the expected program output is
+// known exactly and every simulation model can be validated end to end.
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/asm"
+)
+
+// Workload is one benchmark: AL32 source plus a Go oracle for its output.
+type Workload struct {
+	Name string
+	Desc string
+
+	source func() string
+	oracle func() []byte
+
+	once     sync.Once
+	program  *asm.Program
+	expected []byte
+	buildErr error
+}
+
+// Program assembles (once) and returns the workload's program.
+func (w *Workload) Program() (*asm.Program, error) {
+	w.build()
+	return w.program, w.buildErr
+}
+
+// Expected returns the program output predicted by the Go reference
+// implementation.
+func (w *Workload) Expected() []byte {
+	w.build()
+	out := make([]byte, len(w.expected))
+	copy(out, w.expected)
+	return out
+}
+
+// Source returns the AL32 assembly source.
+func (w *Workload) Source() string { return w.source() }
+
+func (w *Workload) build() {
+	w.once.Do(func() {
+		p, err := asm.Assemble(w.Name+".s", w.source())
+		if err != nil {
+			w.buildErr = fmt.Errorf("workload %s: %w", w.Name, err)
+			return
+		}
+		w.program = p
+		w.expected = w.oracle()
+	})
+}
+
+var registry = []*Workload{
+	workloadFFT,
+	workloadQsort,
+	workloadAES,
+	workloadSHA,
+	workloadStringsearch,
+	workloadSusanCorners,
+	workloadSusanEdges,
+	workloadSusanSmoothing,
+}
+
+// All returns every workload in the paper's benchmark order (TABLE II).
+func All() []*Workload {
+	out := make([]*Workload, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName returns the named workload, or an error listing valid names.
+func ByName(name string) (*Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	names := make([]string, len(registry))
+	for i, w := range registry {
+		names[i] = w.Name
+	}
+	return nil, fmt.Errorf("unknown workload %q (have %v)", name, names)
+}
+
+// Shared input generation. Both the assembly programs and the Go oracles
+// draw inputs from this LCG (Numerical Recipes constants) with the seeds
+// below, so outputs are bit-exact reproducible.
+const (
+	lcgMul  = 1664525
+	lcgAdd  = 1013904223
+	lcgSeed = 12345
+)
+
+func lcgNext(x uint32) uint32 { return x*lcgMul + lcgAdd }
+
+// putint appends the decimal representation of v and a newline, matching
+// the SysPutint syscall.
+func putint(out []byte, v int32) []byte {
+	out = strconv.AppendInt(out, int64(v), 10)
+	return append(out, '\n')
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/refsim"
+)
+
+// TestWorkloadsMatchOracles runs every workload on the architectural
+// reference interpreter and checks the output against the pure-Go oracle.
+func TestWorkloadsMatchOracles(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := w.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := refsim.New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop := c.Run(50_000_000)
+			if stop != refsim.StopExit && stop != refsim.StopHalt {
+				t.Fatalf("stop = %v (%s) after %d insts", stop, c.FaultDesc, c.InstCount)
+			}
+			if got, want := string(c.Output), string(w.Expected()); got != want {
+				t.Errorf("output mismatch:\n got: %q\nwant: %q", got, want)
+			}
+			t.Logf("%s: %d instructions, %d output bytes", w.Name, c.InstCount, len(c.Output))
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("qsort"); err != nil {
+		t.Errorf("ByName(qsort): %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+func TestExpectedReturnsCopy(t *testing.T) {
+	w, err := ByName("qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := w.Expected()
+	if len(a) == 0 {
+		t.Fatal("empty expected output")
+	}
+	a[0] = 'X'
+	if b := w.Expected(); b[0] == 'X' {
+		t.Error("Expected leaks internal state")
+	}
+}

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// workloadFFT runs a 64-point radix-2 decimation-in-time FFT in Q15
+// fixed-point arithmetic over pseudo-random input and emits weighted
+// checksums of the real and imaginary outputs. The Go oracle performs the
+// identical integer arithmetic (same twiddle tables, same shifts), so the
+// outputs match bit for bit. MiBench analogue: FFT.
+var workloadFFT = &Workload{
+	Name:   "fft",
+	Desc:   "64-point Q15 fixed-point FFT",
+	source: fftSource,
+	oracle: fftOracle,
+}
+
+const fftN = 64
+
+// fftTwiddles returns the Q15 twiddle factors for e^(-2*pi*i*k/N),
+// k = 0..N/2-1. These exact integers are embedded in the assembly source
+// and used by the oracle.
+func fftTwiddles() (wr, wi [fftN / 2]int32) {
+	for k := 0; k < fftN/2; k++ {
+		theta := 2 * math.Pi * float64(k) / fftN
+		wr[k] = int32(math.Round(32767 * math.Cos(theta)))
+		wi[k] = int32(math.Round(-32767 * math.Sin(theta)))
+	}
+	return wr, wi
+}
+
+func fftSource() string {
+	wr, wi := fftTwiddles()
+	var twr, twi strings.Builder
+	for k := 0; k < fftN/2; k++ {
+		fmt.Fprintf(&twr, "\t.word %d\n", wr[k])
+		fmt.Fprintf(&twi, "\t.word %d\n", wi[k])
+	}
+	return `
+; fft: 64-point Q15 DIT FFT. im[] must stay exactly 256 bytes after re[].
+	; input: re[i] = int16(lcg >> 16) >> 6, im[i] = 0
+	li	r0, 12345
+	li	r11, 1664525
+	li	r12, 1013904223
+	li	r10, re
+	movi	r1, #0
+fgen:
+	mul	r0, r0, r11
+	add	r0, r0, r12
+	lsr	r2, r0, #16
+	lsl	r2, r2, #16
+	asr	r2, r2, #16
+	asr	r2, r2, #6
+	lsl	r3, r1, #2
+	add	r3, r10, r3
+	str	r2, [r3]
+	addi	r1, r1, #1
+	cmp	r1, #64
+	blt	fgen
+
+	; bit-reversal permutation (6 bits)
+	movi	r5, #0
+bitrev:
+	cmp	r5, #64
+	bge	brdone
+	movi	r0, #0
+	mov	r1, r5
+	movi	r2, #0
+brl:
+	lsl	r0, r0, #1
+	and	r3, r1, #1
+	orr	r0, r0, r3
+	lsr	r1, r1, #1
+	addi	r2, r2, #1
+	cmp	r2, #6
+	blt	brl
+	cmp	r0, r5
+	ble	brnext
+	lsl	r1, r5, #2
+	lsl	r2, r0, #2
+	li	r3, re
+	add	r1, r3, r1
+	add	r2, r3, r2
+	ldr	r3, [r1]
+	ldr	r12, [r2]
+	str	r12, [r1]
+	str	r3, [r2]
+	ldr	r3, [r1, #256]
+	ldr	r12, [r2, #256]
+	str	r12, [r1, #256]
+	str	r3, [r2, #256]
+brnext:
+	addi	r5, r5, #1
+	b	bitrev
+brdone:
+
+	li	r7, tmps		; butterfly scratch base
+	movi	r4, #2			; len
+stage_loop:
+	cmp	r4, #64
+	bgt	stages_done
+	lsr	r8, r4, #1		; half
+	movi	r9, #64
+	udiv	r9, r9, r4		; twiddle stride
+	movi	r5, #0			; i
+iloop:
+	cmp	r5, #64
+	bge	istage_done
+	movi	r6, #0			; j
+jloop:
+	cmp	r6, r8
+	bge	jdone
+	; twiddle k = j*stride
+	mul	r12, r6, r9
+	lsl	r12, r12, #2
+	li	r0, twr
+	add	r0, r0, r12
+	ldr	r2, [r0]		; wr
+	li	r0, twi
+	add	r0, r0, r12
+	ldr	r3, [r0]		; wi
+	; p = i+j, q = p+half; r0=&re[p], r1=&re[q]
+	add	r0, r5, r6
+	add	r1, r0, r8
+	lsl	r0, r0, #2
+	lsl	r1, r1, #2
+	li	r12, re
+	add	r0, r12, r0
+	add	r1, r12, r1
+	; tmp0 = (re[q]*wr)>>15, tmp1 = (im[q]*wi)>>15
+	ldr	r12, [r1]
+	mul	r12, r12, r2
+	asr	r12, r12, #15
+	str	r12, [r7]
+	ldr	r12, [r1, #256]
+	mul	r12, r12, r3
+	asr	r12, r12, #15
+	str	r12, [r7, #4]
+	; tmp2 = (re[q]*wi)>>15, tmp3 = (im[q]*wr)>>15
+	ldr	r12, [r1]
+	mul	r12, r12, r3
+	asr	r12, r12, #15
+	str	r12, [r7, #8]
+	ldr	r12, [r1, #256]
+	mul	r12, r12, r2
+	asr	r12, r12, #15
+	str	r12, [r7, #12]
+	; tr = tmp0-tmp1 (r2), ti = tmp2+tmp3 (r3)
+	ldr	r2, [r7]
+	ldr	r3, [r7, #4]
+	sub	r2, r2, r3
+	ldr	r3, [r7, #8]
+	ldr	r12, [r7, #12]
+	add	r3, r3, r12
+	; re[p] += tr; re[q] = re[p]_old - tr
+	ldr	r12, [r0]
+	str	r2, [r7]
+	add	r2, r12, r2
+	str	r2, [r0]
+	ldr	r2, [r7]
+	sub	r2, r12, r2
+	str	r2, [r1]
+	; im[p] += ti; im[q] = im[p]_old - ti
+	ldr	r12, [r0, #256]
+	str	r3, [r7]
+	add	r3, r12, r3
+	str	r3, [r0, #256]
+	ldr	r3, [r7]
+	sub	r3, r12, r3
+	str	r3, [r1, #256]
+	addi	r6, r6, #1
+	b	jloop
+jdone:
+	add	r5, r5, r4
+	b	iloop
+istage_done:
+	lsl	r4, r4, #1
+	b	stage_loop
+stages_done:
+
+	; weighted checksums of re[] and im[]
+	movi	r1, #0
+	movi	r4, #0
+	movi	r5, #0
+	li	r10, re
+osum:
+	lsl	r3, r1, #2
+	add	r3, r10, r3
+	ldr	r2, [r3]
+	addi	r0, r1, #1
+	mul	r2, r2, r0
+	add	r4, r4, r2
+	ldr	r2, [r3, #256]
+	mul	r2, r2, r0
+	add	r5, r5, r2
+	addi	r1, r1, #1
+	cmp	r1, #64
+	blt	osum
+	mov	r0, r4
+	movi	r7, #4			; SysPutint
+	svc	#0
+	mov	r0, r5
+	svc	#0
+	movi	r7, #1			; SysExit
+	svc	#0
+
+.data
+.align 4
+re:	.space 256
+im:	.space 256
+tmps:	.space 16
+twr:
+` + twr.String() + `twi:
+` + twi.String()
+}
+
+func fftOracle() []byte {
+	wr, wi := fftTwiddles()
+	x := uint32(lcgSeed)
+	re := make([]int32, fftN)
+	im := make([]int32, fftN)
+	for i := range re {
+		x = lcgNext(x)
+		re[i] = int32(int16(x>>16)) >> 6
+	}
+	// Bit reversal.
+	for i := 0; i < fftN; i++ {
+		r := 0
+		v := i
+		for b := 0; b < 6; b++ {
+			r = r<<1 | v&1
+			v >>= 1
+		}
+		if r > i {
+			re[i], re[r] = re[r], re[i]
+			im[i], im[r] = im[r], im[i]
+		}
+	}
+	// Butterflies, identical integer ops to the assembly.
+	for length := 2; length <= fftN; length <<= 1 {
+		half := length / 2
+		stride := fftN / length
+		for i := 0; i < fftN; i += length {
+			for j := 0; j < half; j++ {
+				k := j * stride
+				p, q := i+j, i+j+half
+				tr := (re[q]*wr[k])>>15 - (im[q]*wi[k])>>15
+				ti := (re[q]*wi[k])>>15 + (im[q]*wr[k])>>15
+				rp, ip := re[p], im[p]
+				re[p], im[p] = rp+tr, ip+ti
+				re[q], im[q] = rp-tr, ip-ti
+			}
+		}
+	}
+	var sumRe, sumIm int32
+	for i := 0; i < fftN; i++ {
+		sumRe += re[i] * int32(i+1)
+		sumIm += im[i] * int32(i+1)
+	}
+	out := putint(nil, sumRe)
+	return putint(out, sumIm)
+}

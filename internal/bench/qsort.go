@@ -1,0 +1,148 @@
+package bench
+
+import "sort"
+
+// workloadQsort sorts 256 LCG-generated words with recursive quicksort
+// (Lomuto partition) and emits a weighted checksum plus an inversion
+// count (zero when correctly sorted). MiBench analogue: qsort.
+var workloadQsort = &Workload{
+	Name:   "qsort",
+	Desc:   "quicksort of 256 pseudo-random words + order check",
+	source: qsortSource,
+	oracle: qsortOracle,
+}
+
+const qsortN = 256
+
+func qsortSource() string {
+	return `
+; qsort: sort N pseudo-random words, emit weighted checksum + inversions.
+.equ N, 256
+	li	r10, arr
+	li	r0, 12345		; LCG state
+	movi	r1, #0			; i
+	li	r11, 1664525
+	li	r12, 1013904223
+gen:
+	mul	r0, r0, r11
+	add	r0, r0, r12
+	lsr	r2, r0, #16		; 16-bit value
+	lsl	r3, r1, #2
+	add	r3, r10, r3
+	str	r2, [r3]
+	addi	r1, r1, #1
+	cmp	r1, #N
+	blt	gen
+
+	movi	r0, #0
+	movi	r1, #N-1
+	bl	qsort
+
+	; checksum = sum a[i]*(i+1); inversions = #(a[i] < a[i-1])
+	movi	r1, #0			; i
+	movi	r4, #0			; checksum
+	movi	r5, #0			; inversions
+	movi	r6, #0			; prev
+chk:
+	lsl	r3, r1, #2
+	add	r3, r10, r3
+	ldr	r2, [r3]
+	addi	r0, r1, #1
+	mul	r0, r2, r0
+	add	r4, r4, r0
+	cmp	r2, r6
+	bhs	chk_ok
+	addi	r5, r5, #1
+chk_ok:
+	mov	r6, r2
+	addi	r1, r1, #1
+	cmp	r1, #N
+	blt	chk
+
+	mov	r0, r4
+	movi	r7, #4			; SysPutint
+	svc	#0
+	mov	r0, r5
+	svc	#0
+	movi	r7, #1			; SysExit
+	svc	#0
+
+; qsort(lo=r0, hi=r1), array base in r10.
+qsort:
+	cmp	r0, r1
+	blt	qs_go
+	ret
+qs_go:
+	push	{r4, r5, r6, r8, r9, lr}
+	; Lomuto partition, pivot = a[hi]
+	lsl	r4, r1, #2
+	add	r4, r10, r4
+	ldr	r4, [r4]		; pivot value
+	mov	r5, r0			; i = lo
+	mov	r6, r0			; j = lo
+qs_loop:
+	cmp	r6, r1
+	bge	qs_after
+	lsl	r8, r6, #2
+	add	r8, r10, r8
+	ldr	r2, [r8]		; a[j]
+	cmp	r2, r4
+	bhs	qs_next			; unsigned compare: keep if a[j] < pivot
+	lsl	r3, r5, #2
+	add	r3, r10, r3
+	ldr	r9, [r3]		; swap a[i], a[j]
+	str	r2, [r3]
+	str	r9, [r8]
+	addi	r5, r5, #1
+qs_next:
+	addi	r6, r6, #1
+	b	qs_loop
+qs_after:
+	lsl	r3, r5, #2		; swap a[i], a[hi]
+	add	r3, r10, r3
+	ldr	r9, [r3]
+	lsl	r8, r1, #2
+	add	r8, r10, r8
+	ldr	r2, [r8]
+	str	r2, [r3]
+	str	r9, [r8]
+	; recurse on both halves
+	mov	r8, r0			; lo
+	mov	r4, r1			; hi
+	mov	r6, r5			; i
+	mov	r0, r8
+	subi	r1, r6, #1
+	bl	qsort
+	addi	r0, r6, #1
+	mov	r1, r4
+	bl	qsort
+	pop	{r4, r5, r6, r8, r9, lr}
+	ret
+
+.data
+.align 4
+arr:	.space 256*4
+`
+}
+
+func qsortOracle() []byte {
+	x := uint32(lcgSeed)
+	a := make([]uint32, qsortN)
+	for i := range a {
+		x = lcgNext(x)
+		a[i] = x >> 16
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	var sum uint32
+	inv := 0
+	var prev uint32
+	for i, v := range a {
+		sum += v * uint32(i+1)
+		if v < prev {
+			inv++
+		}
+		prev = v
+	}
+	out := putint(nil, int32(sum))
+	return putint(out, int32(inv))
+}

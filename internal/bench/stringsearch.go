@@ -1,0 +1,227 @@
+package bench
+
+// workloadStringsearch runs Boyer-Moore-Horspool over a 2 KiB
+// pseudo-random lowercase text with four planted patterns, reporting the
+// match count and position sum per pattern. MiBench analogue:
+// stringsearch.
+var workloadStringsearch = &Workload{
+	Name:   "stringsearch",
+	Desc:   "Horspool search of 4 patterns in 2 KiB of text",
+	source: stringsearchSource,
+	oracle: stringsearchOracle,
+}
+
+const ssTextLen = 2048
+
+// ssPatterns are the search patterns and the offsets where a copy of each
+// is planted into the text.
+var ssPatterns = []struct {
+	pat   string
+	plant int
+}{
+	{"search", 100},
+	{"algorithm", 700},
+	{"zzyzx", 1400},
+	{"the", 2000},
+}
+
+func stringsearchSource() string {
+	return `
+; stringsearch: Horspool over 2048 bytes of 'a'..'z' text, 4 patterns.
+	; generate text
+	li	r0, 12345
+	li	r11, 1664525
+	li	r12, 1013904223
+	li	r10, text
+	movi	r1, #0
+tgen:
+	mul	r0, r0, r11
+	add	r0, r0, r12
+	lsr	r2, r0, #16
+	movi	r3, #26
+	udiv	r5, r2, r3
+	mul	r5, r5, r3
+	sub	r2, r2, r5		; v % 26
+	addi	r2, r2, #'a'
+	add	r3, r10, r1
+	strb	r2, [r3]
+	addi	r1, r1, #1
+	cmp	r1, #2048
+	blt	tgen
+
+	; plant the patterns
+	li	r0, plant_tbl
+	movi	r4, #0
+plantp:
+	cmp	r4, #4
+	bge	plants_done
+	lsl	r1, r4, #3
+	lsl	r2, r4, #2
+	add	r1, r1, r2		; 12*r4
+	add	r1, r0, r1
+	ldr	r2, [r1]		; src
+	ldr	r3, [r1, #4]		; len
+	ldr	r5, [r1, #8]		; dst offset
+	li	r6, text
+	add	r5, r6, r5
+	movi	r6, #0
+plcpy:
+	cmp	r6, r3
+	bge	plnext
+	add	r8, r2, r6
+	ldrb	r9, [r8]
+	add	r8, r5, r6
+	strb	r9, [r8]
+	addi	r6, r6, #1
+	b	plcpy
+plnext:
+	addi	r4, r4, #1
+	b	plantp
+plants_done:
+
+	; search each pattern
+	movi	r4, #0
+ploop:
+	li	r0, pat_tbl
+	lsl	r1, r4, #3
+	add	r0, r0, r1
+	ldr	r11, [r0]		; pattern address
+	ldr	r12, [r0, #4]		; m
+
+	; skip table: default m, then skip[p[i]] = m-1-i for i < m-1
+	li	r9, skip
+	movi	r1, #0
+skinit:
+	lsl	r2, r1, #2
+	add	r2, r9, r2
+	str	r12, [r2]
+	addi	r1, r1, #1
+	cmp	r1, #256
+	blt	skinit
+	movi	r1, #0
+	subi	r3, r12, #1
+skfill:
+	cmp	r1, r3
+	bge	skdone
+	add	r2, r11, r1
+	ldrb	r2, [r2]
+	lsl	r2, r2, #2
+	add	r2, r9, r2
+	sub	r5, r3, r1
+	str	r5, [r2]
+	addi	r1, r1, #1
+	b	skfill
+skdone:
+	movi	r8, #0			; pos
+	movi	r5, #0			; count
+	movi	r6, #0			; position sum
+	li	r0, 2048
+	sub	r0, r0, r12		; last valid pos
+search_loop:
+	cmp	r8, r0
+	bgt	pat_done
+	subi	r1, r12, #1		; j = m-1
+cmp_loop:
+	cmp	r1, #0
+	blt	is_match
+	add	r2, r8, r1
+	li	r3, text
+	add	r2, r3, r2
+	ldrb	r2, [r2]
+	add	r3, r11, r1
+	ldrb	r3, [r3]
+	cmp	r2, r3
+	bne	mismatch
+	subi	r1, r1, #1
+	b	cmp_loop
+is_match:
+	addi	r5, r5, #1
+	add	r6, r6, r8
+mismatch:
+	add	r2, r8, r12		; shift by skip[text[pos+m-1]]
+	subi	r2, r2, #1
+	li	r3, text
+	add	r2, r3, r2
+	ldrb	r2, [r2]
+	lsl	r2, r2, #2
+	add	r2, r9, r2
+	ldr	r2, [r2]
+	add	r8, r8, r2
+	b	search_loop
+pat_done:
+	mov	r0, r5
+	movi	r7, #4			; SysPutint
+	svc	#0
+	mov	r0, r6
+	svc	#0
+	addi	r4, r4, #1
+	cmp	r4, #4
+	blt	ploop
+	movi	r7, #1			; SysExit
+	svc	#0
+
+.data
+.align 4
+pat0:	.ascii "search"
+pat1:	.ascii "algorithm"
+pat2:	.ascii "zzyzx"
+pat3:	.ascii "the"
+.align 4
+pat_tbl:
+	.word pat0, 6
+	.word pat1, 9
+	.word pat2, 5
+	.word pat3, 3
+plant_tbl:
+	.word pat0, 6, 100
+	.word pat1, 9, 700
+	.word pat2, 5, 1400
+	.word pat3, 3, 2000
+skip:	.space 256*4
+text:	.space 2048
+`
+}
+
+func stringsearchOracle() []byte {
+	x := uint32(lcgSeed)
+	text := make([]byte, ssTextLen)
+	for i := range text {
+		x = lcgNext(x)
+		text[i] = 'a' + byte((x>>16)%26)
+	}
+	for _, p := range ssPatterns {
+		copy(text[p.plant:], p.pat)
+	}
+	var out []byte
+	for _, p := range ssPatterns {
+		count, sum := horspool(text, []byte(p.pat))
+		out = putint(out, count)
+		out = putint(out, sum)
+	}
+	return out
+}
+
+// horspool mirrors the assembly implementation exactly (including the
+// post-match shift) so match counts agree even for overlapping patterns.
+func horspool(text, pat []byte) (count, sum int32) {
+	m := len(pat)
+	var skip [256]int
+	for i := range skip {
+		skip[i] = m
+	}
+	for i := 0; i < m-1; i++ {
+		skip[pat[i]] = m - 1 - i
+	}
+	for pos := 0; pos <= len(text)-m; {
+		j := m - 1
+		for j >= 0 && text[pos+j] == pat[j] {
+			j--
+		}
+		if j < 0 {
+			count++
+			sum += int32(pos)
+		}
+		pos += skip[text[pos+m-1]]
+	}
+	return count, sum
+}

@@ -1,0 +1,305 @@
+package bench
+
+import "fmt"
+
+// The susan workloads run simplified SUSAN image kernels (as in MiBench's
+// susan -c / -e / -s modes) over a 32x32 pseudo-random grayscale image:
+//
+//   - smoothing: brightness-similarity-gated 3x3 mean filter;
+//   - edges: USAN area over the 3x3 neighbourhood, edge when few
+//     neighbours are similar to the nucleus;
+//   - corners: USAN area over the 5x5 neighbourhood with a smaller
+//     geometric threshold.
+//
+// Each emits a weighted checksum and a plain sum over its output map.
+var (
+	workloadSusanCorners = &Workload{
+		Name:   "susan_c",
+		Desc:   "SUSAN corner detection on a 32x32 image",
+		source: func() string { return susanUsanSource(2, 20, 8) },
+		oracle: func() []byte { return susanUsanOracle(2, 20, 8) },
+	}
+	workloadSusanEdges = &Workload{
+		Name:   "susan_e",
+		Desc:   "SUSAN edge detection on a 32x32 image",
+		source: func() string { return susanUsanSource(1, 20, 4) },
+		oracle: func() []byte { return susanUsanOracle(1, 20, 4) },
+	}
+	workloadSusanSmoothing = &Workload{
+		Name:   "susan_s",
+		Desc:   "SUSAN similarity-gated smoothing on a 32x32 image",
+		source: susanSmoothSource,
+		oracle: susanSmoothOracle,
+	}
+)
+
+const (
+	susanDim     = 32
+	susanPixels  = susanDim * susanDim
+	susanSmoothT = 27
+)
+
+// susanImage generates the shared 32x32 input image.
+func susanImage() []byte {
+	x := uint32(lcgSeed)
+	img := make([]byte, susanPixels)
+	for i := range img {
+		x = lcgNext(x)
+		img[i] = byte(x >> 16)
+	}
+	return img
+}
+
+// susanCommonAsm is the shared prologue (image generation) and epilogue
+// (output-map statistics and syscalls) of the susan kernels.
+const susanCommonGen = `
+	; generate the 32x32 image
+	li	r0, 12345
+	li	r11, 1664525
+	li	r12, 1013904223
+	li	r10, img
+	movi	r1, #0
+ig1:
+	mul	r0, r0, r11
+	add	r0, r0, r12
+	lsr	r2, r0, #16
+	and	r2, r2, #255
+	strb	r2, [r10, r1]
+	addi	r1, r1, #1
+	cmp	r1, #1024
+	blt	ig1
+`
+
+const susanCommonStats = `
+	; stats over outimg: weighted checksum and plain sum
+	li	r10, outimg
+	movi	r1, #0
+	movi	r4, #0			; weighted
+	movi	r5, #0			; plain
+st1:
+	ldrb	r2, [r10, r1]
+	addi	r0, r1, #1
+	mul	r3, r2, r0
+	add	r4, r4, r3
+	add	r5, r5, r2
+	addi	r1, r1, #1
+	cmp	r1, #1024
+	blt	st1
+	mov	r0, r4
+	movi	r7, #4			; SysPutint
+	svc	#0
+	mov	r0, r5
+	svc	#0
+	movi	r7, #1			; SysExit
+	svc	#0
+
+.data
+.align 4
+img:	.space 1024
+outimg:	.space 1024
+`
+
+// susanUsanSource builds the corner/edge kernel: USAN count over a
+// (2r+1)^2 window excluding the nucleus; the output map holds 1 where the
+// count is <= gmax.
+func susanUsanSource(radius, thresh, gmax int) string {
+	lo, hi := radius, susanDim-radius
+	return fmt.Sprintf(`
+; susan usan kernel: radius %d, brightness threshold %d, geometric max %d
+%s
+	movi	r4, #%d			; y
+yloop:
+	cmp	r4, #%d
+	bge	done
+	movi	r5, #%d			; x
+xloop:
+	cmp	r5, #%d
+	bge	ynext
+	lsl	r6, r4, #5
+	add	r6, r6, r5		; nucleus index
+	li	r10, img
+	ldrb	r8, [r10, r6]		; nucleus brightness
+	movi	r9, #0			; usan count
+	movi	r12, #-%d		; dy
+dyloop:
+	cmp	r12, #%d
+	bgt	usan_done
+	movi	r0, #-%d		; dx
+dxloop:
+	cmp	r0, #%d
+	bgt	dynext
+	cmp	r12, #0			; skip the nucleus itself
+	bne	sample
+	cmp	r0, #0
+	beq	dxnext
+sample:
+	lsl	r1, r12, #5
+	add	r1, r1, r0
+	add	r1, r1, r6
+	ldrb	r2, [r10, r1]
+	sub	r3, r2, r8
+	asr	r1, r3, #31		; abs
+	eor	r3, r3, r1
+	sub	r3, r3, r1
+	cmp	r3, #%d
+	bgt	dxnext
+	addi	r9, r9, #1
+dxnext:
+	addi	r0, r0, #1
+	b	dxloop
+dynext:
+	addi	r12, r12, #1
+	b	dyloop
+usan_done:
+	movi	r2, #0
+	cmp	r9, #%d
+	bgt	store
+	movi	r2, #1
+store:
+	li	r1, outimg
+	strb	r2, [r1, r6]
+	addi	r5, r5, #1
+	b	xloop
+ynext:
+	addi	r4, r4, #1
+	b	yloop
+done:
+%s`, radius, thresh, gmax, susanCommonGen,
+		lo, hi, lo, hi,
+		radius, radius, radius, radius,
+		thresh, gmax, susanCommonStats)
+}
+
+func susanUsanOracle(radius, thresh, gmax int) []byte {
+	img := susanImage()
+	out := make([]byte, susanPixels)
+	for y := radius; y < susanDim-radius; y++ {
+		for x := radius; x < susanDim-radius; x++ {
+			c := img[y*susanDim+x]
+			usan := 0
+			for dy := -radius; dy <= radius; dy++ {
+				for dx := -radius; dx <= radius; dx++ {
+					if dy == 0 && dx == 0 {
+						continue
+					}
+					d := int(img[(y+dy)*susanDim+x+dx]) - int(c)
+					if d < 0 {
+						d = -d
+					}
+					if d <= thresh {
+						usan++
+					}
+				}
+			}
+			if usan <= gmax {
+				out[y*susanDim+x] = 1
+			}
+		}
+	}
+	return susanStats(out)
+}
+
+func susanSmoothSource() string {
+	return fmt.Sprintf(`
+; susan smoothing: similarity-gated 3x3 mean, borders copied through.
+%s
+	; outimg starts as a copy of img (borders keep input values)
+	li	r10, img
+	li	r9, outimg
+	movi	r1, #0
+cp1:
+	ldrb	r2, [r10, r1]
+	strb	r2, [r9, r1]
+	addi	r1, r1, #1
+	cmp	r1, #1024
+	blt	cp1
+
+	movi	r4, #1			; y
+yloop:
+	cmp	r4, #31
+	bge	done
+	movi	r5, #1			; x
+xloop:
+	cmp	r5, #31
+	bge	ynext
+	lsl	r6, r4, #5
+	add	r6, r6, r5
+	li	r10, img
+	ldrb	r8, [r10, r6]
+	movi	r9, #0			; sum
+	movi	r11, #0			; count
+	movi	r12, #-1		; dy
+dyloop:
+	cmp	r12, #1
+	bgt	win_done
+	movi	r0, #-1			; dx
+dxloop:
+	cmp	r0, #1
+	bgt	dynext
+	lsl	r1, r12, #5
+	add	r1, r1, r0
+	add	r1, r1, r6
+	ldrb	r2, [r10, r1]
+	sub	r3, r2, r8
+	asr	r1, r3, #31		; abs
+	eor	r3, r3, r1
+	sub	r3, r3, r1
+	cmp	r3, #%d
+	bgt	dxnext
+	add	r9, r9, r2
+	addi	r11, r11, #1
+dxnext:
+	addi	r0, r0, #1
+	b	dxloop
+dynext:
+	addi	r12, r12, #1
+	b	dyloop
+win_done:
+	udiv	r2, r9, r11
+	li	r1, outimg
+	strb	r2, [r1, r6]
+	addi	r5, r5, #1
+	b	xloop
+ynext:
+	addi	r4, r4, #1
+	b	yloop
+done:
+%s`, susanCommonGen, susanSmoothT, susanCommonStats)
+}
+
+func susanSmoothOracle() []byte {
+	img := susanImage()
+	out := make([]byte, susanPixels)
+	copy(out, img)
+	for y := 1; y < susanDim-1; y++ {
+		for x := 1; x < susanDim-1; x++ {
+			c := img[y*susanDim+x]
+			sum, cnt := uint32(0), uint32(0)
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					v := img[(y+dy)*susanDim+x+dx]
+					d := int(v) - int(c)
+					if d < 0 {
+						d = -d
+					}
+					if d <= susanSmoothT {
+						sum += uint32(v)
+						cnt++
+					}
+				}
+			}
+			out[y*susanDim+x] = byte(sum / cnt)
+		}
+	}
+	return susanStats(out)
+}
+
+func susanStats(out []byte) []byte {
+	var weighted, plain uint32
+	for i, v := range out {
+		weighted += uint32(v) * uint32(i+1)
+		plain += uint32(v)
+	}
+	b := putint(nil, int32(weighted))
+	return putint(b, int32(plain))
+}

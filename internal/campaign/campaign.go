@@ -1,0 +1,422 @@
+// Package campaign implements the statistical fault injection engine
+// used by both assessment flows: golden run, snapshotting, differential
+// replay of each faulty run from the snapshot nearest its injection
+// instant, parallel execution across workers, and fault-effect
+// classification at either observation point (core pinout or software
+// observation point).
+//
+// The engine is model-agnostic: any simulator satisfying Simulator can be
+// assessed, which is exactly what makes the paper's RTL vs
+// microarchitecture comparison point-to-point.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/refsim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Simulator is the uniform view of one simulation model instance.
+type Simulator interface {
+	// Step advances one cycle; Run advances until the program stops or
+	// maxCycles is reached.
+	Step() bool
+	Run(maxCycles uint64) refsim.StopReason
+
+	Cycles() uint64
+	StopReason() refsim.StopReason
+	Output() []byte
+
+	// SetPinout attaches (or detaches, with nil) a pinout capture.
+	SetPinout(p *trace.Pinout)
+
+	// Bits returns the size of an injection target's bit space (0 if
+	// the model does not expose the target); Flip injects one bit flip.
+	Bits(t fault.Target) int
+	Flip(t fault.Target, bit int) error
+
+	// Snapshot captures full state; Restore rewinds to a capture taken
+	// by any instance built from the same factory.
+	Snapshot() Snapshot
+	Restore(s Snapshot)
+
+	// SetL1DAccessHook observes D-cache accesses (set, way) during the
+	// golden run; L1DLineOfBit maps an L1D data bit to its line. Both
+	// support injection-time advancement.
+	SetL1DAccessHook(fn func(set, way int))
+	L1DLineOfBit(bit int) (set, way int)
+}
+
+// Snapshot is an opaque state capture.
+type Snapshot interface{}
+
+// Factory builds a fresh simulator instance at cycle zero.
+type Factory func() (Simulator, error)
+
+// ObsPoint selects the observation point for classification.
+type ObsPoint int
+
+// Observation points.
+const (
+	// ObsPinout compares core-boundary transactions (Safeness flow).
+	ObsPinout ObsPoint = iota + 1
+	// ObsSOP compares the program output at the end of the run (AVF
+	// flow via the software observation point).
+	ObsSOP
+)
+
+func (o ObsPoint) String() string {
+	switch o {
+	case ObsPinout:
+		return "pinout"
+	case ObsSOP:
+		return "sop"
+	default:
+		return fmt.Sprintf("ObsPoint(%d)", int(o))
+	}
+}
+
+// Class is a fault-effect class. The paper's headline metric groups
+// everything but Masked as Unsafe; the finer classes are reported too.
+type Class int
+
+// Fault-effect classes.
+const (
+	ClassMasked   Class = iota + 1 // no deviation at the observation point
+	ClassMismatch                  // pinout trace deviation
+	ClassSDC                       // silent data corruption at the SOP
+	ClassCrash                     // simulator stopped with a fault
+	ClassHang                      // exceeded the hang budget
+	numClasses
+)
+
+var classNames = map[Class]string{
+	ClassMasked: "masked", ClassMismatch: "mismatch", ClassSDC: "sdc",
+	ClassCrash: "crash", ClassHang: "hang",
+}
+
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Config parameterises one campaign.
+type Config struct {
+	Injections int
+	Seed       int64
+	Target     fault.Target
+	TimeDist   fault.TimeDist
+
+	// Window is the number of cycles simulated after the injection
+	// before the run is terminated (the paper's 20k-cycle timeout).
+	// Zero runs every faulty simulation to the end of the program.
+	Window uint64
+
+	Obs         ObsPoint
+	CompareMode trace.CompareMode
+
+	// AdvanceToUse enables the RTL flow's optimisation (§IV.B): L1D
+	// injections are postponed to just before the faulted line's next
+	// access in the golden run, raising the chance the effect is
+	// observable inside the window.
+	AdvanceToUse bool
+
+	// Snapshots along the golden run (differential injection). Zero
+	// selects a default of ~64 snapshots.
+	SnapshotEvery uint64
+
+	// Workers bounds campaign parallelism; zero uses GOMAXPROCS.
+	Workers int
+
+	// Confidence level for the result interval (default 0.99).
+	Confidence float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Confidence == 0 {
+		c.Confidence = 0.99
+	}
+	if c.CompareMode == 0 {
+		c.CompareMode = trace.CompareContent
+	}
+	if c.TimeDist == 0 {
+		c.TimeDist = fault.DistNormal
+	}
+	if c.Obs == 0 {
+		c.Obs = ObsPinout
+	}
+}
+
+// RunOutcome captures one faulty run.
+type RunOutcome struct {
+	Spec     fault.Spec
+	Class    Class
+	EndCycle uint64
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	Config Config
+
+	GoldenCycles uint64
+	GoldenTxns   int
+
+	Counts map[Class]int
+
+	// Unsafeness is the paper's vulnerability metric: the fraction of
+	// injections that were not masked, with its Wilson interval.
+	Unsafeness stats.Proportion
+
+	Outcomes []RunOutcome
+
+	Elapsed       time.Duration
+	AvgSecPerRun  float64
+	GoldenElapsed time.Duration
+}
+
+// Run executes a campaign.
+func Run(factory Factory, cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	if cfg.Injections <= 0 {
+		return nil, fmt.Errorf("campaign: Injections must be positive")
+	}
+	if cfg.Obs == ObsSOP && cfg.Window > 0 {
+		return nil, fmt.Errorf("campaign: the software observation point requires run-to-end (Window=0)")
+	}
+
+	// ---------------------------------------------------- golden run
+	golden, err := factory()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: golden simulator: %w", err)
+	}
+	goldenPin := &trace.Pinout{}
+	golden.SetPinout(goldenPin)
+
+	// Record the L1D access timeline when advancement is requested.
+	var timeline map[[2]int][]uint64
+	if cfg.AdvanceToUse {
+		timeline = make(map[[2]int][]uint64)
+		golden.SetL1DAccessHook(func(set, way int) {
+			k := [2]int{set, way}
+			timeline[k] = append(timeline[k], golden.Cycles())
+		})
+	}
+
+	gStart := time.Now()
+	snaps, err := goldenRunWithSnapshots(golden, cfg.SnapshotEvery)
+	if err != nil {
+		return nil, err
+	}
+	gElapsed := time.Since(gStart)
+	golden.SetL1DAccessHook(nil)
+	stop := golden.StopReason()
+	if stop != refsim.StopExit && stop != refsim.StopHalt {
+		return nil, fmt.Errorf("campaign: golden run stopped with %v", stop)
+	}
+	goldenCycles := golden.Cycles()
+	goldenOut := append([]byte(nil), golden.Output()...)
+	if goldenCycles < 16 {
+		return nil, fmt.Errorf("campaign: golden run too short (%d cycles)", goldenCycles)
+	}
+
+	// ---------------------------------------------------- fault plan
+	bits := golden.Bits(cfg.Target)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	specs, err := fault.Plan(cfg.Injections, cfg.Target, bits, goldenCycles, cfg.TimeDist, rng)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.AdvanceToUse && cfg.Target == fault.TargetL1D {
+		for i := range specs {
+			specs[i].Cycle = advance(specs[i], timeline, golden)
+		}
+	}
+
+	// ------------------------------------------------------- replays
+	hangBudget := goldenCycles*2 + 50_000
+	outcomes := make([]RunOutcome, len(specs))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	errs := make([]error, cfg.Workers)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			sim, err := factory()
+			if err != nil {
+				errs[worker] = err
+				return
+			}
+			for i := range jobs {
+				oc, err := oneRun(sim, snaps, specs[i], cfg, goldenPin, goldenOut, goldenCycles, hangBudget)
+				if err != nil {
+					errs[worker] = err
+					return
+				}
+				outcomes[i] = oc
+			}
+		}(w)
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	elapsed := time.Since(start)
+
+	// --------------------------------------------------- aggregation
+	res := &Result{
+		Config:        cfg,
+		GoldenCycles:  goldenCycles,
+		GoldenTxns:    goldenPin.Len(),
+		Counts:        make(map[Class]int, int(numClasses)),
+		Outcomes:      outcomes,
+		Elapsed:       elapsed,
+		AvgSecPerRun:  elapsed.Seconds() / float64(len(specs)),
+		GoldenElapsed: gElapsed,
+	}
+	unsafe := 0
+	for _, oc := range outcomes {
+		res.Counts[oc.Class]++
+		if oc.Class != ClassMasked {
+			unsafe++
+		}
+	}
+	res.Unsafeness, err = stats.EstimateProportion(unsafe, len(outcomes), cfg.Confidence)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// goldenRunWithSnapshots runs to completion capturing periodic snapshots,
+// including one at cycle 0.
+func goldenRunWithSnapshots(sim Simulator, every uint64) ([]snapAt, error) {
+	snaps := []snapAt{{cycle: sim.Cycles(), snap: sim.Snapshot()}}
+	if every == 0 {
+		every = 2048
+	}
+	next := sim.Cycles() + every
+	for sim.Step() {
+		if sim.Cycles() >= next {
+			snaps = append(snaps, snapAt{cycle: sim.Cycles(), snap: sim.Snapshot()})
+			next = sim.Cycles() + every
+		}
+	}
+	return snaps, nil
+}
+
+type snapAt struct {
+	cycle uint64
+	snap  Snapshot
+}
+
+// nearestSnap returns the latest snapshot at or before cycle.
+func nearestSnap(snaps []snapAt, cycle uint64) snapAt {
+	best := snaps[0]
+	for _, s := range snaps[1:] {
+		if s.cycle <= cycle {
+			best = s
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// advance implements injection-time advancement: move the instant to just
+// before the faulted line's next access in the golden timeline.
+func advance(s fault.Spec, timeline map[[2]int][]uint64, sim Simulator) uint64 {
+	set, way := sim.L1DLineOfBit(s.Bit)
+	accesses := timeline[[2]int{set, way}]
+	for _, c := range accesses {
+		if c > s.Cycle {
+			return c - 1
+		}
+	}
+	return s.Cycle // never accessed again: inject at the sampled instant
+}
+
+// oneRun replays a single faulty simulation and classifies it.
+func oneRun(sim Simulator, snaps []snapAt, spec fault.Spec, cfg Config,
+	goldenPin *trace.Pinout, goldenOut []byte, goldenCycles, hangBudget uint64) (RunOutcome, error) {
+
+	base := nearestSnap(snaps, spec.Cycle)
+	sim.Restore(base.snap)
+	pin := &trace.Pinout{}
+	sim.SetPinout(pin)
+
+	// Replay up to the injection instant (identical to golden).
+	for sim.Cycles() < spec.Cycle {
+		if !sim.Step() {
+			return RunOutcome{}, fmt.Errorf("campaign: replay stopped at %d before injection at %d (%v)",
+				sim.Cycles(), spec.Cycle, sim.StopReason())
+		}
+	}
+	if err := sim.Flip(spec.Target, spec.Bit); err != nil {
+		return RunOutcome{}, err
+	}
+
+	// Simulate the observation window.
+	limit := hangBudget
+	if cfg.Window > 0 {
+		limit = spec.Cycle + cfg.Window
+	}
+	stop := sim.Run(limit)
+
+	oc := RunOutcome{Spec: spec, EndCycle: sim.Cycles()}
+	switch {
+	case stop == refsim.StopFault:
+		oc.Class = ClassCrash
+	case stop == refsim.StopLimit && cfg.Window == 0:
+		oc.Class = ClassHang
+	case cfg.Window > 0:
+		// Timed run (window expiry or early program end): compare the
+		// pinout over the full observation window either way — the
+		// golden core keeps emitting transactions after a premature
+		// exit, and their absence is a mismatch on real pins too.
+		d := trace.CompareWindow(goldenPin, pin, base.cycle, limit, cfg.CompareMode)
+		if !d.Match {
+			oc.Class = ClassMismatch
+		} else {
+			oc.Class = ClassMasked
+		}
+	case cfg.Obs == ObsSOP:
+		if string(sim.Output()) != string(goldenOut) {
+			oc.Class = ClassSDC
+		} else {
+			oc.Class = ClassMasked
+		}
+	default:
+		// Run-to-end pinout: compare everything both runs produced.
+		end := sim.Cycles()
+		if goldenCycles > end {
+			end = goldenCycles
+		}
+		d := trace.CompareWindow(goldenPin, pin, base.cycle, end, cfg.CompareMode)
+		if !d.Match {
+			oc.Class = ClassMismatch
+		} else {
+			oc.Class = ClassMasked
+		}
+	}
+	return oc, nil
+}

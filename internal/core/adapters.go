@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/microarch"
+	"repro/internal/refsim"
+	"repro/internal/rtlcore"
+	"repro/internal/trace"
+)
+
+// maSim adapts the microarchitectural model to the campaign interface.
+// Snapshots are self-contained clones, so Restore simply swaps the live
+// CPU for a fresh clone of the capture; this also makes snapshots
+// shareable across worker instances.
+type maSim struct {
+	cpu *microarch.CPU
+}
+
+var _ campaign.Simulator = (*maSim)(nil)
+
+func (s *maSim) Step() bool                             { return s.cpu.Step() }
+func (s *maSim) Run(max uint64) refsim.StopReason       { return s.cpu.Run(max) }
+func (s *maSim) Cycles() uint64                         { return s.cpu.Cycles }
+func (s *maSim) StopReason() refsim.StopReason          { return s.cpu.Stop }
+func (s *maSim) Output() []byte                         { return s.cpu.Output }
+func (s *maSim) SetPinout(p *trace.Pinout)              { s.cpu.Pinout = p }
+func (s *maSim) SetL1DAccessHook(fn func(set, way int)) { s.cpu.L1D.AccessHook = fn }
+func (s *maSim) L1DLineOfBit(bit int) (int, int)        { return s.cpu.L1D.LineOfDataBit(bit) }
+
+func (s *maSim) Bits(t fault.Target) int {
+	switch t {
+	case fault.TargetRF:
+		return s.cpu.RFBits()
+	case fault.TargetL1D:
+		return s.cpu.L1DBits()
+	default:
+		return 0 // pipeline latches are not modelled at this level
+	}
+}
+
+func (s *maSim) Flip(t fault.Target, bit int) error {
+	switch t {
+	case fault.TargetRF:
+		return s.cpu.FlipRFBit(bit)
+	case fault.TargetL1D:
+		return s.cpu.FlipL1DBit(bit)
+	default:
+		return fmt.Errorf("core: target %v does not exist at the microarchitectural level", t)
+	}
+}
+
+func (s *maSim) Snapshot() campaign.Snapshot { return s.cpu.Clone() }
+
+func (s *maSim) Restore(snap campaign.Snapshot) {
+	base, ok := snap.(*microarch.CPU)
+	if !ok {
+		panic("core: foreign snapshot passed to microarch simulator")
+	}
+	s.cpu = base.Clone()
+}
+
+// rtlSim adapts the RTL core. Snapshots restore in place (the kernel
+// state layout is identical across instances built from the same
+// program and configuration).
+type rtlSim struct {
+	core *rtlcore.Core
+}
+
+var _ campaign.Simulator = (*rtlSim)(nil)
+
+func (s *rtlSim) Step() bool                             { return s.core.Step() }
+func (s *rtlSim) Run(max uint64) refsim.StopReason       { return s.core.Run(max) }
+func (s *rtlSim) Cycles() uint64                         { return s.core.Cycles() }
+func (s *rtlSim) StopReason() refsim.StopReason          { return s.core.Stop }
+func (s *rtlSim) Output() []byte                         { return s.core.Output }
+func (s *rtlSim) SetPinout(p *trace.Pinout)              { s.core.Pinout = p }
+func (s *rtlSim) SetL1DAccessHook(fn func(set, way int)) { s.core.SetL1DAccessHook(fn) }
+func (s *rtlSim) L1DLineOfBit(bit int) (int, int)        { return s.core.L1DLineOfBit(bit) }
+
+func (s *rtlSim) Bits(t fault.Target) int {
+	switch t {
+	case fault.TargetRF:
+		return s.core.RFBits()
+	case fault.TargetL1D:
+		return s.core.L1DBits()
+	case fault.TargetLatches:
+		return s.core.LatchBits()
+	default:
+		return 0
+	}
+}
+
+func (s *rtlSim) Flip(t fault.Target, bit int) error {
+	switch t {
+	case fault.TargetRF:
+		return s.core.FlipRFBit(bit)
+	case fault.TargetL1D:
+		return s.core.FlipL1DBit(bit)
+	case fault.TargetLatches:
+		return s.core.FlipLatchBit(bit)
+	default:
+		return fmt.Errorf("core: unknown target %v", t)
+	}
+}
+
+func (s *rtlSim) Snapshot() campaign.Snapshot { return s.core.Snapshot() }
+
+func (s *rtlSim) Restore(snap campaign.Snapshot) {
+	st, ok := snap.(*rtlcore.Snapshot)
+	if !ok {
+		panic("core: foreign snapshot passed to RTL simulator")
+	}
+	s.core.Restore(st)
+}

@@ -1,0 +1,152 @@
+// Package core is the paper's primary contribution turned into a
+// library: a cross-level reliability-assessment framework that runs the
+// same statistical fault-injection campaign, with equivalent hardware
+// configurations, identical workload binaries and identical observation
+// points, on two abstraction levels of the same CPU — the
+// microarchitectural model (GeFIN/gem5 analogue) and the RTL model
+// (Yogitech/NCSIM analogue) — and compares the resulting vulnerability
+// estimates.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/campaign"
+	"repro/internal/microarch"
+	"repro/internal/rtlcore"
+)
+
+// Model selects the abstraction level.
+type Model int
+
+// Abstraction levels under comparison.
+const (
+	ModelMicroarch Model = iota + 1
+	ModelRTL
+)
+
+var modelNames = map[Model]string{
+	ModelMicroarch: "microarch",
+	ModelRTL:       "rtl",
+}
+
+func (m Model) String() string {
+	if s, ok := modelNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// ParseModel converts a CLI name to a Model.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "microarch", "gefin", "ma":
+		return ModelMicroarch, nil
+	case "rtl":
+		return ModelRTL, nil
+	}
+	return 0, fmt.Errorf("core: unknown model %q (microarch, rtl)", s)
+}
+
+// Setup is an equivalent configuration pair: the same cache geometries
+// and memory latency applied to both abstraction levels (§III.C's
+// "equivalent setup in all possible details").
+type Setup struct {
+	Name string
+	MA   microarch.Config
+	RTL  rtlcore.Config
+}
+
+// DefaultSetup returns TABLE I's configuration on both levels (32 KiB
+// 4-way L1 caches).
+func DefaultSetup() Setup {
+	ma := microarch.DefaultConfig()
+	return Setup{Name: "tableI", MA: ma, RTL: rtlFrom(ma)}
+}
+
+// CampaignSetup returns the scaled-cache equivalent configuration used by
+// the fault-injection campaigns (see DESIGN.md on cache scaling).
+func CampaignSetup() Setup {
+	ma := microarch.CampaignConfig()
+	return Setup{Name: "campaign", MA: ma, RTL: rtlFrom(ma)}
+}
+
+// rtlFrom derives the RTL configuration from the microarchitectural one,
+// guaranteeing the two levels agree on every shared parameter.
+func rtlFrom(ma microarch.Config) rtlcore.Config {
+	return rtlcore.Config{
+		L1I:        ma.L1I,
+		L1D:        ma.L1D,
+		MemLatency: ma.MemLatency,
+	}
+}
+
+// Validate checks that the two halves of the setup are still equivalent.
+func (s Setup) Validate() error {
+	if err := s.MA.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case s.MA.L1I != s.RTL.L1I:
+		return fmt.Errorf("core: setup %q: L1I differs between levels", s.Name)
+	case s.MA.L1D != s.RTL.L1D:
+		return fmt.Errorf("core: setup %q: L1D differs between levels", s.Name)
+	case s.MA.MemLatency != s.RTL.MemLatency:
+		return fmt.Errorf("core: setup %q: memory latency differs between levels", s.Name)
+	}
+	return nil
+}
+
+// NewSimulator builds one simulator of the requested model for a program
+// under this setup, behind the campaign engine's uniform interface.
+func NewSimulator(m Model, p *asm.Program, s Setup) (campaign.Simulator, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch m {
+	case ModelMicroarch:
+		cpu, err := microarch.New(p, s.MA)
+		if err != nil {
+			return nil, err
+		}
+		return &maSim{cpu: cpu}, nil
+	case ModelRTL:
+		c, err := rtlcore.New(p, s.RTL)
+		if err != nil {
+			return nil, err
+		}
+		return &rtlSim{core: c}, nil
+	}
+	return nil, fmt.Errorf("core: unknown model %v", m)
+}
+
+// Factory returns a campaign factory for (model, program, setup).
+func Factory(m Model, p *asm.Program, s Setup) campaign.Factory {
+	return func() (campaign.Simulator, error) {
+		return NewSimulator(m, p, s)
+	}
+}
+
+// TableIRow is one attribute of the paper's TABLE I.
+type TableIRow struct {
+	Attribute string
+	Value     string
+}
+
+// TableI renders the microarchitectural configuration as the paper's
+// TABLE I rows.
+func TableI(s Setup) []TableIRow {
+	c := s.MA
+	cacheStr := func(cc interface{ String() string }) string { return cc.String() }
+	_ = cacheStr
+	return []TableIRow{
+		{"ISA / Core", "AL32 (ARM-inspired) / Out-of-order"},
+		{"Data cache", fmt.Sprintf("%dKB %d-way", c.L1D.SizeBytes/1024, c.L1D.Ways)},
+		{"Instruction cache", fmt.Sprintf("%dKB %d-way", c.L1I.SizeBytes/1024, c.L1I.Ways)},
+		{"Physical Register File", fmt.Sprintf("%d registers", c.NumPhysRegs)},
+		{"Instruction queue", fmt.Sprintf("%d", c.IQSize)},
+		{"Reorder buffer", fmt.Sprintf("%d", c.ROBSize)},
+		{"Fetch/Execute/Writeback width", fmt.Sprintf("%d/%d/%d", c.FetchWidth, c.IssueWidth, c.WritebackWidth)},
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/refsim"
+	"repro/internal/trace"
+)
+
+func TestSetupsAreEquivalent(t *testing.T) {
+	for _, s := range []Setup{DefaultSetup(), CampaignSetup()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("setup %s: %v", s.Name, err)
+		}
+	}
+	// Breaking equivalence must be detected.
+	s := DefaultSetup()
+	s.RTL.MemLatency++
+	if err := s.Validate(); err == nil {
+		t.Error("diverged latency accepted")
+	}
+	s = DefaultSetup()
+	s.RTL.L1D.SizeBytes *= 2
+	if err := s.Validate(); err == nil {
+		t.Error("diverged L1D accepted")
+	}
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	rows := TableI(DefaultSetup())
+	joined := ""
+	for _, r := range rows {
+		joined += r.Attribute + "=" + r.Value + ";"
+	}
+	for _, want := range []string{
+		"Out-of-order", "32KB 4-way", "56 registers", "=32;", "=40;", "2/4/4",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("TABLE I lacks %q in %q", want, joined)
+		}
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for s, want := range map[string]Model{"microarch": ModelMicroarch, "ma": ModelMicroarch, "gefin": ModelMicroarch, "rtl": ModelRTL} {
+		got, err := ParseModel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseModel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseModel("spice"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+// TestAdaptersAgreeArchitecturally runs one benchmark through both
+// adapters under the same setup; program outputs must be identical.
+func TestAdaptersAgreeArchitecturally(t *testing.T) {
+	w, err := bench.ByName("stringsearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := CampaignSetup()
+	var outs [2]string
+	for i, m := range []Model{ModelMicroarch, ModelRTL} {
+		sim, err := NewSimulator(m, p, setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetPinout(&trace.Pinout{})
+		if stop := sim.Run(1 << 32); stop != refsim.StopExit {
+			t.Fatalf("%v: stop %v", m, stop)
+		}
+		outs[i] = string(sim.Output())
+	}
+	if outs[0] != outs[1] {
+		t.Error("adapters disagree on program output")
+	}
+	if outs[0] != string(w.Expected()) {
+		t.Error("adapters disagree with the oracle")
+	}
+}
+
+// TestAdapterSnapshotPortability: a snapshot captured by one instance
+// must restore into a fresh instance of the same factory (the campaign
+// worker pattern) on both models.
+func TestAdapterSnapshotPortability(t *testing.T) {
+	w, err := bench.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := CampaignSetup()
+	for _, m := range []Model{ModelMicroarch, ModelRTL} {
+		t.Run(m.String(), func(t *testing.T) {
+			a, err := NewSimulator(m, p, setup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3000; i++ {
+				a.Step()
+			}
+			snap := a.Snapshot()
+			a.Run(1 << 32)
+
+			b, err := NewSimulator(m, p, setup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Restore(snap)
+			if b.Cycles() != 3000 {
+				t.Fatalf("restored cycles = %d", b.Cycles())
+			}
+			b.Run(1 << 32)
+			if a.Cycles() != b.Cycles() || string(a.Output()) != string(b.Output()) {
+				t.Errorf("cross-instance replay diverged: %d vs %d cycles", a.Cycles(), b.Cycles())
+			}
+		})
+	}
+}
+
+func TestLatchBitsOnlyAtRTL(t *testing.T) {
+	w, err := bench.ByName("qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := NewSimulator(ModelMicroarch, p, CampaignSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtl, err := NewSimulator(ModelRTL, p, CampaignSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Bits(fault.TargetLatches) != 0 {
+		t.Error("microarch claims latch bits")
+	}
+	if rtl.Bits(fault.TargetLatches) == 0 {
+		t.Error("rtl has no latch bits")
+	}
+	if err := ma.Flip(fault.TargetLatches, 0); err == nil {
+		t.Error("microarch latch flip accepted")
+	}
+	// RF bit spaces intentionally differ (56 physical vs 16
+	// architectural registers) — the substitution DESIGN.md documents.
+	if ma.Bits(fault.TargetRF) != 56*32 {
+		t.Errorf("microarch RF bits = %d", ma.Bits(fault.TargetRF))
+	}
+	if rtl.Bits(fault.TargetRF) != 16*32 {
+		t.Errorf("rtl RF bits = %d", rtl.Bits(fault.TargetRF))
+	}
+	// L1D spaces agree exactly under an equivalent setup.
+	if ma.Bits(fault.TargetL1D) != rtl.Bits(fault.TargetL1D) {
+		t.Error("L1D bit spaces differ between equivalent setups")
+	}
+}
+
+func TestRunCampaignUnknownWorkload(t *testing.T) {
+	cfg := campaign.Config{Injections: 1, Target: fault.TargetRF, Window: 100}
+	if _, err := RunCampaign("nope", ModelMicroarch, CampaignSetup(), cfg); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFigureSmall(t *testing.T) {
+	p := DefaultParams()
+	p.Injections = 15
+	p.Benches = []string{"sha"}
+	fig, err := p.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 || len(fig.Benches) != 1 {
+		t.Fatalf("figure shape: %d series, %d benches", len(fig.Series), len(fig.Benches))
+	}
+	for _, s := range fig.Series {
+		if s.Vuln["sha"].N != 15 {
+			t.Errorf("series %s has N=%d", s.Label, s.Vuln["sha"].N)
+		}
+	}
+}

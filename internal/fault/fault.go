@@ -1,0 +1,120 @@
+// Package fault defines the transient-fault model of the study: single
+// bit flips in storage structures, sampled uniformly over bits and over
+// time with the paper's normally-distributed injection instants (§IV).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Target identifies the structure a fault is injected into.
+type Target int
+
+// Injection targets. RF and L1D are the paper's campaign targets and
+// exist on both abstraction levels; Latches (pipeline and control state)
+// exists only at RTL — the capability asymmetry of §II.B.
+const (
+	TargetRF Target = iota + 1
+	TargetL1D
+	TargetLatches
+)
+
+var targetNames = map[Target]string{
+	TargetRF:      "register-file",
+	TargetL1D:     "l1d-cache",
+	TargetLatches: "pipeline-latches",
+}
+
+func (t Target) String() string {
+	if s, ok := targetNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Target(%d)", int(t))
+}
+
+// ParseTarget converts a CLI name to a Target.
+func ParseTarget(s string) (Target, error) {
+	switch s {
+	case "rf", "register-file":
+		return TargetRF, nil
+	case "l1d", "l1d-cache":
+		return TargetL1D, nil
+	case "latches", "pipeline-latches":
+		return TargetLatches, nil
+	}
+	return 0, fmt.Errorf("fault: unknown target %q (rf, l1d, latches)", s)
+}
+
+// TimeDist selects the distribution of injection instants over the
+// run's execution window.
+type TimeDist int
+
+// Injection-time distributions. The paper injects "on a normal
+// distribution"; uniform sampling is provided for ablations.
+const (
+	DistNormal TimeDist = iota + 1
+	DistUniform
+)
+
+func (d TimeDist) String() string {
+	switch d {
+	case DistNormal:
+		return "normal"
+	case DistUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("TimeDist(%d)", int(d))
+	}
+}
+
+// Spec is one planned injection: flip Bit of the target structure at the
+// end of cycle Cycle.
+type Spec struct {
+	Target Target
+	Bit    int
+	Cycle  uint64
+}
+
+// Plan samples n injection specs: bits uniform over the target's bit
+// space, instants over [1, window-1] according to dist. The normal
+// distribution is centred mid-window with sigma = window/6, truncated by
+// resampling (matching the statistical-fault-injection setups the paper
+// builds on).
+func Plan(n int, target Target, bits int, window uint64, dist TimeDist, rng *rand.Rand) ([]Spec, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fault: sample size %d must be positive", n)
+	}
+	if bits <= 0 {
+		return nil, fmt.Errorf("fault: target %v has no bits", target)
+	}
+	if window < 3 {
+		return nil, fmt.Errorf("fault: window %d too small", window)
+	}
+	out := make([]Spec, n)
+	for i := range out {
+		out[i] = Spec{
+			Target: target,
+			Bit:    rng.Intn(bits),
+			Cycle:  sampleCycle(window, dist, rng),
+		}
+	}
+	return out, nil
+}
+
+func sampleCycle(window uint64, dist TimeDist, rng *rand.Rand) uint64 {
+	max := window - 1
+	switch dist {
+	case DistUniform:
+		return 1 + uint64(rng.Int63n(int64(max)))
+	default: // DistNormal
+		mean := float64(window) / 2
+		sigma := float64(window) / 6
+		for {
+			v := rng.NormFloat64()*sigma + mean
+			if v >= 1 && v <= float64(max) {
+				return uint64(v)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParseTarget(t *testing.T) {
+	for s, want := range map[string]Target{
+		"rf": TargetRF, "register-file": TargetRF,
+		"l1d": TargetL1D, "l1d-cache": TargetL1D,
+		"latches": TargetLatches,
+	} {
+		got, err := ParseTarget(s)
+		if err != nil || got != want {
+			t.Errorf("ParseTarget(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseTarget("rob"); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestPlanBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	specs, err := Plan(5000, TargetRF, 56*32, 100000, DistNormal, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if s.Bit < 0 || s.Bit >= 56*32 {
+			t.Fatalf("bit %d out of range", s.Bit)
+		}
+		if s.Cycle < 1 || s.Cycle >= 100000 {
+			t.Fatalf("cycle %d out of range", s.Cycle)
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Plan(0, TargetRF, 10, 100, DistNormal, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Plan(1, TargetRF, 0, 100, DistNormal, rng); err == nil {
+		t.Error("bits=0 accepted")
+	}
+	if _, err := Plan(1, TargetRF, 10, 2, DistNormal, rng); err == nil {
+		t.Error("tiny window accepted")
+	}
+}
+
+// TestNormalDistributionShape: the normal instants must centre around the
+// middle of the window with far fewer samples in the tails than uniform.
+func TestNormalDistributionShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const window = 60000
+	specs, err := Plan(20000, TargetL1D, 1024, window, DistNormal, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	tails := 0
+	for _, s := range specs {
+		sum += float64(s.Cycle)
+		if s.Cycle < window/6 || s.Cycle > window*5/6 {
+			tails++
+		}
+	}
+	mean := sum / float64(len(specs))
+	if math.Abs(mean-window/2) > window/50 {
+		t.Errorf("normal mean = %.0f, want ~%d", mean, window/2)
+	}
+	// P(|X-mu| > 2 sigma) ~ 4.6%; allow slack.
+	if frac := float64(tails) / float64(len(specs)); frac > 0.08 {
+		t.Errorf("normal tails fraction = %.3f, too heavy", frac)
+	}
+}
+
+func TestUniformDistributionShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const window = 60000
+	specs, err := Plan(20000, TargetL1D, 1024, window, DistUniform, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := make([]int, 6)
+	for _, s := range specs {
+		buckets[int(s.Cycle*6/window)]++
+	}
+	for i, b := range buckets {
+		frac := float64(b) / float64(len(specs))
+		if frac < 0.12 || frac > 0.21 {
+			t.Errorf("uniform bucket %d fraction = %.3f", i, frac)
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	a, _ := Plan(100, TargetRF, 512, 1000, DistNormal, rand.New(rand.NewSource(5)))
+	b, _ := Plan(100, TargetRF, 512, 1000, DistNormal, rand.New(rand.NewSource(5)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("plans differ under the same seed")
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if TargetRF.String() != "register-file" || Target(99).String() == "" {
+		t.Error("Target.String")
+	}
+	if DistNormal.String() != "normal" || DistUniform.String() != "uniform" {
+		t.Error("TimeDist.String")
+	}
+}

@@ -1,0 +1,55 @@
+package isa
+
+// EvalALU computes the architectural result of an ALU opcode for operands
+// a (rn or rd for MOVT) and b (rm value or the immediate). It is the single
+// source of truth for AL32 arithmetic used by the functional reference
+// interpreter and the microarchitectural model; the RTL core implements the
+// same semantics independently in its datapath description.
+//
+// Shift amounts are taken modulo 32. Division by zero yields zero, as on
+// ARM cores with hardware divide.
+func EvalALU(op Opcode, a, b uint32) uint32 {
+	switch op {
+	case OpADD, OpADDI:
+		return a + b
+	case OpSUB, OpSUBI:
+		return a - b
+	case OpRSB, OpRSBI:
+		return b - a
+	case OpAND, OpANDI:
+		return a & b
+	case OpORR, OpORRI:
+		return a | b
+	case OpEOR, OpEORI:
+		return a ^ b
+	case OpLSL, OpLSLI:
+		return a << (b & 31)
+	case OpLSR, OpLSRI:
+		return a >> (b & 31)
+	case OpASR, OpASRI:
+		return uint32(int32(a) >> (b & 31))
+	case OpMUL:
+		return a * b
+	case OpUDIV:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case OpSDIV:
+		if b == 0 {
+			return 0
+		}
+		// Match Go semantics for the one overflow case.
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return a
+		}
+		return uint32(int32(a) / int32(b))
+	case OpMOV, OpMOVI:
+		return b
+	case OpMVN:
+		return ^b
+	case OpMOVT:
+		return a&0xFFFF | b<<16
+	}
+	return 0
+}

@@ -1,0 +1,216 @@
+// Package mem provides the sparse, paged physical-memory model shared by
+// every simulator in this repository.
+//
+// Memory is organised as 4 KiB pages allocated on first write. Snapshots
+// are copy-on-write: taking one is O(#pages) pointer copies, and pages are
+// cloned lazily when either side writes. This is what makes differential
+// fault injection (golden-run snapshot + replay from the injection point)
+// cheap enough to run thousands of injections per campaign.
+//
+// All multi-byte accesses are little-endian. Accesses out of range report
+// failure via an ok result rather than an error value because they sit on
+// the simulators' hottest path; callers translate !ok into a memory-fault
+// outcome.
+package mem
+
+import "sync/atomic"
+
+// Page geometry.
+const (
+	PageBits = 12
+	PageSize = 1 << PageBits
+	pageMask = PageSize - 1
+)
+
+type page struct {
+	data [PageSize]byte
+	refs atomic.Int32 // number of Memory instances sharing this page
+}
+
+// Memory is a sparse byte-addressable physical memory of fixed size.
+// The zero value is not usable; call New.
+type Memory struct {
+	pages []*page
+	size  uint32
+}
+
+// New returns a zeroed memory of the given size in bytes. Size is rounded
+// up to a whole number of pages.
+func New(size uint32) *Memory {
+	n := (int(size) + PageSize - 1) / PageSize
+	return &Memory{
+		pages: make([]*page, n),
+		size:  uint32(n) * PageSize,
+	}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint32 { return m.size }
+
+// InRange reports whether the n-byte access at addr lies inside memory.
+func (m *Memory) InRange(addr, n uint32) bool {
+	return addr < m.size && m.size-addr >= n
+}
+
+// writablePage returns the page containing addr, cloning it first if it is
+// shared with a snapshot.
+func (m *Memory) writablePage(addr uint32) *page {
+	idx := addr >> PageBits
+	p := m.pages[idx]
+	if p == nil {
+		p = &page{}
+		p.refs.Store(1)
+		m.pages[idx] = p
+		return p
+	}
+	if p.refs.Load() > 1 {
+		clone := &page{data: p.data}
+		clone.refs.Store(1)
+		p.refs.Add(-1)
+		m.pages[idx] = clone
+		return clone
+	}
+	return p
+}
+
+// LoadByte reads one byte. ok is false when addr is out of range.
+func (m *Memory) LoadByte(addr uint32) (b byte, ok bool) {
+	if addr >= m.size {
+		return 0, false
+	}
+	p := m.pages[addr>>PageBits]
+	if p == nil {
+		return 0, true
+	}
+	return p.data[addr&pageMask], true
+}
+
+// StoreByte writes one byte. ok is false when addr is out of range.
+func (m *Memory) StoreByte(addr uint32, b byte) bool {
+	if addr >= m.size {
+		return false
+	}
+	m.writablePage(addr).data[addr&pageMask] = b
+	return true
+}
+
+// LoadWord reads a little-endian 32-bit word. The address may be
+// unaligned. ok is false when any byte is out of range.
+func (m *Memory) LoadWord(addr uint32) (w uint32, ok bool) {
+	if !m.InRange(addr, 4) {
+		return 0, false
+	}
+	if addr&pageMask <= PageSize-4 {
+		p := m.pages[addr>>PageBits]
+		if p == nil {
+			return 0, true
+		}
+		o := addr & pageMask
+		return uint32(p.data[o]) | uint32(p.data[o+1])<<8 |
+			uint32(p.data[o+2])<<16 | uint32(p.data[o+3])<<24, true
+	}
+	for i := uint32(0); i < 4; i++ {
+		b, _ := m.LoadByte(addr + i)
+		w |= uint32(b) << (8 * i)
+	}
+	return w, true
+}
+
+// StoreWord writes a little-endian 32-bit word. The address may be
+// unaligned. It reports whether the access was in range.
+func (m *Memory) StoreWord(addr, w uint32) bool {
+	if !m.InRange(addr, 4) {
+		return false
+	}
+	if addr&pageMask <= PageSize-4 {
+		p := m.writablePage(addr)
+		o := addr & pageMask
+		p.data[o] = byte(w)
+		p.data[o+1] = byte(w >> 8)
+		p.data[o+2] = byte(w >> 16)
+		p.data[o+3] = byte(w >> 24)
+		return true
+	}
+	for i := uint32(0); i < 4; i++ {
+		m.StoreByte(addr+i, byte(w>>(8*i)))
+	}
+	return true
+}
+
+// LoadBytes copies n bytes starting at addr into a fresh slice. ok is
+// false when the range is out of bounds.
+func (m *Memory) LoadBytes(addr, n uint32) ([]byte, bool) {
+	if !m.InRange(addr, n) {
+		return nil, false
+	}
+	out := make([]byte, n)
+	for i := uint32(0); i < n; i++ {
+		b, _ := m.LoadByte(addr + i)
+		out[i] = b
+	}
+	return out, true
+}
+
+// StoreBytes copies buf into memory starting at addr. It reports whether
+// the whole range was in bounds.
+func (m *Memory) StoreBytes(addr uint32, buf []byte) bool {
+	if !m.InRange(addr, uint32(len(buf))) {
+		return false
+	}
+	for i, b := range buf {
+		m.StoreByte(addr+uint32(i), b)
+	}
+	return true
+}
+
+// FlipBit inverts a single bit of memory (bit 0..7 of the byte at addr).
+// It reports whether addr was in range. This is the memory-array fault
+// injection primitive.
+func (m *Memory) FlipBit(addr uint32, bit uint) bool {
+	b, ok := m.LoadByte(addr)
+	if !ok {
+		return false
+	}
+	return m.StoreByte(addr, b^(1<<(bit&7)))
+}
+
+// Snapshot returns a copy-on-write snapshot of the memory. The snapshot
+// and the original may both be read and written independently afterwards;
+// pages are cloned lazily on first write by either side.
+func (m *Memory) Snapshot() *Memory {
+	s := &Memory{pages: make([]*page, len(m.pages)), size: m.size}
+	for i, p := range m.pages {
+		if p != nil {
+			p.refs.Add(1)
+			s.pages[i] = p
+		}
+	}
+	return s
+}
+
+// Equal reports whether two memories have identical contents. Sizes must
+// match. Shared (or both-nil) pages are skipped without comparison, making
+// golden-vs-faulty comparison after a snapshot cheap.
+func (m *Memory) Equal(o *Memory) bool {
+	if m.size != o.size {
+		return false
+	}
+	for i := range m.pages {
+		a, b := m.pages[i], o.pages[i]
+		if a == b {
+			continue
+		}
+		var za, zb [PageSize]byte
+		pa, pb := &za, &zb
+		if a != nil {
+			pa = &a.data
+		}
+		if b != nil {
+			pb = &b.data
+		}
+		if *pa != *pb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,231 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadStoreByte(t *testing.T) {
+	m := New(8192)
+	if got, ok := m.LoadByte(0); !ok || got != 0 {
+		t.Fatalf("fresh memory LoadByte(0) = %d, %v", got, ok)
+	}
+	if !m.StoreByte(4097, 0xAB) {
+		t.Fatal("StoreByte in range failed")
+	}
+	if got, ok := m.LoadByte(4097); !ok || got != 0xAB {
+		t.Fatalf("LoadByte(4097) = %#x, %v", got, ok)
+	}
+	if m.StoreByte(8192, 1) {
+		t.Error("StoreByte out of range succeeded")
+	}
+	if _, ok := m.LoadByte(8192); ok {
+		t.Error("LoadByte out of range succeeded")
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	m := New(8192)
+	if !m.StoreWord(100, 0xDEADBEEF) {
+		t.Fatal("StoreWord failed")
+	}
+	if got, ok := m.LoadWord(100); !ok || got != 0xDEADBEEF {
+		t.Fatalf("LoadWord = %#x, %v", got, ok)
+	}
+	// Little-endian byte order.
+	if b, _ := m.LoadByte(100); b != 0xEF {
+		t.Errorf("byte 0 = %#x, want 0xEF", b)
+	}
+	if b, _ := m.LoadByte(103); b != 0xDE {
+		t.Errorf("byte 3 = %#x, want 0xDE", b)
+	}
+}
+
+func TestWordAcrossPageBoundary(t *testing.T) {
+	m := New(8192)
+	addr := uint32(PageSize - 2)
+	if !m.StoreWord(addr, 0x11223344) {
+		t.Fatal("StoreWord across boundary failed")
+	}
+	if got, ok := m.LoadWord(addr); !ok || got != 0x11223344 {
+		t.Fatalf("LoadWord across boundary = %#x, %v", got, ok)
+	}
+}
+
+func TestWordOutOfRange(t *testing.T) {
+	m := New(4096)
+	if m.StoreWord(4094, 1) {
+		t.Error("StoreWord straddling end succeeded")
+	}
+	if _, ok := m.LoadWord(4093); ok {
+		t.Error("LoadWord straddling end succeeded")
+	}
+	// Near-overflow addresses must not wrap.
+	if m.StoreWord(0xFFFFFFFE, 1) {
+		t.Error("StoreWord at 0xFFFFFFFE succeeded")
+	}
+}
+
+func TestReadStoreBytes(t *testing.T) {
+	m := New(8192)
+	data := []byte("hello, fault injection")
+	if !m.StoreBytes(4090, data) { // crosses a page boundary
+		t.Fatal("StoreBytes failed")
+	}
+	got, ok := m.LoadBytes(4090, uint32(len(data)))
+	if !ok || string(got) != string(data) {
+		t.Fatalf("LoadBytes = %q, %v", got, ok)
+	}
+	if m.StoreBytes(8190, data) {
+		t.Error("StoreBytes out of range succeeded")
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	m := New(4096)
+	m.StoreByte(10, 0b1010)
+	if !m.FlipBit(10, 0) {
+		t.Fatal("FlipBit failed")
+	}
+	if b, _ := m.LoadByte(10); b != 0b1011 {
+		t.Errorf("after flip bit0: %#b", b)
+	}
+	m.FlipBit(10, 3)
+	if b, _ := m.LoadByte(10); b != 0b0011 {
+		t.Errorf("after flip bit3: %#b", b)
+	}
+	if m.FlipBit(5000, 0) {
+		t.Error("FlipBit out of range succeeded")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	m := New(8192)
+	m.StoreWord(0, 111)
+	m.StoreWord(4096, 222)
+
+	s := m.Snapshot()
+
+	// Write to the original: the snapshot must not observe it.
+	m.StoreWord(0, 999)
+	if got, _ := s.LoadWord(0); got != 111 {
+		t.Errorf("snapshot saw original's write: %d", got)
+	}
+	// Write to the snapshot: the original must not observe it.
+	s.StoreWord(4096, 777)
+	if got, _ := m.LoadWord(4096); got != 222 {
+		t.Errorf("original saw snapshot's write: %d", got)
+	}
+	if got, _ := s.LoadWord(4096); got != 777 {
+		t.Errorf("snapshot lost its own write: %d", got)
+	}
+}
+
+func TestSnapshotChain(t *testing.T) {
+	m := New(4096)
+	m.StoreByte(1, 1)
+	s1 := m.Snapshot()
+	s2 := s1.Snapshot()
+	m.StoreByte(1, 2)
+	s1.StoreByte(1, 3)
+	if b, _ := m.LoadByte(1); b != 2 {
+		t.Errorf("m = %d", b)
+	}
+	if b, _ := s1.LoadByte(1); b != 3 {
+		t.Errorf("s1 = %d", b)
+	}
+	if b, _ := s2.LoadByte(1); b != 1 {
+		t.Errorf("s2 = %d", b)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(8192)
+	b := New(8192)
+	if !a.Equal(b) {
+		t.Error("fresh memories unequal")
+	}
+	a.StoreByte(5000, 9)
+	if a.Equal(b) {
+		t.Error("differing memories equal")
+	}
+	b.StoreByte(5000, 9)
+	if !a.Equal(b) {
+		t.Error("same-content memories unequal")
+	}
+	// A snapshot equals its source until one diverges.
+	s := a.Snapshot()
+	if !a.Equal(s) {
+		t.Error("snapshot unequal to source")
+	}
+	s.StoreByte(0, 1)
+	if a.Equal(s) {
+		t.Error("diverged snapshot equal to source")
+	}
+	if New(4096).Equal(New(8192)) {
+		t.Error("different sizes equal")
+	}
+	// Zero page vs explicitly written zero page.
+	c := New(8192)
+	d := New(8192)
+	c.StoreByte(0, 0) // allocates the page with zero content
+	if !c.Equal(d) {
+		t.Error("zero page != nil page")
+	}
+}
+
+// TestSnapshotQuick: random interleavings of writes to original and
+// snapshot never leak between the two.
+func TestSnapshotQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(16 * PageSize)
+		ref := make([]byte, m.Size())
+		for i := 0; i < 200; i++ {
+			a := uint32(rng.Intn(int(m.Size())))
+			v := byte(rng.Intn(256))
+			m.StoreByte(a, v)
+			ref[a] = v
+		}
+		s := m.Snapshot()
+		refS := make([]byte, len(ref))
+		copy(refS, ref)
+		for i := 0; i < 400; i++ {
+			a := uint32(rng.Intn(int(m.Size())))
+			v := byte(rng.Intn(256))
+			if rng.Intn(2) == 0 {
+				m.StoreByte(a, v)
+				ref[a] = v
+			} else {
+				s.StoreByte(a, v)
+				refS[a] = v
+			}
+		}
+		for i := 0; i < 500; i++ {
+			a := uint32(rng.Intn(int(m.Size())))
+			bm, _ := m.LoadByte(a)
+			bs, _ := s.LoadByte(a)
+			if bm != ref[a] || bs != refS[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeRounding(t *testing.T) {
+	m := New(100)
+	if m.Size() != PageSize {
+		t.Errorf("Size() = %d, want %d", m.Size(), PageSize)
+	}
+	if !m.InRange(PageSize-4, 4) {
+		t.Error("InRange end-of-memory word failed")
+	}
+	if m.InRange(PageSize-3, 4) {
+		t.Error("InRange straddling end succeeded")
+	}
+}

@@ -1,0 +1,808 @@
+package microarch
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/refsim"
+	"repro/internal/trace"
+)
+
+// uop is one instruction in flight.
+type uop struct {
+	seq  uint64
+	pc   uint32
+	inst isa.Inst
+
+	// Renamed operands: physical register indices, -1 when unused.
+	dst    int16 // destination physical register
+	oldDst int16 // previous mapping of the destination arch register
+	dstAr  int8  // destination architectural register (-1 none)
+	src1   int16 // rn (or LR for RET)
+	src2   int16 // rm
+	src3   int16 // store data (rd)
+
+	writesFlags  bool
+	flagProducer *uop      // older in-flight flag writer, nil = use flagsIn
+	flagsIn      isa.Flags // committed flags captured at rename
+
+	// Pipeline status.
+	inIQ     bool
+	issued   bool
+	executed bool
+	squashed bool
+	execDone uint64
+
+	// Results.
+	result uint32
+	flags  isa.Flags
+	taken  bool
+	target uint32
+
+	// Branch prediction state and recovery snapshot.
+	predTaken    bool
+	predTarget   uint32
+	ratSnap      [16]int16
+	flagSnap     *uop
+	flagsInSnap  isa.Flags
+	mispredicted bool
+	recovered    bool
+
+	// Memory.
+	isLoad    bool
+	isStore   bool
+	size      uint8 // 1 or 4
+	addr      uint32
+	addrReady bool
+	storeVal  uint32
+
+	fault string
+}
+
+// fetched is a predecoded instruction waiting in the decode queue.
+type fetched struct {
+	pc         uint32
+	word       uint32
+	bad        bool // fetch failed (out-of-range PC)
+	predTaken  bool
+	predTarget uint32
+}
+
+// CPU is the out-of-order microarchitectural model.
+type CPU struct {
+	cfg Config
+
+	Mem *mem.Memory
+	L1I *cache.Cache
+	L1D *cache.Cache
+
+	// Pinout is the core-boundary observation point; nil disables
+	// capture.
+	Pinout *trace.Pinout
+
+	// Register state. prf is the physical register file (the RF fault
+	// injection target); rat/arat are the speculative and architectural
+	// rename tables.
+	prf       []uint32
+	prfReady  []bool
+	rat       [16]int16
+	arat      [16]int16
+	freeList  []int16
+	archFlags isa.Flags
+
+	specFlagProducer *uop
+
+	// Frontend.
+	fetchPC         uint32
+	fetchStallUntil uint64
+	decq            []fetched
+
+	// Backend queues (program order for rob and lsq).
+	rob []*uop
+	iq  []*uop
+	lsq []*uop
+
+	// Predictors.
+	bimodal []uint8
+	ras     []uint32
+	rasLen  int
+
+	// Functional unit occupancy.
+	lsuBusyUntil uint64
+	mulBusyUntil uint64
+
+	// Progress and outcome.
+	Cycles    uint64
+	Insts     uint64 // committed instructions
+	seq       uint64
+	Output    []byte
+	Stop      refsim.StopReason
+	ExitCode  uint32
+	FaultDesc string
+}
+
+// New builds a CPU with the program loaded and the ABI initial state.
+func New(p *asm.Program, cfg Config) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := p.NewImage()
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := cache.New(cfg.L1I, m)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := cache.New(cfg.L1D, m)
+	if err != nil {
+		return nil, err
+	}
+	c := &CPU{
+		cfg:      cfg,
+		Mem:      m,
+		L1I:      l1i,
+		L1D:      l1d,
+		prf:      make([]uint32, cfg.NumPhysRegs),
+		prfReady: make([]bool, cfg.NumPhysRegs),
+		freeList: make([]int16, 0, cfg.NumPhysRegs),
+		bimodal:  make([]uint8, 1<<cfg.BimodalBits),
+		ras:      make([]uint32, cfg.RASDepth),
+		fetchPC:  p.TextBase,
+	}
+	for i := 0; i < 16; i++ {
+		c.rat[i] = int16(i)
+		c.arat[i] = int16(i)
+		c.prfReady[i] = true
+	}
+	for i := 16; i < cfg.NumPhysRegs; i++ {
+		c.freeList = append(c.freeList, int16(i))
+	}
+	c.prf[isa.SP] = isa.StackTop
+	// Weakly-taken initial bimodal state.
+	for i := range c.bimodal {
+		c.bimodal[i] = 1
+	}
+	return c, nil
+}
+
+// Config returns the configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Step advances the model one clock cycle. It returns false once the
+// program has stopped.
+func (c *CPU) Step() bool {
+	if c.Stop != refsim.StopNone {
+		return false
+	}
+	c.Cycles++
+	c.commit()
+	if c.Stop != refsim.StopNone {
+		return false
+	}
+	c.writeback()
+	c.issue()
+	c.rename()
+	c.fetch()
+	return true
+}
+
+// Run advances until the program stops or maxCycles elapse.
+func (c *CPU) Run(maxCycles uint64) refsim.StopReason {
+	for c.Stop == refsim.StopNone {
+		if c.Cycles >= maxCycles {
+			c.Stop = refsim.StopLimit
+			break
+		}
+		c.Step()
+	}
+	return c.Stop
+}
+
+// ---------------------------------------------------------------- fetch
+
+func (c *CPU) bimodalIdx(pc uint32) int {
+	return int(pc>>2) & (len(c.bimodal) - 1)
+}
+
+func (c *CPU) rasPush(v uint32) {
+	if c.rasLen < len(c.ras) {
+		c.ras[c.rasLen] = v
+		c.rasLen++
+		return
+	}
+	copy(c.ras, c.ras[1:])
+	c.ras[len(c.ras)-1] = v
+}
+
+func (c *CPU) rasPop() (uint32, bool) {
+	if c.rasLen == 0 {
+		return 0, false
+	}
+	c.rasLen--
+	return c.ras[c.rasLen], true
+}
+
+func (c *CPU) fetch() {
+	if c.Cycles < c.fetchStallUntil {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.decq) >= c.cfg.DecodeQueue {
+			return
+		}
+		pc := c.fetchPC
+		var res cache.Result
+		w, ok := c.L1I.LoadWord(pc, &res)
+		if !ok {
+			c.decq = append(c.decq, fetched{pc: pc, bad: true})
+			c.fetchPC += isa.InstBytes
+			return
+		}
+		if res.Filled {
+			// I-miss: the line is resident now, but expose the fill
+			// latency before any instruction from it enters decode.
+			c.fetchStallUntil = c.Cycles + uint64(c.cfg.MemLatency)
+			return
+		}
+		f := fetched{pc: pc, word: w}
+		if in, err := isa.Decode(w); err == nil && in.Op.IsBranch() {
+			switch {
+			case in.Op == isa.OpB:
+				f.predTaken = true
+				f.predTarget = in.BranchTarget(pc)
+			case in.Op == isa.OpBL:
+				f.predTaken = true
+				f.predTarget = in.BranchTarget(pc)
+				c.rasPush(pc + isa.InstBytes)
+			case in.Op == isa.OpRET:
+				if t, ok := c.rasPop(); ok {
+					f.predTaken = true
+					f.predTarget = t
+				} else {
+					f.predTaken = false
+					f.predTarget = pc + isa.InstBytes
+				}
+			default: // conditional: bimodal direction, direct target
+				if c.bimodal[c.bimodalIdx(pc)] >= 2 {
+					f.predTaken = true
+					f.predTarget = in.BranchTarget(pc)
+				}
+			}
+		}
+		c.decq = append(c.decq, f)
+		if f.predTaken {
+			c.fetchPC = f.predTarget
+		} else {
+			c.fetchPC = pc + isa.InstBytes
+		}
+	}
+}
+
+// --------------------------------------------------------------- rename
+
+func (c *CPU) rename() {
+	for n := 0; n < c.cfg.FetchWidth && len(c.decq) > 0; n++ {
+		if len(c.rob) >= c.cfg.ROBSize {
+			return
+		}
+		f := c.decq[0]
+
+		c.seq++
+		u := &uop{
+			seq: c.seq, pc: f.pc,
+			dst: -1, oldDst: -1, dstAr: -1, src1: -1, src2: -1, src3: -1,
+			predTaken: f.predTaken, predTarget: f.predTarget,
+		}
+		if f.bad {
+			u.fault = fmt.Sprintf("fetch out of range at %#x", f.pc)
+			u.executed = true
+			c.decq = c.decq[1:]
+			c.rob = append(c.rob, u)
+			continue
+		}
+		in, err := isa.Decode(f.word)
+		if err != nil {
+			u.fault = fmt.Sprintf("decode at %#x: %v", f.pc, err)
+			u.executed = true
+			c.decq = c.decq[1:]
+			c.rob = append(c.rob, u)
+			continue
+		}
+		u.inst = in
+		op := in.Op
+
+		switch op {
+		case isa.OpNOP, isa.OpHLT, isa.OpSVC:
+			// No computation; handled entirely at commit.
+			u.executed = true
+			c.decq = c.decq[1:]
+			c.rob = append(c.rob, u)
+			continue
+		}
+
+		u.isLoad = op.IsLoad()
+		u.isStore = op.IsStore()
+		if op.IsMem() && len(c.lsq) >= c.cfg.LSQSize {
+			return
+		}
+		if len(c.iq) >= c.cfg.IQSize {
+			return
+		}
+
+		// Destination register (BL writes the link register).
+		dstAr := int8(-1)
+		switch {
+		case op == isa.OpBL:
+			dstAr = int8(isa.LR)
+		case op.WritesRd():
+			dstAr = int8(in.Rd)
+		}
+		if dstAr >= 0 && len(c.freeList) == 0 {
+			return
+		}
+
+		// Sources.
+		if op == isa.OpRET {
+			u.src1 = c.rat[isa.LR]
+		} else if op.ReadsRn() {
+			u.src1 = c.rat[in.Rn]
+		}
+		if op.ReadsRm() {
+			u.src2 = c.rat[in.Rm]
+		}
+		if u.isStore {
+			u.src3 = c.rat[in.Rd]
+		}
+		if op.IsCondBranch() {
+			u.flagProducer = c.specFlagProducer
+			u.flagsIn = c.archFlags
+		}
+		if op.IsCompare() {
+			u.writesFlags = true
+			c.specFlagProducer = u
+		}
+
+		// Rename the destination.
+		if dstAr >= 0 {
+			p := c.freeList[len(c.freeList)-1]
+			c.freeList = c.freeList[:len(c.freeList)-1]
+			u.dst = p
+			u.dstAr = dstAr
+			u.oldDst = c.rat[dstAr]
+			c.rat[dstAr] = p
+			c.prfReady[p] = false
+		}
+
+		// Branches snapshot the rename state for recovery.
+		if op.IsBranch() {
+			u.ratSnap = c.rat
+			u.flagSnap = c.specFlagProducer
+			u.flagsInSnap = c.archFlags
+		}
+
+		u.size = 4
+		if op == isa.OpLDRB || op == isa.OpSTRB || op == isa.OpLDRBR || op == isa.OpSTRBR {
+			u.size = 1
+		}
+
+		c.decq = c.decq[1:]
+		c.rob = append(c.rob, u)
+		u.inIQ = true
+		c.iq = append(c.iq, u)
+		if op.IsMem() {
+			c.lsq = append(c.lsq, u)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- issue
+
+func (c *CPU) ready(p int16) bool { return p < 0 || c.prfReady[p] }
+
+func (c *CPU) flagsReady(u *uop) bool {
+	return u.flagProducer == nil || u.flagProducer.executed || u.flagProducer.squashed
+}
+
+func (c *CPU) readFlags(u *uop) isa.Flags {
+	if u.flagProducer != nil {
+		return u.flagProducer.flags
+	}
+	return u.flagsIn
+}
+
+// loadMayIssue enforces LSQ ordering: every older store must have a known
+// address; an exact-match store forwards, any partial overlap blocks.
+func (c *CPU) loadMayIssue(u *uop) (forward bool, val uint32, blocked bool) {
+	var match *uop
+	for _, s := range c.lsq {
+		if s.seq >= u.seq || !s.isStore {
+			continue
+		}
+		if !s.addrReady {
+			return false, 0, true
+		}
+		aLo, aHi := s.addr, s.addr+uint32(s.size)
+		bLo, bHi := u.addr, u.addr+uint32(u.size)
+		if aLo < bHi && bLo < aHi {
+			if s.addr == u.addr && s.size == u.size {
+				match = s // youngest exact match wins
+			} else {
+				return false, 0, true // partial overlap: wait for commit
+			}
+		}
+	}
+	if match != nil {
+		return true, match.storeVal, false
+	}
+	return false, 0, false
+}
+
+func (c *CPU) issue() {
+	issued := 0
+	aluUsed := 0
+	// Oldest-first selection: walk the ROB in program order.
+	for _, u := range c.rob {
+		if issued >= c.cfg.IssueWidth {
+			break
+		}
+		if !u.inIQ || u.issued || u.squashed {
+			continue
+		}
+		if !c.ready(u.src1) || !c.ready(u.src2) || !c.ready(u.src3) || !c.flagsReady(u) {
+			continue
+		}
+		op := u.inst.Op
+		switch {
+		case op == isa.OpMUL || op == isa.OpUDIV || op == isa.OpSDIV:
+			if c.mulBusyUntil > c.Cycles {
+				continue
+			}
+		case op.IsMem():
+			if c.lsuBusyUntil > c.Cycles {
+				continue
+			}
+		default:
+			if aluUsed >= 2 {
+				continue
+			}
+		}
+		if op.IsMem() {
+			// Compute the effective address first.
+			addr := c.prf[u.src1]
+			if op == isa.OpLDR || op == isa.OpSTR || op == isa.OpLDRB || op == isa.OpSTRB {
+				addr += uint32(u.inst.Imm)
+			} else {
+				addr += c.prf[u.src2]
+			}
+			u.addr = addr
+			if u.isLoad {
+				if fwd, val, blocked := c.loadMayIssue(u); blocked {
+					continue // stay in the IQ
+				} else if fwd {
+					u.result = val
+					if u.size == 1 {
+						u.result &= 0xFF
+					}
+					u.execDone = c.Cycles + 1
+				} else if !c.execLoad(u) {
+					u.execDone = c.Cycles + 1 // fault recorded
+				}
+			} else {
+				u.storeVal = c.prf[u.src3]
+				if u.size == 1 {
+					u.storeVal &= 0xFF
+				}
+				u.addrReady = true
+				u.execDone = c.Cycles + 1
+			}
+		} else {
+			c.execALU(u)
+		}
+		u.issued = true
+		u.inIQ = false
+		issued++
+		switch {
+		case op == isa.OpMUL:
+			c.mulBusyUntil = c.Cycles + 1 // pipelined multiplier
+		case op == isa.OpUDIV || op == isa.OpSDIV:
+			c.mulBusyUntil = c.Cycles + uint64(c.cfg.DivLat)
+		case op.IsMem():
+			c.lsuBusyUntil = u.execDone
+		default:
+			aluUsed++
+		}
+	}
+	c.iq = compactIQ(c.iq)
+}
+
+// execLoad performs the functional D-cache access for a load at issue
+// time. It returns false when the access faults.
+func (c *CPU) execLoad(u *uop) bool {
+	var res cache.Result
+	var ok bool
+	if u.size == 4 {
+		u.result, ok = c.L1D.LoadWord(u.addr, &res)
+	} else {
+		var b byte
+		b, ok = c.L1D.LoadByte(u.addr, &res)
+		u.result = uint32(b)
+	}
+	if !ok {
+		u.fault = fmt.Sprintf("load out of range or unaligned at %#x (pc %#x)", u.addr, u.pc)
+		return false
+	}
+	if res.Evicted {
+		c.Pinout.Record(c.Cycles, res.EvictAddr, trace.KindWriteback, res.EvictData)
+	}
+	if res.Filled {
+		c.Pinout.Record(c.Cycles, res.FillAddr, trace.KindFill, nil)
+		u.execDone = c.Cycles + uint64(c.cfg.LoadHitLat+c.cfg.MemLatency)
+	} else {
+		u.execDone = c.Cycles + uint64(c.cfg.LoadHitLat)
+	}
+	return true
+}
+
+// execALU computes ALU, compare and branch results at issue time; the
+// result becomes architecturally visible at writeback.
+func (c *CPU) execALU(u *uop) {
+	in := u.inst
+	op := in.Op
+	a, b := uint32(0), uint32(0)
+	if u.src1 >= 0 {
+		a = c.prf[u.src1]
+	}
+	if u.src2 >= 0 {
+		b = c.prf[u.src2]
+	}
+	lat := uint64(1)
+	switch {
+	case op == isa.OpCMP:
+		u.flags = isa.SubFlags(a, b)
+	case op == isa.OpCMPI:
+		u.flags = isa.SubFlags(a, uint32(in.Imm))
+	case op == isa.OpMOVI:
+		u.result = uint32(in.Imm)
+	case op == isa.OpMOVT:
+		u.result = isa.EvalALU(op, a, uint32(in.Imm))
+	case op == isa.OpMUL:
+		u.result = isa.EvalALU(op, a, b)
+		lat = uint64(c.cfg.MulLat)
+	case op == isa.OpUDIV || op == isa.OpSDIV:
+		u.result = isa.EvalALU(op, a, b)
+		lat = uint64(c.cfg.DivLat)
+	case op.IsALUReg():
+		u.result = isa.EvalALU(op, a, b)
+	case op.IsALUImm():
+		u.result = isa.EvalALU(op, a, uint32(in.Imm))
+	case op == isa.OpRET:
+		u.taken = true
+		u.target = a // LR value via src1
+	case op == isa.OpBL:
+		u.taken = true
+		u.target = in.BranchTarget(u.pc)
+		u.result = u.pc + isa.InstBytes // link value
+	case op == isa.OpB:
+		u.taken = true
+		u.target = in.BranchTarget(u.pc)
+	case op.IsCondBranch():
+		u.taken = isa.CondHolds(op, c.readFlags(u))
+		u.target = in.BranchTarget(u.pc)
+		// Update the bimodal predictor at resolution.
+		i := c.bimodalIdx(u.pc)
+		if u.taken && c.bimodal[i] < 3 {
+			c.bimodal[i]++
+		} else if !u.taken && c.bimodal[i] > 0 {
+			c.bimodal[i]--
+		}
+	}
+	u.execDone = c.Cycles + lat
+	if op.IsBranch() {
+		actual := u.pc + isa.InstBytes
+		if u.taken {
+			actual = u.target
+		}
+		pred := u.pc + isa.InstBytes
+		if u.predTaken {
+			pred = u.predTarget
+		}
+		u.mispredicted = actual != pred
+	}
+}
+
+// ------------------------------------------------------------ writeback
+
+func (c *CPU) writeback() {
+	written := 0
+	var recover *uop
+	for _, u := range c.rob {
+		if written >= c.cfg.WritebackWidth {
+			break
+		}
+		if u.squashed || !u.issued || u.executed || u.execDone > c.Cycles {
+			continue
+		}
+		u.executed = true
+		written++
+		if u.dst >= 0 {
+			c.prf[u.dst] = u.result
+			c.prfReady[u.dst] = true
+		}
+		if u.mispredicted && !u.recovered && recover == nil {
+			recover = u
+		}
+	}
+	if recover != nil {
+		c.recoverFrom(recover)
+	}
+}
+
+// recoverFrom squashes everything younger than the mispredicted branch
+// and restores the rename state from its snapshot.
+func (c *CPU) recoverFrom(b *uop) {
+	b.recovered = true
+	keep := c.rob[:0]
+	for _, u := range c.rob {
+		if u.seq <= b.seq {
+			keep = append(keep, u)
+			continue
+		}
+		u.squashed = true
+		u.inIQ = false
+		if u.dst >= 0 {
+			c.freeList = append(c.freeList, u.dst)
+		}
+	}
+	c.rob = keep
+	c.iq = compactIQ(c.iq)
+	c.lsq = compactLSQ(c.lsq)
+	c.rat = b.ratSnap
+	c.specFlagProducer = b.flagSnap
+	c.decq = c.decq[:0]
+	if b.taken {
+		c.fetchPC = b.target
+	} else {
+		c.fetchPC = b.pc + isa.InstBytes
+	}
+	if c.fetchStallUntil < c.Cycles+1 {
+		c.fetchStallUntil = c.Cycles + 1
+	}
+}
+
+// compactIQ drops issued and squashed uops from the instruction queue.
+func compactIQ(q []*uop) []*uop {
+	out := q[:0]
+	for _, u := range q {
+		if u.inIQ && !u.squashed {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// compactLSQ drops squashed uops from the load-store queue.
+func compactLSQ(q []*uop) []*uop {
+	out := q[:0]
+	for _, u := range q {
+		if !u.squashed {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// --------------------------------------------------------------- commit
+
+func (c *CPU) commit() {
+	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
+		u := c.rob[0]
+		if !u.executed {
+			return
+		}
+		if u.fault != "" {
+			c.Stop = refsim.StopFault
+			c.FaultDesc = u.fault
+			return
+		}
+		op := u.inst.Op
+		switch {
+		case op == isa.OpHLT:
+			c.Insts++
+			c.Stop = refsim.StopHalt
+			return
+		case op == isa.OpSVC:
+			c.commitSyscall(u)
+			return // serializing: flushed and redirected (or stopped)
+		case u.isStore:
+			if !c.commitStore(u) {
+				return
+			}
+		}
+		if u.isLoad || u.isStore {
+			c.lsqRemove(u)
+		}
+		if u.dst >= 0 {
+			c.freeList = append(c.freeList, c.arat[u.dstAr])
+			c.arat[u.dstAr] = u.dst
+		}
+		if u.writesFlags {
+			c.archFlags = u.flags
+		}
+		c.rob = c.rob[1:]
+		c.Insts++
+	}
+}
+
+func (c *CPU) archReg(r isa.Reg) uint32 { return c.prf[c.arat[r]] }
+
+// lsqRemove drops a committed memory operation from the LSQ. It is the
+// oldest entry in the common case.
+func (c *CPU) lsqRemove(u *uop) {
+	for i, s := range c.lsq {
+		if s == u {
+			c.lsq = append(c.lsq[:i], c.lsq[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *CPU) commitSyscall(u *uop) {
+	frag, exited, ok := refsim.Syscall(c.archReg(isa.R7), c.archReg(isa.R0), c.archReg(isa.R1), c.L1D.View())
+	if !ok {
+		c.Stop = refsim.StopFault
+		c.FaultDesc = fmt.Sprintf("syscall %d failed at %#x", c.archReg(isa.R7), u.pc)
+		return
+	}
+	c.Output = append(c.Output, frag...)
+	c.rob = c.rob[1:]
+	c.Insts++
+	if exited {
+		c.Stop = refsim.StopExit
+		c.ExitCode = c.archReg(isa.R0)
+		return
+	}
+	// Serialize: squash every younger instruction and refetch.
+	for _, y := range c.rob {
+		y.squashed = true
+		y.inIQ = false
+		if y.dst >= 0 {
+			c.freeList = append(c.freeList, y.dst)
+		}
+	}
+	c.rob = c.rob[:0]
+	c.iq = c.iq[:0]
+	c.lsq = c.lsq[:0]
+	c.decq = c.decq[:0]
+	c.rat = c.arat
+	c.specFlagProducer = nil
+	c.fetchPC = u.pc + isa.InstBytes
+	if c.fetchStallUntil < c.Cycles+1 {
+		c.fetchStallUntil = c.Cycles + 1
+	}
+}
+
+func (c *CPU) commitStore(u *uop) bool {
+	var res cache.Result
+	var ok bool
+	if u.size == 4 {
+		ok = c.L1D.StoreWord(u.addr, u.storeVal, &res)
+	} else {
+		ok = c.L1D.StoreByte(u.addr, byte(u.storeVal), &res)
+	}
+	if !ok {
+		c.Stop = refsim.StopFault
+		c.FaultDesc = fmt.Sprintf("store out of range or unaligned at %#x (pc %#x)", u.addr, u.pc)
+		return false
+	}
+	if res.Evicted {
+		c.Pinout.Record(c.Cycles, res.EvictAddr, trace.KindWriteback, res.EvictData)
+	}
+	if res.Filled {
+		c.Pinout.Record(c.Cycles, res.FillAddr, trace.KindFill, nil)
+	}
+	return true
+}

@@ -1,0 +1,34 @@
+package microarch
+
+import "fmt"
+
+// Fault-injection surfaces of the microarchitectural model. The paper's
+// campaigns target the physical register file and the L1 data cache
+// array; both are exposed here as flat bit spaces so statistical sampling
+// is uniform over bits.
+
+// RFBits returns the size of the physical register file in bits.
+func (c *CPU) RFBits() int { return c.cfg.NumPhysRegs * 32 }
+
+// FlipRFBit injects a single transient bit flip into the physical
+// register file: bit index i selects register i/32, bit i%32.
+func (c *CPU) FlipRFBit(i int) error {
+	if i < 0 || i >= c.RFBits() {
+		return fmt.Errorf("microarch: RF bit %d out of range [0,%d)", i, c.RFBits())
+	}
+	c.prf[i/32] ^= 1 << (i % 32)
+	return nil
+}
+
+// L1DBits returns the size of the L1 data cache data array in bits.
+func (c *CPU) L1DBits() int { return c.L1D.DataBits() }
+
+// FlipL1DBit injects a single transient bit flip into the L1 data cache
+// data array.
+func (c *CPU) FlipL1DBit(i int) error { return c.L1D.FlipDataBit(i) }
+
+// ReadArchReg returns the committed architectural value of register r,
+// used by tests and the software observation point.
+func (c *CPU) ReadArchReg(r int) uint32 {
+	return c.prf[c.arat[r&15]]
+}

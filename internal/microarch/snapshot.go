@@ -1,0 +1,76 @@
+package microarch
+
+// Clone returns a deep copy of the CPU, including every in-flight
+// instruction, the rename state, predictors, caches and a copy-on-write
+// snapshot of memory. The clone's Pinout is nil (the campaign engine
+// attaches its own capture); cache access hooks are not copied.
+//
+// Clone is the foundation of differential fault injection: the campaign
+// snapshots the golden run periodically, then replays each faulty run
+// from the snapshot closest to its injection cycle.
+func (c *CPU) Clone() *CPU {
+	m := c.Mem.Snapshot()
+	n := &CPU{
+		cfg:      c.cfg,
+		Mem:      m,
+		L1I:      c.L1I.Clone(m),
+		L1D:      c.L1D.Clone(m),
+		prf:      append([]uint32(nil), c.prf...),
+		prfReady: append([]bool(nil), c.prfReady...),
+		rat:      c.rat,
+		arat:     c.arat,
+		freeList: append([]int16(nil), c.freeList...),
+
+		archFlags:       c.archFlags,
+		fetchPC:         c.fetchPC,
+		fetchStallUntil: c.fetchStallUntil,
+		decq:            append([]fetched(nil), c.decq...),
+
+		bimodal: append([]uint8(nil), c.bimodal...),
+		ras:     append([]uint32(nil), c.ras...),
+		rasLen:  c.rasLen,
+
+		lsuBusyUntil: c.lsuBusyUntil,
+		mulBusyUntil: c.mulBusyUntil,
+
+		Cycles:    c.Cycles,
+		Insts:     c.Insts,
+		seq:       c.seq,
+		Output:    append([]byte(nil), c.Output...),
+		Stop:      c.Stop,
+		ExitCode:  c.ExitCode,
+		FaultDesc: c.FaultDesc,
+	}
+	memo := make(map[*uop]*uop, len(c.rob)+2)
+	n.rob = cloneUopSlice(c.rob, memo)
+	n.iq = cloneUopSlice(c.iq, memo)
+	n.lsq = cloneUopSlice(c.lsq, memo)
+	n.specFlagProducer = cloneUop(c.specFlagProducer, memo)
+	return n
+}
+
+func cloneUopSlice(q []*uop, memo map[*uop]*uop) []*uop {
+	if q == nil {
+		return nil
+	}
+	out := make([]*uop, len(q))
+	for i, u := range q {
+		out[i] = cloneUop(u, memo)
+	}
+	return out
+}
+
+func cloneUop(u *uop, memo map[*uop]*uop) *uop {
+	if u == nil {
+		return nil
+	}
+	if n, ok := memo[u]; ok {
+		return n
+	}
+	n := &uop{}
+	*n = *u
+	memo[u] = n
+	n.flagProducer = cloneUop(u.flagProducer, memo)
+	n.flagSnap = cloneUop(u.flagSnap, memo)
+	return n
+}

@@ -1,0 +1,227 @@
+package refsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func run(t *testing.T, src string) *CPU {
+	t.Helper()
+	p, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(1_000_000)
+	return c
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	c := run(t, `
+		movi r0, #0
+		movi r1, #1
+	loop:	add r0, r0, r1
+		addi r1, r1, #1
+		cmp r1, #11
+		blt loop
+		movi r7, #1    ; SysExit
+		svc #0
+	`)
+	if c.Stop != StopExit {
+		t.Fatalf("stop = %v (%s)", c.Stop, c.FaultDesc)
+	}
+	if c.Regs[isa.R0] != 55 {
+		t.Errorf("sum = %d, want 55", c.Regs[isa.R0])
+	}
+}
+
+func TestFunctionCall(t *testing.T) {
+	c := run(t, `
+		movi r0, #6
+		bl double
+		bl double
+		movi r7, #1
+		svc #0
+	double:
+		push {r4, lr}
+		mov r4, r0
+		add r0, r4, r4
+		pop {r4, lr}
+		ret
+	`)
+	if c.Stop != StopExit {
+		t.Fatalf("stop = %v (%s)", c.Stop, c.FaultDesc)
+	}
+	if c.Regs[isa.R0] != 24 {
+		t.Errorf("result = %d, want 24", c.Regs[isa.R0])
+	}
+	if c.Regs[isa.SP] != isa.StackTop {
+		t.Errorf("sp = %#x, want %#x", c.Regs[isa.SP], uint32(isa.StackTop))
+	}
+}
+
+func TestMemoryAndOutput(t *testing.T) {
+	c := run(t, `
+		li r0, msg
+		movi r1, #6
+		movi r7, #2     ; SysWrite
+		svc #0
+		movi r0, #'!'
+		movi r7, #3     ; SysPutc
+		svc #0
+		movi r0, #-42
+		movi r7, #4     ; SysPutint
+		svc #0
+		hlt
+	.data
+	msg:	.ascii "hello "
+	`)
+	if c.Stop != StopHalt {
+		t.Fatalf("stop = %v (%s)", c.Stop, c.FaultDesc)
+	}
+	want := "hello !-42\n"
+	if string(c.Output) != want {
+		t.Errorf("output = %q, want %q", c.Output, want)
+	}
+}
+
+func TestByteAndWordMemory(t *testing.T) {
+	c := run(t, `
+		li r1, buf
+		li r2, 0x11223344
+		str r2, [r1]
+		ldrb r3, [r1, #3]   ; little-endian high byte
+		movi r4, #0xAB
+		strb r4, [r1, #1]
+		ldr r5, [r1]
+		movi r6, #2
+		ldrb r8, [r1, r6]   ; register-offset byte load
+		hlt
+	.data
+	buf:	.space 8
+	`)
+	if c.Regs[isa.R3] != 0x11 {
+		t.Errorf("r3 = %#x, want 0x11", c.Regs[isa.R3])
+	}
+	if c.Regs[isa.R5] != 0x1122AB44 {
+		t.Errorf("r5 = %#x, want 0x1122AB44", c.Regs[isa.R5])
+	}
+	if c.Regs[isa.R8] != 0x22 {
+		t.Errorf("r8 = %#x, want 0x22", c.Regs[isa.R8])
+	}
+}
+
+func TestUnsignedBranches(t *testing.T) {
+	c := run(t, `
+		li r1, 0xFFFFFFFF
+		movi r2, #1
+		movi r0, #0
+		cmp r2, r1
+		bhs wrong       ; 1 <u 0xFFFFFFFF, must not branch
+		addi r0, r0, #1
+		cmp r1, r2
+		bhi ok          ; 0xFFFFFFFF >u 1, must branch
+		b wrong
+	ok:	addi r0, r0, #2
+		hlt
+	wrong:	movi r0, #99
+		hlt
+	`)
+	if c.Regs[isa.R0] != 3 {
+		t.Errorf("r0 = %d, want 3", c.Regs[isa.R0])
+	}
+}
+
+func TestFaultOnWildStore(t *testing.T) {
+	c := run(t, `
+		li r1, 0x700000     ; beyond MemSize
+		str r1, [r1]
+		hlt
+	`)
+	if c.Stop != StopFault {
+		t.Fatalf("stop = %v, want fault", c.Stop)
+	}
+	if !strings.Contains(c.FaultDesc, "store word out of range") {
+		t.Errorf("fault desc = %q", c.FaultDesc)
+	}
+}
+
+func TestFaultOnBadSyscall(t *testing.T) {
+	c := run(t, `
+		movi r7, #99
+		svc #0
+		hlt
+	`)
+	if c.Stop != StopFault {
+		t.Fatalf("stop = %v, want fault", c.Stop)
+	}
+}
+
+func TestFaultOnDecodeGarbage(t *testing.T) {
+	c := run(t, `
+		b skip
+		.word 0xFFFFFFFF
+	skip:	b back
+	back:	.word 0          ; invalid opcode 0
+	`)
+	if c.Stop != StopFault {
+		t.Fatalf("stop = %v, want fault", c.Stop)
+	}
+}
+
+func TestInstLimit(t *testing.T) {
+	p, err := asm.Assemble("t.s", "loop: b loop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Run(100); got != StopLimit {
+		t.Errorf("stop = %v, want limit", got)
+	}
+	if c.InstCount != 100 {
+		t.Errorf("inst count = %d", c.InstCount)
+	}
+}
+
+func TestMulDivShift(t *testing.T) {
+	c := run(t, `
+		movi r1, #12
+		movi r2, #5
+		mul r3, r1, r2      ; 60
+		udiv r4, r3, r2     ; 12
+		movi r5, #-60
+		sdiv r6, r5, r2     ; -12
+		lsl r8, r2, #4      ; 80
+		asr r9, r5, #2      ; -15
+		hlt
+	`)
+	if c.Regs[isa.R3] != 60 || c.Regs[isa.R4] != 12 {
+		t.Errorf("mul/udiv: %d %d", c.Regs[isa.R3], c.Regs[isa.R4])
+	}
+	if int32(c.Regs[isa.R6]) != -12 {
+		t.Errorf("sdiv: %d", int32(c.Regs[isa.R6]))
+	}
+	if c.Regs[isa.R8] != 80 || int32(c.Regs[isa.R9]) != -15 {
+		t.Errorf("shifts: %d %d", c.Regs[isa.R8], int32(c.Regs[isa.R9]))
+	}
+}
+
+func TestStepAfterStopIsNoop(t *testing.T) {
+	c := run(t, "hlt\n")
+	pc := c.PC
+	if c.Step() {
+		t.Error("Step after stop returned true")
+	}
+	if c.PC != pc {
+		t.Error("Step after stop moved PC")
+	}
+}

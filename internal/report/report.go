@@ -1,0 +1,176 @@
+// Package report renders campaign and experiment results as paper-style
+// text tables, simple ASCII bar figures and CSV.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+// Table renders a fixed-width text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(headers)
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// CSV renders rows as comma-separated values (no quoting; inputs are
+// simple identifiers and numbers).
+func CSV(headers []string, rows [][]string) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(headers, ","))
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		sb.WriteString(strings.Join(r, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Figure renders a reproduced figure: one table row per benchmark with
+// all series, plus ASCII bars and the cross-series difference summary.
+func Figure(fig *core.FigureResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n\n", fig.Name)
+
+	headers := append([]string{"benchmark"}, seriesLabels(fig)...)
+	var rows [][]string
+	for _, b := range fig.Benches {
+		row := []string{b}
+		for _, s := range fig.Series {
+			p := s.Vuln[b]
+			row = append(row, fmt.Sprintf("%.3f [%.3f,%.3f]", p.P, p.Lo, p.Hi))
+		}
+		rows = append(rows, row)
+	}
+	avg := []string{"average"}
+	for _, s := range fig.Series {
+		var sum float64
+		for _, b := range fig.Benches {
+			sum += s.Vuln[b].P
+		}
+		avg = append(avg, fmt.Sprintf("%.3f", sum/float64(len(fig.Benches))))
+	}
+	rows = append(rows, avg)
+	sb.WriteString(Table(headers, rows))
+
+	sb.WriteByte('\n')
+	for _, b := range fig.Benches {
+		fmt.Fprintf(&sb, "%-14s\n", b)
+		for _, s := range fig.Series {
+			p := s.Vuln[b].P
+			bar := strings.Repeat("#", int(p*50+0.5))
+			fmt.Fprintf(&sb, "  %-16s %6.1f%% |%s\n", s.Label, p*100, bar)
+		}
+	}
+	if len(fig.Series) >= 2 {
+		fmt.Fprintf(&sb, "\n%s vs %s: mean |diff| = %.1f percentile units, mean relative diff = %.0f%%, max |diff| = %.1f pp\n",
+			fig.Series[0].Label, fig.Series[1].Label,
+			fig.Diff.MeanAbsDiff*100, fig.Diff.MeanRelDiff*100, fig.Diff.MaxAbsDiff*100)
+	}
+	return sb.String()
+}
+
+// FigureCSV renders a figure's point estimates as CSV.
+func FigureCSV(fig *core.FigureResult) string {
+	headers := append([]string{"benchmark"}, seriesLabels(fig)...)
+	var rows [][]string
+	for _, b := range fig.Benches {
+		row := []string{b}
+		for _, s := range fig.Series {
+			row = append(row, fmt.Sprintf("%.5f", s.Vuln[b].P))
+		}
+		rows = append(rows, row)
+	}
+	return CSV(headers, rows)
+}
+
+func seriesLabels(fig *core.FigureResult) []string {
+	labels := make([]string, len(fig.Series))
+	for i, s := range fig.Series {
+		labels[i] = s.Label
+	}
+	return labels
+}
+
+// TableI renders the configuration table.
+func TableI(setup core.Setup) string {
+	rows := make([][]string, 0, 8)
+	for _, r := range core.TableI(setup) {
+		rows = append(rows, []string{r.Attribute, r.Value})
+	}
+	return "== TABLE I: microarchitectural configuration ==\n\n" +
+		Table([]string{"Microarchitectural attribute", "Value"}, rows)
+}
+
+// TableII renders the throughput comparison.
+func TableII(rows []core.ThroughputRow, avgRatio float64) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Bench,
+			fmt.Sprintf("%.3f s/run", r.RTLSecPerRun),
+			fmt.Sprintf("%.3f s/run", r.MASecPerRun),
+			fmt.Sprintf("%.1f", r.Ratio),
+			fmt.Sprintf("%.2f M", r.RTLMCycles),
+			fmt.Sprintf("%.2f M", r.MAMCycles),
+		})
+	}
+	out = append(out, []string{"average", "", "", fmt.Sprintf("%.1f", avgRatio), "", ""})
+	return "== TABLE II: simulation throughput per golden run ==\n\n" +
+		Table([]string{"Benchmark", "RTL", "GeFIN", "Ratio", "RTL cycles", "GeFIN cycles"}, out)
+}
+
+// Campaign renders one campaign result in detail.
+func Campaign(name string, res *campaign.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "campaign %s\n", name)
+	fmt.Fprintf(&sb, "  target=%v obs=%v window=%d injections=%d seed=%d\n",
+		res.Config.Target, res.Config.Obs, res.Config.Window, res.Config.Injections, res.Config.Seed)
+	fmt.Fprintf(&sb, "  golden: %d cycles, %d pinout txns (%.2fs)\n",
+		res.GoldenCycles, res.GoldenTxns, res.GoldenElapsed.Seconds())
+	fmt.Fprintf(&sb, "  classes:")
+	for _, c := range []campaign.Class{campaign.ClassMasked, campaign.ClassMismatch, campaign.ClassSDC, campaign.ClassCrash, campaign.ClassHang} {
+		if n := res.Counts[c]; n > 0 {
+			fmt.Fprintf(&sb, " %v=%d", c, n)
+		}
+	}
+	sb.WriteByte('\n')
+	u := res.Unsafeness
+	fmt.Fprintf(&sb, "  unsafeness: %.4f  (%d/%d, %v%% CI [%.4f, %.4f])\n",
+		u.P, u.Hits, u.N, int(u.Conf*100), u.Lo, u.Hi)
+	fmt.Fprintf(&sb, "  campaign wall: %.2fs (%.4f s/injection)\n",
+		res.Elapsed.Seconds(), res.AvgSecPerRun)
+	return sb.String()
+}

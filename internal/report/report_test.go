@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{
+		{"xxxx", "1"},
+		{"y", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %q", lines)
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("separator: %q", lines[1])
+	}
+	// All rows align on the second column.
+	col := strings.Index(lines[0], "long-header")
+	if !strings.HasPrefix(lines[2][col:], "1") || !strings.HasPrefix(lines[3][col:], "22") {
+		t.Errorf("misaligned:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV([]string{"a", "b"}, [][]string{{"1", "2"}})
+	if out != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", out)
+	}
+}
+
+func figFixture(t *testing.T) *core.FigureResult {
+	t.Helper()
+	mk := func(hits, n int) stats.Proportion {
+		p, err := stats.EstimateProportion(hits, n, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	return &core.FigureResult{
+		Name:    "fig-test",
+		Benches: []string{"sha", "qsort"},
+		Series: []core.Series{
+			{Label: "GeFIN", Vuln: map[string]stats.Proportion{"sha": mk(5, 100), "qsort": mk(8, 100)}},
+			{Label: "RTL", Vuln: map[string]stats.Proportion{"sha": mk(6, 100), "qsort": mk(10, 100)}},
+		},
+		Diff: stats.AbsDiffStats{MeanAbsDiff: 0.015, MeanRelDiff: 0.15, MaxAbsDiff: 0.02},
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	out := Figure(figFixture(t))
+	for _, want := range []string{"fig-test", "GeFIN", "RTL", "sha", "qsort", "average", "percentile units", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	out := FigureCSV(figFixture(t))
+	if !strings.HasPrefix(out, "benchmark,GeFIN,RTL\n") {
+		t.Errorf("header: %q", out)
+	}
+	if !strings.Contains(out, "sha,0.05000,0.06000") {
+		t.Errorf("rows: %q", out)
+	}
+}
+
+func TestTableIRendering(t *testing.T) {
+	out := TableI(core.DefaultSetup())
+	for _, want := range []string{"TABLE I", "56 registers", "32KB 4-way", "2/4/4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TABLE I lacks %q", want)
+		}
+	}
+}
+
+func TestTableIIRendering(t *testing.T) {
+	rows := []core.ThroughputRow{
+		{Bench: "sha", RTLSecPerRun: 0.2, MASecPerRun: 0.01, Ratio: 20, RTLMCycles: 0.028, MAMCycles: 0.013},
+	}
+	out := TableII(rows, 20)
+	for _, want := range []string{"TABLE II", "sha", "20.0", "average"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TABLE II lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package rtl
+
+// State is an opaque capture of a design's sequential state: every
+// register's latched value and pending D input, every memory's contents
+// and queued writes, and the cycle counter. It is the RTL analogue of the
+// microarchitectural model's Clone and enables differential fault
+// injection (replay from the snapshot nearest the injection cycle).
+//
+// Pure wires are not captured: designs whose processes communicate only
+// through registers and memories (such as the AL32 core) resume correctly
+// on the next Tick. A design that latches wire state across cycles would
+// need an explicit Settle after RestoreState.
+type State struct {
+	regs  []regState
+	mems  []memState
+	cycle uint64
+}
+
+type regState struct {
+	cur  uint64
+	d    uint64
+	dSet bool
+}
+
+type memState struct {
+	data  []uint64
+	queue []memWrite
+}
+
+// CaptureState snapshots all sequential state.
+func (s *Simulator) CaptureState() *State {
+	st := &State{
+		regs:  make([]regState, len(s.regs)),
+		mems:  make([]memState, len(s.mems)),
+		cycle: s.CycleCount,
+	}
+	for i, r := range s.regs {
+		st.regs[i] = regState{cur: r.out.cur, d: r.d, dSet: r.dSet}
+	}
+	for i, m := range s.mems {
+		st.mems[i] = memState{
+			data:  append([]uint64(nil), m.data...),
+			queue: append([]memWrite(nil), m.queue...),
+		}
+	}
+	return st
+}
+
+// RestoreState reinstates a capture taken from this same design. The
+// capture itself is not consumed and may be restored repeatedly.
+func (s *Simulator) RestoreState(st *State) {
+	for i, r := range s.regs {
+		r.out.cur = st.regs[i].cur
+		r.d = st.regs[i].d
+		r.dSet = st.regs[i].dSet
+	}
+	for i, m := range s.mems {
+		copy(m.data, st.mems[i].data)
+		m.queue = append(m.queue[:0], st.mems[i].queue...)
+	}
+	s.CycleCount = st.cycle
+	// Discard any in-flight activations; the next Tick re-evaluates.
+	for _, p := range s.active {
+		p.queued = false
+	}
+	s.active = s.active[:0]
+	for _, sig := range s.pending {
+		sig.hasNext = false
+	}
+	s.pending = s.pending[:0]
+}

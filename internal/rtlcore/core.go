@@ -1,0 +1,561 @@
+package rtlcore
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/refsim"
+	"repro/internal/rtl"
+	"repro/internal/trace"
+)
+
+// Config selects the cache geometries and miss latency of the RTL core.
+// The pipeline itself is fixed: scalar, 5 stages, full forwarding.
+type Config struct {
+	L1I        cache.Config
+	L1D        cache.Config
+	MemLatency int
+}
+
+// DefaultConfig mirrors TABLE I's cache geometry (32KB 4-way L1I/L1D).
+func DefaultConfig() Config {
+	return Config{
+		L1I:        cache.Config{Name: "L1I", SizeBytes: 32 * 1024, Ways: 4, LineBytes: 32},
+		L1D:        cache.Config{Name: "L1D", SizeBytes: 32 * 1024, Ways: 4, LineBytes: 32},
+		MemLatency: 20,
+	}
+}
+
+// CampaignConfig mirrors microarch.CampaignConfig: the same scaled cache
+// geometry used on both abstraction levels during fault-injection
+// campaigns (see DESIGN.md).
+func CampaignConfig() Config {
+	cfg := DefaultConfig()
+	cfg.L1I.SizeBytes = 2 * 1024
+	cfg.L1D.SizeBytes = 512
+	return cfg
+}
+
+// Exception codes carried through the pipeline's exc latches.
+const (
+	excNone   = 0
+	excFetch  = 1
+	excDecode = 2
+	excMem    = 3
+)
+
+// stage is one set of pipeline latches.
+type stage struct {
+	ir    *rtl.Reg
+	pc    *rtl.Reg
+	valid *rtl.Reg
+	exc   *rtl.Reg
+}
+
+func newStage(sim *rtl.Simulator, name string) stage {
+	return stage{
+		ir:    sim.Reg(name+"_ir", 32, 0),
+		pc:    sim.Reg(name+"_pc", 32, 0),
+		valid: sim.Reg(name+"_valid", 1, 0),
+		exc:   sim.Reg(name+"_exc", 2, 0),
+	}
+}
+
+// bubble drives an empty slot into the stage latches.
+func (s stage) bubble() {
+	s.ir.SetD(0)
+	s.pc.SetD(0)
+	s.valid.SetD(0)
+	s.exc.SetD(0)
+}
+
+// pass copies another stage's instruction identity.
+func (s stage) pass(from stage) {
+	s.ir.SetD(from.ir.Q())
+	s.pc.SetD(from.pc.Q())
+	s.valid.SetD(from.valid.Q())
+	s.exc.SetD(from.exc.Q())
+}
+
+// Core is the RTL CPU: design state lives in the rtl kernel; the Go-side
+// fields are the testbench (program output, stop bookkeeping, counters).
+type Core struct {
+	cfg     Config
+	sim     *rtl.Simulator
+	backing *mem.Memory
+
+	// Pinout is the core-boundary observation point; nil disables it.
+	Pinout *trace.Pinout
+
+	pc      *rtl.Reg
+	regfile *rtl.Mem
+	flags   *rtl.Reg
+	halted  *rtl.Reg
+	stall   *rtl.Reg
+
+	ifid  stage
+	idex  stage
+	exmem stage
+	memwb stage
+
+	// Operand and result latches.
+	idexA   *rtl.Reg // rn (or LR) value read in ID
+	idexB   *rtl.Reg // rm value read in ID
+	idexSt  *rtl.Reg // store data read in ID
+	exmemR  *rtl.Reg // ALU result or memory address
+	exmemSt *rtl.Reg // forwarded store data
+	memwbV  *rtl.Reg // value to write back
+
+	l1i *rtlCache
+	l1d *rtlCache
+
+	// Testbench state.
+	Output    []byte
+	Stop      refsim.StopReason
+	ExitCode  uint32
+	FaultDesc string
+	Insts     uint64
+}
+
+// New elaborates the design with the program image loaded.
+func New(p *asm.Program, cfg Config) (*Core, error) {
+	if cfg.MemLatency < 1 {
+		return nil, fmt.Errorf("rtlcore: MemLatency must be >= 1")
+	}
+	backing, err := p.NewImage()
+	if err != nil {
+		return nil, err
+	}
+	sim := rtl.NewSimulator()
+	c := &Core{
+		cfg:     cfg,
+		sim:     sim,
+		backing: backing,
+		pc:      sim.Reg("pc", 32, uint64(p.TextBase)),
+		regfile: sim.Mem("regfile", 16, 32),
+		flags:   sim.Reg("flags", 4, 0),
+		halted:  sim.Reg("halted", 1, 0),
+		stall:   sim.Reg("stall", 8, 0),
+		ifid:    newStage(sim, "ifid"),
+		idex:    newStage(sim, "idex"),
+		exmem:   newStage(sim, "exmem"),
+		memwb:   newStage(sim, "memwb"),
+		idexA:   sim.Reg("idex_a", 32, 0),
+		idexB:   sim.Reg("idex_b", 32, 0),
+		idexSt:  sim.Reg("idex_st", 32, 0),
+		exmemR:  sim.Reg("exmem_r", 32, 0),
+		exmemSt: sim.Reg("exmem_st", 32, 0),
+		memwbV:  sim.Reg("memwb_v", 32, 0),
+	}
+	c.l1i, err = newRTLCache(sim, "l1i", cfg.L1I, backing, false)
+	if err != nil {
+		return nil, err
+	}
+	c.l1d, err = newRTLCache(sim, "l1d", cfg.L1D, backing, true)
+	if err != nil {
+		return nil, err
+	}
+	c.regfile.Init(int(isa.SP), uint64(isa.StackTop))
+	sim.Process("pipeline", c.eval)
+	if err := sim.Settle(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Config returns the configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Cycles returns the number of completed clock cycles.
+func (c *Core) Cycles() uint64 { return c.sim.CycleCount }
+
+// Step advances one clock cycle; it returns false once halted.
+func (c *Core) Step() bool {
+	if c.Stop != refsim.StopNone {
+		return false
+	}
+	if err := c.sim.Tick(); err != nil {
+		c.Stop = refsim.StopFault
+		c.FaultDesc = err.Error()
+		return false
+	}
+	return c.Stop == refsim.StopNone
+}
+
+// Run advances until the program stops or maxCycles elapse.
+func (c *Core) Run(maxCycles uint64) refsim.StopReason {
+	for c.Stop == refsim.StopNone {
+		if c.sim.CycleCount >= maxCycles {
+			c.Stop = refsim.StopLimit
+			break
+		}
+		c.Step()
+	}
+	return c.Stop
+}
+
+func (c *Core) halt(stop refsim.StopReason, desc string) {
+	c.halted.SetD(1)
+	c.Stop = stop
+	c.FaultDesc = desc
+}
+
+// dstReg returns the architectural register an opcode writes at WB, or
+// -1 (BL writes the link register).
+func dstReg(in isa.Inst) int {
+	switch {
+	case in.Op == isa.OpBL:
+		return int(isa.LR)
+	case in.Op.WritesRd():
+		return int(in.Rd)
+	}
+	return -1
+}
+
+// srcRegs returns the architectural registers an instruction reads.
+func srcRegs(in isa.Inst) []isa.Reg {
+	var out []isa.Reg
+	if in.Op == isa.OpRET {
+		return append(out, isa.LR)
+	}
+	if in.Op.ReadsRn() {
+		out = append(out, in.Rn)
+	}
+	if in.Op.ReadsRm() {
+		out = append(out, in.Rm)
+	}
+	if in.Op.IsStore() {
+		out = append(out, in.Rd)
+	}
+	return out
+}
+
+// eval is the whole-core combinational process, evaluated once per clock.
+// Stages are computed WB-first so same-cycle dataflow (forwarding, branch
+// squash) reads consistent values, exactly as a synthesis-style RTL
+// description would resolve within one cycle.
+func (c *Core) eval() {
+	if c.halted.QBool() || c.Stop != refsim.StopNone {
+		return
+	}
+	if c.stall.Q() > 0 {
+		c.stall.SetD(c.stall.Q() - 1)
+		// The combinational network keeps evaluating on the held
+		// operand buses while the pipeline is frozen, as in the real
+		// design (registers simply do not latch).
+		c.shadowDatapath()
+		return
+	}
+	var stallCycles uint64
+
+	// ------------------------------------------------------------- WB
+	wbValid := c.memwb.valid.QBool()
+	wbVal := uint32(c.memwbV.Q())
+	wbDst := -1
+	if wbValid {
+		switch c.memwb.exc.Q() {
+		case excFetch:
+			c.halt(refsim.StopFault, fmt.Sprintf("fetch out of range at %#x", uint32(c.memwb.pc.Q())))
+			return
+		case excDecode:
+			c.halt(refsim.StopFault, fmt.Sprintf("decode at %#x", uint32(c.memwb.pc.Q())))
+			return
+		case excMem:
+			c.Insts++
+			c.halt(refsim.StopFault, fmt.Sprintf("memory fault at %#x", uint32(c.memwb.pc.Q())))
+			return
+		}
+		in, err := isa.Decode(uint32(c.memwb.ir.Q()))
+		if err != nil {
+			// Possible only under fault injection into the latches.
+			c.halt(refsim.StopFault, fmt.Sprintf("latched garbage at WB (pc %#x)", uint32(c.memwb.pc.Q())))
+			return
+		}
+		switch {
+		case in.Op == isa.OpHLT:
+			c.Insts++
+			c.halt(refsim.StopHalt, "")
+			return
+		case in.Op == isa.OpSVC:
+			c.Insts++
+			num := uint32(c.regfile.Read(int(isa.R7)))
+			a0 := uint32(c.regfile.Read(int(isa.R0)))
+			a1 := uint32(c.regfile.Read(int(isa.R1)))
+			frag, exited, ok := refsim.Syscall(num, a0, a1, cacheView{c.l1d})
+			if !ok {
+				c.halt(refsim.StopFault, fmt.Sprintf("syscall %d failed at %#x", num, uint32(c.memwb.pc.Q())))
+				return
+			}
+			c.Output = append(c.Output, frag...)
+			if exited {
+				c.ExitCode = a0
+				c.halt(refsim.StopExit, "")
+				return
+			}
+		default:
+			c.Insts++
+			if d := dstReg(in); d >= 0 {
+				wbDst = d
+				c.regfile.Write(d, uint64(wbVal))
+			}
+		}
+	}
+
+	// ------------------------------------------------------------ MEM
+	c.memwb.pass(c.exmem)
+	memResult := uint32(c.exmemR.Q())
+	if c.exmem.valid.QBool() && c.exmem.exc.Q() == excNone {
+		in, err := isa.Decode(uint32(c.exmem.ir.Q()))
+		if err != nil {
+			c.memwb.exc.SetD(excDecode)
+		} else if in.Op.IsMem() {
+			addr := uint32(c.exmemR.Q())
+			cyc := c.sim.CycleCount
+			byteOp := in.Op == isa.OpLDRB || in.Op == isa.OpLDRBR ||
+				in.Op == isa.OpSTRB || in.Op == isa.OpSTRBR
+			var res accessResult
+			var ok bool
+			switch {
+			case in.Op.IsLoad() && byteOp:
+				var b byte
+				b, res, ok = c.l1d.loadByte(addr, cyc, c.Pinout)
+				memResult = uint32(b)
+			case in.Op.IsLoad():
+				memResult, res, ok = c.l1d.loadWord(addr, cyc, c.Pinout)
+			case byteOp:
+				res, ok = c.l1d.storeByte(addr, byte(c.exmemSt.Q()), cyc, c.Pinout)
+			default:
+				res, ok = c.l1d.storeWord(addr, uint32(c.exmemSt.Q()), cyc, c.Pinout)
+			}
+			if !ok {
+				c.memwb.exc.SetD(excMem)
+			} else if res.miss {
+				stallCycles = uint64(c.cfg.MemLatency)
+			}
+		}
+	}
+	c.memwbV.SetD(uint64(memResult))
+
+	// ------------------------------------------------------------- EX
+	// Forwarding: ALU results from the instruction now in MEM, any
+	// result (including loads) from the instruction now in WB.
+	exmemIn, exmemErr := isa.Decode(uint32(c.exmem.ir.Q()))
+	fwd := func(r isa.Reg, latched uint32) uint32 {
+		if c.exmem.valid.QBool() && c.exmem.exc.Q() == excNone && exmemErr == nil &&
+			!exmemIn.Op.IsLoad() && dstReg(exmemIn) == int(r) {
+			return uint32(c.exmemR.Q())
+		}
+		if wbDst == int(r) {
+			return wbVal
+		}
+		return latched
+	}
+	redirect := false
+	var redirTarget uint32
+	c.exmem.pass(c.idex)
+	exResult := uint64(0)
+	exSt := c.idexSt.Q()
+	if c.idex.valid.QBool() && c.idex.exc.Q() == excNone {
+		in, err := isa.Decode(uint32(c.idex.ir.Q()))
+		if err != nil {
+			c.exmem.exc.SetD(excDecode)
+		} else {
+			pc := uint32(c.idex.pc.Q())
+			op := in.Op
+			var a, b uint32
+			if op == isa.OpRET {
+				a = fwd(isa.LR, uint32(c.idexA.Q()))
+			} else if op.ReadsRn() {
+				a = fwd(in.Rn, uint32(c.idexA.Q()))
+			}
+			if op.ReadsRm() {
+				b = fwd(in.Rm, uint32(c.idexB.Q()))
+			}
+			if op.IsStore() {
+				exSt = uint64(fwd(in.Rd, uint32(c.idexSt.Q())))
+			}
+			// The execute datapath evaluates structurally every
+			// cycle; the opcode muxes the outputs (datapath.go).
+			switch {
+			case op == isa.OpCMP:
+				c.flags.SetD(uint64(evalDatapath(op, a, b).flags.Pack()))
+			case op == isa.OpCMPI:
+				c.flags.SetD(uint64(evalDatapath(op, a, uint32(in.Imm)).flags.Pack()))
+			case op == isa.OpMOVI:
+				exResult = uint64(evalDatapath(op, 0, uint32(in.Imm)).result)
+			case op == isa.OpMOVT:
+				exResult = uint64(evalDatapath(op, fwd(in.Rd, uint32(c.idexA.Q())), uint32(in.Imm)).result)
+			case op.IsALUReg():
+				exResult = uint64(evalDatapath(op, a, b).result)
+			case op.IsALUImm():
+				exResult = uint64(evalDatapath(op, a, uint32(in.Imm)).result)
+			case op.IsMem():
+				off := b
+				if op == isa.OpLDR || op == isa.OpSTR || op == isa.OpLDRB || op == isa.OpSTRB {
+					off = uint32(in.Imm)
+				}
+				exResult = uint64(evalDatapath(op, a, off).result)
+			case op == isa.OpRET:
+				redirect = true
+				redirTarget = a
+			case op == isa.OpBL:
+				redirect = true
+				redirTarget = branchAdder(pc, in)
+				exResult = uint64(netAdd(pc, isa.InstBytes))
+			case op == isa.OpB:
+				redirect = true
+				redirTarget = branchAdder(pc, in)
+			case op.IsCondBranch():
+				if isa.CondHolds(op, isa.UnpackFlags(uint8(c.flags.Q()))) {
+					redirect = true
+					redirTarget = branchAdder(pc, in)
+				}
+			}
+		}
+	}
+	c.exmemR.SetD(exResult)
+	c.exmemSt.SetD(exSt)
+
+	// ------------------------------------------------------------- ID
+	loadUse := false
+	idValid := c.ifid.valid.QBool()
+	if idValid && c.ifid.exc.Q() == excNone && !redirect {
+		in, err := isa.Decode(uint32(c.ifid.ir.Q()))
+		if err != nil {
+			c.idex.pass(c.ifid)
+			c.idex.exc.SetD(excDecode)
+			c.idexA.SetD(0)
+			c.idexB.SetD(0)
+			c.idexSt.SetD(0)
+		} else {
+			// Load-use interlock: producer load in EX this cycle.
+			if c.idex.valid.QBool() && c.idex.exc.Q() == excNone {
+				if pin, perr := isa.Decode(uint32(c.idex.ir.Q())); perr == nil && pin.Op.IsLoad() {
+					for _, s := range srcRegs(in) {
+						if int(s) == dstReg(pin) {
+							loadUse = true
+						}
+					}
+					// MOVT reads its own destination through rd.
+					if in.Op == isa.OpMOVT && dstReg(pin) == int(in.Rd) {
+						loadUse = true
+					}
+				}
+			}
+			if loadUse {
+				c.idex.bubble()
+				c.idexA.SetD(0)
+				c.idexB.SetD(0)
+				c.idexSt.SetD(0)
+			} else {
+				// Register read with WB bypass (write-first regfile).
+				read := func(r isa.Reg) uint64 {
+					if wbDst == int(r) {
+						return uint64(wbVal)
+					}
+					return c.regfile.Read(int(r))
+				}
+				c.idex.pass(c.ifid)
+				switch {
+				case in.Op == isa.OpRET:
+					c.idexA.SetD(read(isa.LR))
+				case in.Op == isa.OpMOVT:
+					c.idexA.SetD(read(in.Rd))
+				case in.Op.ReadsRn():
+					c.idexA.SetD(read(in.Rn))
+				default:
+					c.idexA.SetD(0)
+				}
+				if in.Op.ReadsRm() {
+					c.idexB.SetD(read(in.Rm))
+				} else {
+					c.idexB.SetD(0)
+				}
+				if in.Op.IsStore() {
+					c.idexSt.SetD(read(in.Rd))
+				} else {
+					c.idexSt.SetD(0)
+				}
+			}
+		}
+	} else if idValid && c.ifid.exc.Q() != excNone && !redirect {
+		c.idex.pass(c.ifid)
+		c.idexA.SetD(0)
+		c.idexB.SetD(0)
+		c.idexSt.SetD(0)
+	} else {
+		c.idex.bubble()
+		c.idexA.SetD(0)
+		c.idexB.SetD(0)
+		c.idexSt.SetD(0)
+	}
+
+	// ------------------------------------------------------------- IF
+	switch {
+	case redirect:
+		c.pc.SetD(uint64(redirTarget))
+		c.ifid.bubble()
+	case loadUse:
+		// Hold pc and ifid (no SetD = hold).
+	default:
+		pc := uint32(c.pc.Q())
+		w, res, ok := c.l1i.loadWord(pc, c.sim.CycleCount, c.Pinout)
+		switch {
+		case !ok:
+			c.ifid.ir.SetD(0)
+			c.ifid.pc.SetD(uint64(pc))
+			c.ifid.valid.SetD(1)
+			c.ifid.exc.SetD(excFetch)
+			c.pc.SetD(uint64(netAdd(pc, isa.InstBytes)))
+		case res.miss:
+			if uint64(c.cfg.MemLatency) > stallCycles {
+				stallCycles = uint64(c.cfg.MemLatency)
+			}
+			c.ifid.bubble()
+			// pc holds; the refetch hits after the stall.
+		default:
+			c.ifid.ir.SetD(uint64(w))
+			c.ifid.pc.SetD(uint64(pc))
+			c.ifid.valid.SetD(1)
+			c.ifid.exc.SetD(excNone)
+			c.pc.SetD(uint64(netAdd(pc, isa.InstBytes)))
+		}
+	}
+
+	if stallCycles > 0 {
+		c.stall.SetD(stallCycles)
+	}
+}
+
+// shadowDatapath evaluates the execute units on the currently latched
+// operands during stall cycles. Results are discarded — the pipeline
+// registers hold — but the simulator pays the evaluation cost exactly as
+// an HDL simulator does for non-clock-gated combinational logic.
+func (c *Core) shadowDatapath() {
+	op := isa.OpADD
+	if in, err := isa.Decode(uint32(c.idex.ir.Q())); err == nil {
+		op = in.Op
+	}
+	_ = evalDatapath(op, uint32(c.idexA.Q()), uint32(c.idexB.Q()))
+}
+
+// netAdd is the 32-bit incrementer/adder used outside the main ALU (PC
+// increment, link value), evaluated structurally.
+func netAdd(a, b uint32) uint32 {
+	s, _, _ := rippleAdd(toNet(a), toNet(b), false)
+	return fromNet(s)
+}
+
+// branchAdder computes a branch target through the ripple adder.
+func branchAdder(pc uint32, in isa.Inst) uint32 {
+	return netAdd(pc, uint32(in.Imm)*isa.InstBytes+isa.InstBytes)
+}
+
+// ReadArchReg returns the architectural value of register r (testbench
+// helper; valid between cycles).
+func (c *Core) ReadArchReg(r int) uint32 {
+	return uint32(c.regfile.Read(r & 15))
+}

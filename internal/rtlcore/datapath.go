@@ -1,0 +1,247 @@
+package rtlcore
+
+import "repro/internal/isa"
+
+// This file is the structural description of the core's execute datapath.
+// Where the microarchitectural model computes results with host
+// arithmetic, the RTL core evaluates its functional units the way an HDL
+// simulator evaluates a netlist: every bit is an explicit net, adders are
+// ripple-carry chains of full adders, the multiplier is a 32x32 array of
+// partial products, the shifter is a five-stage barrel network and the
+// divider is a combinational restoring array. As in the real design, all
+// units evaluate every cycle on the current operand buses and a result
+// multiplexer selects the output — this is precisely why RTL simulation
+// is orders of magnitude slower than a performance model (TABLE II of the
+// paper), and here that cost is paid honestly rather than emulated.
+
+// net32 is a 32-bit bus of individual nets.
+type net32 [32]bool
+
+func toNet(v uint32) net32 {
+	var b net32
+	for i := 0; i < 32; i++ {
+		b[i] = v>>uint(i)&1 != 0
+	}
+	return b
+}
+
+func fromNet(b net32) uint32 {
+	var v uint32
+	for i := 0; i < 32; i++ {
+		if b[i] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// fullAdder is the basic cell of every arithmetic unit.
+func fullAdder(a, b, cin bool) (sum, cout bool) {
+	axb := a != b
+	return axb != cin, a && b || axb && cin
+}
+
+// rippleAdd is a 32-bit ripple-carry adder.
+func rippleAdd(a, b net32, cin bool) (s net32, cout, ovf bool) {
+	c := cin
+	var c30 bool
+	for i := 0; i < 32; i++ {
+		if i == 31 {
+			c30 = c
+		}
+		s[i], c = fullAdder(a[i], b[i], c)
+	}
+	return s, c, c != c30
+}
+
+func invert(a net32) net32 {
+	for i := range a {
+		a[i] = !a[i]
+	}
+	return a
+}
+
+// rippleSub computes a-b with ARM carry semantics (C = no borrow) and
+// the NZCV flags of the subtraction.
+func rippleSub(a, b net32) (s net32, fl isa.Flags) {
+	s, cout, ovf := rippleAdd(a, invert(b), true)
+	z := true
+	for i := 0; i < 32; i++ {
+		z = z && !s[i]
+	}
+	return s, isa.Flags{N: s[31], Z: z, C: cout, V: ovf}
+}
+
+// bitwise evaluates the AND/OR/XOR planes.
+func bitwise(a, b net32) (and, or, xor net32) {
+	for i := 0; i < 32; i++ {
+		and[i] = a[i] && b[i]
+		or[i] = a[i] || b[i]
+		xor[i] = a[i] != b[i]
+	}
+	return and, or, xor
+}
+
+// barrelShift is a five-stage logarithmic shifter. amt uses the low five
+// bits of b (the AL32 shift rule).
+func barrelShift(a net32, amt uint32, left, arith bool) net32 {
+	cur := a
+	fill := false
+	if arith {
+		fill = a[31]
+	}
+	for stage := 0; stage < 5; stage++ {
+		if amt>>uint(stage)&1 == 0 {
+			continue
+		}
+		sh := 1 << uint(stage)
+		var next net32
+		for i := 0; i < 32; i++ {
+			if left {
+				if i >= sh {
+					next[i] = cur[i-sh]
+				}
+			} else {
+				if i+sh < 32 {
+					next[i] = cur[i+sh]
+				} else {
+					next[i] = fill
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// arrayMultiply is a 32x32 array multiplier: one shifted partial product
+// per multiplier bit, summed through ripple-carry rows (low 32 bits).
+func arrayMultiply(a, b net32) net32 {
+	var acc net32
+	for i := 0; i < 32; i++ {
+		if !b[i] {
+			continue
+		}
+		var pp net32
+		for j := i; j < 32; j++ {
+			pp[j] = a[j-i]
+		}
+		acc, _, _ = rippleAdd(acc, pp, false)
+	}
+	return acc
+}
+
+// restoringDivide is a combinational 32-step restoring divider for
+// unsigned operands. Division by zero yields quotient 0 (AL32 rule).
+func restoringDivide(a, b net32) (q net32) {
+	bz := true
+	for i := 0; i < 32; i++ {
+		bz = bz && !b[i]
+	}
+	if bz {
+		return q
+	}
+	var rem net32
+	for i := 31; i >= 0; i-- {
+		// rem = rem << 1 | a[i]
+		copy(rem[1:], rem[:31])
+		rem[0] = a[i]
+		diff, fl := rippleSub(rem, b)
+		if fl.C { // rem >= b: subtract succeeded without borrow
+			rem = diff
+			q[i] = true
+		}
+	}
+	return q
+}
+
+// aluOut is every value the EX datapath produces in a cycle.
+type aluOut struct {
+	result uint32
+	flags  isa.Flags
+}
+
+// evalDatapath evaluates the full execute datapath on operand buses a and
+// b: all units compute, then the opcode selects the result, mirroring the
+// structural design. MOVT passes the old destination value through a.
+func evalDatapath(op isa.Opcode, a, b uint32) aluOut {
+	an, bn := toNet(a), toNet(b)
+
+	sum, _, _ := rippleAdd(an, bn, false)
+	diff, subFl := rippleSub(an, bn)
+	rdiff, _ := rippleSub(bn, an)
+	andP, orP, xorP := bitwise(an, bn)
+	shl := barrelShift(an, b&31, true, false)
+	shr := barrelShift(an, b&31, false, false)
+	sar := barrelShift(an, b&31, false, true)
+	prod := arrayMultiply(an, bn)
+
+	// The divider operates on magnitudes; sign correction is a mux.
+	neg := func(x net32) net32 {
+		r, _, _ := rippleAdd(invert(x), toNet(0), true)
+		return r
+	}
+	absA, absB := an, bn
+	if an[31] {
+		absA = neg(an)
+	}
+	if bn[31] {
+		absB = neg(bn)
+	}
+	udivQ := restoringDivide(an, bn)
+	sdivQ := restoringDivide(absA, absB)
+	if an[31] != bn[31] {
+		sdivQ = neg(sdivQ)
+	}
+
+	var r net32
+	switch op {
+	case isa.OpADD, isa.OpADDI:
+		r = sum
+	case isa.OpSUB, isa.OpSUBI:
+		r = diff
+	case isa.OpRSB, isa.OpRSBI:
+		r = rdiff
+	case isa.OpAND, isa.OpANDI:
+		r = andP
+	case isa.OpORR, isa.OpORRI:
+		r = orP
+	case isa.OpEOR, isa.OpEORI:
+		r = xorP
+	case isa.OpLSL, isa.OpLSLI:
+		r = shl
+	case isa.OpLSR, isa.OpLSRI:
+		r = shr
+	case isa.OpASR, isa.OpASRI:
+		r = sar
+	case isa.OpMUL:
+		r = prod
+	case isa.OpUDIV:
+		r = udivQ
+	case isa.OpSDIV:
+		bz := true
+		for i := 0; i < 32; i++ {
+			bz = bz && !bn[i]
+		}
+		switch {
+		case bz:
+			r = toNet(0)
+		case a == 0x80000000 && b == 0xFFFFFFFF:
+			r = an // overflow case: quotient wraps to the dividend
+		default:
+			r = sdivQ
+		}
+	case isa.OpMOV, isa.OpMOVI:
+		r = bn
+	case isa.OpMVN:
+		r = invert(bn)
+	case isa.OpMOVT:
+		for i := 0; i < 16; i++ {
+			r[i] = an[i]
+			r[16+i] = bn[i]
+		}
+	default:
+		r = sum // address adder path
+	}
+	return aluOut{result: fromNet(r), flags: subFl}
+}

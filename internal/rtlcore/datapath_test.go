@@ -1,0 +1,79 @@
+package rtlcore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// TestDatapathMatchesISA checks every functional unit of the structural
+// datapath against the architectural ALU definition for random operands.
+func TestDatapathMatchesISA(t *testing.T) {
+	ops := []isa.Opcode{
+		isa.OpADD, isa.OpSUB, isa.OpRSB, isa.OpAND, isa.OpORR, isa.OpEOR,
+		isa.OpLSL, isa.OpLSR, isa.OpASR, isa.OpMUL, isa.OpUDIV, isa.OpSDIV,
+		isa.OpMOV, isa.OpMVN, isa.OpMOVT,
+	}
+	for _, op := range ops {
+		op := op
+		f := func(a, b uint32) bool {
+			return evalDatapath(op, a, b).result == isa.EvalALU(op, a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", op, err)
+		}
+	}
+}
+
+// TestDatapathFlagsMatchISA checks the subtractor's NZCV against the
+// architectural definition.
+func TestDatapathFlagsMatchISA(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return evalDatapath(isa.OpCMP, a, b).flags == isa.SubFlags(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatapathEdgeCases(t *testing.T) {
+	tests := []struct {
+		op   isa.Opcode
+		a, b uint32
+	}{
+		{isa.OpUDIV, 100, 0},
+		{isa.OpSDIV, 100, 0},
+		{isa.OpSDIV, 0x80000000, 0xFFFFFFFF},
+		{isa.OpSDIV, 0xFFFFFFF9, 2},
+		{isa.OpMUL, 0xFFFFFFFF, 0xFFFFFFFF},
+		{isa.OpLSL, 1, 33},
+		{isa.OpASR, 0x80000000, 31},
+		{isa.OpMOVT, 0x1234, 0xABCD},
+	}
+	for _, tt := range tests {
+		got := evalDatapath(tt.op, tt.a, tt.b).result
+		want := isa.EvalALU(tt.op, tt.a, tt.b)
+		if got != want {
+			t.Errorf("%s(%#x, %#x) = %#x, want %#x", tt.op, tt.a, tt.b, got, want)
+		}
+	}
+}
+
+func TestNetConversionRoundTrip(t *testing.T) {
+	f := func(v uint32) bool { return fromNet(toNet(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetAddAndBranchAdder(t *testing.T) {
+	f := func(a, b uint32) bool { return netAdd(a, b) == a+b }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	in := isa.Inst{Op: isa.OpB, Imm: -3}
+	if got, want := branchAdder(100, in), in.BranchTarget(100); got != want {
+		t.Errorf("branchAdder = %d, want %d", got, want)
+	}
+}

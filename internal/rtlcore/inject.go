@@ -1,0 +1,134 @@
+package rtlcore
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/refsim"
+	"repro/internal/rtl"
+	"repro/internal/trace"
+)
+
+// Fault-injection surfaces. The campaign targets match the
+// microarchitectural model's (register file, L1D data array); the RTL
+// model additionally exposes every pipeline latch and cache state bit —
+// the capability gap §II.B of the paper describes.
+
+// RFBits returns the architectural register file size in bits. (The RTL
+// core is in-order and has no renaming, so its register file is the 16
+// architectural registers; see DESIGN.md for this substitution.)
+func (c *Core) RFBits() int { return c.regfile.Bits() }
+
+// FlipRFBit injects a single transient bit flip into the register file.
+func (c *Core) FlipRFBit(i int) error { return c.regfile.FlipBit(i) }
+
+// L1DBits returns the L1 data cache data-array size in bits.
+func (c *Core) L1DBits() int { return c.l1d.data.Bits() }
+
+// FlipL1DBit injects a single transient bit flip into the L1D data array.
+func (c *Core) FlipL1DBit(i int) error { return c.l1d.data.FlipBit(i) }
+
+// L1DLineOfBit returns the (set, way) whose line holds L1D data bit i,
+// used by injection-time advancement.
+func (c *Core) L1DLineOfBit(i int) (set, way int) {
+	word := (i / 32) / c.l1d.lineWords
+	return word / c.l1d.ways, word % c.l1d.ways
+}
+
+// StateInventory lists every injectable state element of the design.
+func (c *Core) StateInventory() []rtl.StateElement { return c.sim.StateInventory() }
+
+// LatchBits returns the total size of the pipeline and control latches —
+// the state that exists only at RTL (no microarchitectural counterpart).
+func (c *Core) LatchBits() int {
+	n := 0
+	for _, r := range c.latchRegs() {
+		n += r.Width()
+	}
+	return n
+}
+
+// FlipLatchBit injects into the flattened pipeline/control latch space.
+func (c *Core) FlipLatchBit(i int) error {
+	if i < 0 {
+		return fmt.Errorf("rtlcore: latch bit %d out of range", i)
+	}
+	for _, r := range c.latchRegs() {
+		if i < r.Width() {
+			r.FlipBit(i)
+			return nil
+		}
+		i -= r.Width()
+	}
+	return fmt.Errorf("rtlcore: latch bit beyond %d", c.LatchBits())
+}
+
+// latchRegs enumerates the non-array state elements in a stable order.
+func (c *Core) latchRegs() []*rtl.Reg {
+	return c.sim.RegsByPrefix("")
+}
+
+// SetL1DAccessHook installs a testbench callback observing every D-cache
+// access (set, way), used to record the golden access timeline for
+// injection-time advancement. Pass nil to remove.
+//
+// Implementation note: the hook lives on the cache struct and is invoked
+// from access; it is testbench instrumentation, not design state.
+func (c *Core) SetL1DAccessHook(fn func(set, way int)) {
+	c.l1d.accessHook = fn
+}
+
+// Snapshot captures the complete simulation state: kernel state (all
+// registers and arrays), a copy-on-write snapshot of backing memory, and
+// the testbench bookkeeping.
+type Snapshot struct {
+	kernel    *rtl.State
+	backing   *mem.Memory
+	output    []byte
+	stop      refsim.StopReason
+	exitCode  uint32
+	faultDesc string
+	insts     uint64
+	l1iStats  [3]uint64
+	l1dStats  [3]uint64
+}
+
+// Snapshot captures the current state; call it between Step calls.
+func (c *Core) Snapshot() *Snapshot {
+	return &Snapshot{
+		kernel:    c.sim.CaptureState(),
+		backing:   c.backing.Snapshot(),
+		output:    append([]byte(nil), c.Output...),
+		stop:      c.Stop,
+		exitCode:  c.ExitCode,
+		faultDesc: c.FaultDesc,
+		insts:     c.Insts,
+		l1iStats:  [3]uint64{c.l1i.accesses, c.l1i.misses, c.l1i.evictions},
+		l1dStats:  [3]uint64{c.l1d.accesses, c.l1d.misses, c.l1d.evictions},
+	}
+}
+
+// Restore rewinds the core to a snapshot. The snapshot remains valid and
+// can be restored again (each restore gets a fresh copy-on-write view of
+// the memory image).
+func (c *Core) Restore(s *Snapshot) {
+	c.sim.RestoreState(s.kernel)
+	c.backing = s.backing.Snapshot()
+	c.l1i.backing = c.backing
+	c.l1d.backing = c.backing
+	c.Output = append(c.Output[:0], s.output...)
+	c.Stop = s.stop
+	c.ExitCode = s.exitCode
+	c.FaultDesc = s.faultDesc
+	c.Insts = s.insts
+	c.l1i.accesses, c.l1i.misses, c.l1i.evictions = s.l1iStats[0], s.l1iStats[1], s.l1iStats[2]
+	c.l1d.accesses, c.l1d.misses, c.l1d.evictions = s.l1dStats[0], s.l1dStats[1], s.l1dStats[2]
+}
+
+// L1DStats reports (accesses, misses, evictions) for reports and tests.
+func (c *Core) L1DStats() (accesses, misses, evictions uint64) {
+	return c.l1d.accesses, c.l1d.misses, c.l1d.evictions
+}
+
+// Pin returns the current pinout capture (may be nil).
+func (c *Core) Pin() *trace.Pinout { return c.Pinout }

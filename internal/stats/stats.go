@@ -1,0 +1,179 @@
+// Package stats provides the statistical machinery of the fault-injection
+// methodology: the Leveugle et al. (DATE 2009) sample-size formulation
+// the paper uses to size its campaigns (§IV), and confidence intervals
+// for the reported vulnerability estimates.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// zTable maps common confidence levels to two-sided normal quantiles.
+var zTable = map[float64]float64{
+	0.90:  1.6449,
+	0.95:  1.9600,
+	0.99:  2.5758,
+	0.999: 3.2905,
+}
+
+// ZForConfidence returns the two-sided normal quantile for a confidence
+// level in (0, 1). Tabulated levels are exact; others are computed from a
+// rational approximation of the probit function.
+func ZForConfidence(conf float64) (float64, error) {
+	if conf <= 0 || conf >= 1 {
+		return 0, fmt.Errorf("stats: confidence %v out of (0,1)", conf)
+	}
+	if z, ok := zTable[conf]; ok {
+		return z, nil
+	}
+	return probit(0.5 + conf/2), nil
+}
+
+// probit approximates the standard normal quantile function using the
+// Beasley-Springer-Moro algorithm.
+func probit(p float64) float64 {
+	a := [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01,
+	}
+	c := [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00,
+	}
+	const pl = 0.02425
+	switch {
+	case p < pl:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pl:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// LeveugleSampleSize returns the statistical fault sample size for a
+// population of N possible faults, error margin e, and confidence level
+// conf, following Leveugle et al.:
+//
+//	n = N / (1 + e^2 * (N-1) / (t^2 * p * (1-p)))
+//
+// with the conservative p = 0.5. Pass N <= 0 for an effectively infinite
+// population. The paper's parameters (e = 0.02, conf = 0.99) yield the
+// "4000 injections" figure used for every campaign.
+func LeveugleSampleSize(populationN int64, errMargin, conf float64) (int, error) {
+	if errMargin <= 0 || errMargin >= 1 {
+		return 0, fmt.Errorf("stats: error margin %v out of (0,1)", errMargin)
+	}
+	t, err := ZForConfidence(conf)
+	if err != nil {
+		return 0, err
+	}
+	const p = 0.5
+	infinite := t * t * p * (1 - p) / (errMargin * errMargin)
+	if populationN <= 0 {
+		return int(math.Ceil(infinite)), nil
+	}
+	nf := float64(populationN)
+	n := nf / (1 + errMargin*errMargin*(nf-1)/(t*t*p*(1-p)))
+	return int(math.Ceil(n)), nil
+}
+
+// Proportion is an estimated proportion with a confidence interval.
+type Proportion struct {
+	Hits  int
+	N     int
+	P     float64 // point estimate Hits/N
+	Lo    float64 // Wilson interval lower bound
+	Hi    float64 // Wilson interval upper bound
+	Conf  float64
+	Sigma float64 // normal-approximation standard error
+}
+
+// EstimateProportion computes the point estimate and Wilson score
+// interval for hits successes out of n trials at the given confidence.
+func EstimateProportion(hits, n int, conf float64) (Proportion, error) {
+	if n <= 0 {
+		return Proportion{}, fmt.Errorf("stats: n must be positive, got %d", n)
+	}
+	if hits < 0 || hits > n {
+		return Proportion{}, fmt.Errorf("stats: hits %d out of [0,%d]", hits, n)
+	}
+	z, err := ZForConfidence(conf)
+	if err != nil {
+		return Proportion{}, err
+	}
+	p := float64(hits) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	return Proportion{
+		Hits: hits, N: n, P: p,
+		Lo: math.Max(0, center-half), Hi: math.Min(1, center+half),
+		Conf:  conf,
+		Sigma: math.Sqrt(p * (1 - p) / nf),
+	}, nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// AbsDiffStats summarises the per-benchmark differences between two
+// vulnerability series (the paper's "percentile units" and relative-
+// difference headline numbers).
+type AbsDiffStats struct {
+	MeanAbsDiff float64 // mean |a-b|, in absolute (percentile-unit) terms
+	MeanRelDiff float64 // mean |a-b| / max(a, b), skipping zero pairs
+	MaxAbsDiff  float64
+}
+
+// CompareSeries computes the difference statistics between two
+// equally-long vulnerability series.
+func CompareSeries(a, b []float64) (AbsDiffStats, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return AbsDiffStats{}, fmt.Errorf("stats: series lengths %d, %d", len(a), len(b))
+	}
+	var out AbsDiffStats
+	var relN int
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		out.MeanAbsDiff += d
+		if d > out.MaxAbsDiff {
+			out.MaxAbsDiff = d
+		}
+		if m := math.Max(a[i], b[i]); m > 0 {
+			out.MeanRelDiff += d / m
+			relN++
+		}
+	}
+	out.MeanAbsDiff /= float64(len(a))
+	if relN > 0 {
+		out.MeanRelDiff /= float64(relN)
+	}
+	return out, nil
+}
