@@ -1,6 +1,6 @@
 package repro
 
-// One benchmark per reproduced table and figure (DESIGN.md's experiment
+// One benchmark per reproduced table and figure (EXPERIMENTS.md's experiment
 // index E1-E8), plus throughput micro-benchmarks for the simulators
 // themselves. Campaign benchmarks use miniature samples so `go test
 // -bench=.` completes in minutes; cmd/paper runs the full versions.

@@ -4,6 +4,10 @@
 //	runsim -list
 //	runsim -bench sha -model rtl
 //	runsim -file prog.s -model microarch -v
+//
+// -golden runs the campaign engine's golden-artifact phase instead of a
+// bare simulation, reporting what one shared golden run of a sweep
+// costs and captures (snapshots, pinout transactions, output bytes).
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/bench"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/refsim"
 	"repro/internal/trace"
@@ -35,6 +40,8 @@ func run(args []string) error {
 		list      = fs.Bool("list", false, "list built-in workloads")
 		maxCycles = fs.Uint64("max-cycles", 1<<32, "cycle budget")
 		paperCfg  = fs.Bool("tableI", false, "use TABLE I caches (32KB) instead of the campaign scaling")
+		golden    = fs.Bool("golden", false, "run the campaign golden-artifact phase (snapshots + pinout + timeline) and report its cost")
+		snapEvery = fs.Uint64("snapshot-every", 0, "golden snapshot interval in cycles with -golden (0 = default 2048)")
 		verbose   = fs.Bool("v", false, "print program output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -95,6 +102,20 @@ func run(args []string) error {
 	setup := core.CampaignSetup()
 	if *paperCfg {
 		setup = core.DefaultSetup()
+	}
+	if *golden {
+		g, err := campaign.PrepareGolden(core.Factory(m, prog, setup),
+			campaign.GoldenOptions{SnapshotEvery: *snapEvery, Timeline: true, MaxCycles: *maxCycles})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model=%v setup=%s golden: %d cycles, %d pinout txns, %d snapshots, %d output bytes, wall=%v (%.2f Mcyc/s)\n",
+			m, setup.Name, g.Cycles, g.Txns, g.Snapshots(), len(g.Output),
+			g.Elapsed, float64(g.Cycles)/g.Elapsed.Seconds()/1e6)
+		if *verbose {
+			os.Stdout.Write(g.Output)
+		}
+		return nil
 	}
 	sim, err := core.NewSimulator(m, prog, setup)
 	if err != nil {

@@ -11,7 +11,9 @@
 package campaign
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -141,9 +143,15 @@ type Config struct {
 	Confidence float64
 }
 
+// defaultSnapshotEvery is the golden-run snapshot interval selected by
+// SnapshotEvery == 0 (~64 snapshots on the scaled workloads).
+const defaultSnapshotEvery = 2048
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
 func (c *Config) fillDefaults() {
 	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+		c.Workers = defaultWorkers()
 	}
 	if c.Confidence == 0 {
 		c.Confidence = 0.99
@@ -186,112 +194,244 @@ type Result struct {
 	GoldenElapsed time.Duration
 }
 
-// Run executes a campaign.
-func Run(factory Factory, cfg Config) (*Result, error) {
-	cfg.fillDefaults()
-	if cfg.Injections <= 0 {
-		return nil, fmt.Errorf("campaign: Injections must be positive")
+// validate normalises a config and rejects impossible combinations. It
+// is shared by Run and Sweep so both paths enforce identical rules.
+func (c *Config) validate() error {
+	c.fillDefaults()
+	if c.Injections <= 0 {
+		return fmt.Errorf("campaign: Injections must be positive")
 	}
-	if cfg.Obs == ObsSOP && cfg.Window > 0 {
-		return nil, fmt.Errorf("campaign: the software observation point requires run-to-end (Window=0)")
+	if c.Obs == ObsSOP && c.Window > 0 {
+		return fmt.Errorf("campaign: the software observation point requires run-to-end (Window=0)")
 	}
+	return nil
+}
 
-	// ---------------------------------------------------- golden run
-	golden, err := factory()
+// GoldenOptions parameterises the golden-artifact phase.
+type GoldenOptions struct {
+	// SnapshotEvery is the snapshot interval in cycles (0 selects the
+	// default of 2048). It must match the campaign's SnapshotEvery for
+	// the artifacts to be shareable with that campaign.
+	SnapshotEvery uint64
+
+	// Timeline records the L1D access timeline during the golden run,
+	// required by configs with AdvanceToUse. Recording is observation
+	// only and never perturbs the simulation, so a timeline-enabled
+	// golden run serves configs without advancement too.
+	Timeline bool
+
+	// MaxCycles aborts the golden run with an error if the program has
+	// not stopped within this many cycles (0 = unbounded); a hung
+	// workload fails fast instead of accumulating snapshots forever.
+	MaxCycles uint64
+}
+
+// Golden holds every artifact of one golden run: the snapshots, pinout
+// trace, program output, cycle count and (optionally) the L1D access
+// timeline. One Golden can back any number of campaign configs built
+// from the same factory — this is what the sweep scheduler shares.
+type Golden struct {
+	Cycles  uint64        // golden run length
+	Txns    int           // pinout transactions emitted
+	Output  []byte        // program output at the SOP
+	Elapsed time.Duration // wall time of the golden run (TABLE II's cost)
+
+	sim      Simulator // the stopped golden instance (bit spaces, L1D geometry)
+	pin      *trace.Pinout
+	snaps    []snapAt
+	timeline map[[2]int][]uint64
+	opts     GoldenOptions
+}
+
+// Snapshots reports how many differential-injection snapshots were taken.
+func (g *Golden) Snapshots() int { return len(g.snaps) }
+
+// fingerprint identifies the golden run's observable behavior (cycle
+// count, pinout volume, program output) so checkpoint resume can detect
+// that a simulator or workload change altered the run even when the
+// cycle count — all the fault plan depends on — happens to survive.
+func (g *Golden) fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], g.Cycles)
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.Txns))
+	h.Write(buf[:])
+	h.Write(g.Output)
+	return h.Sum64()
+}
+
+// PrepareGolden executes the golden-artifact phase: one full fault-free
+// run capturing snapshots, the pinout trace, the program output and
+// (when opts.Timeline is set) the L1D access timeline.
+func PrepareGolden(factory Factory, opts GoldenOptions) (*Golden, error) {
+	sim, err := factory()
 	if err != nil {
 		return nil, fmt.Errorf("campaign: golden simulator: %w", err)
 	}
-	goldenPin := &trace.Pinout{}
-	golden.SetPinout(goldenPin)
+	g := &Golden{sim: sim, pin: &trace.Pinout{}, opts: opts}
+	sim.SetPinout(g.pin)
 
-	// Record the L1D access timeline when advancement is requested.
-	var timeline map[[2]int][]uint64
-	if cfg.AdvanceToUse {
-		timeline = make(map[[2]int][]uint64)
-		golden.SetL1DAccessHook(func(set, way int) {
+	if opts.Timeline {
+		g.timeline = make(map[[2]int][]uint64)
+		sim.SetL1DAccessHook(func(set, way int) {
 			k := [2]int{set, way}
-			timeline[k] = append(timeline[k], golden.Cycles())
+			g.timeline[k] = append(g.timeline[k], sim.Cycles())
 		})
 	}
 
-	gStart := time.Now()
-	snaps, err := goldenRunWithSnapshots(golden, cfg.SnapshotEvery)
+	start := time.Now()
+	snaps, err := goldenRunWithSnapshots(sim, opts.SnapshotEvery, opts.MaxCycles)
 	if err != nil {
 		return nil, err
 	}
-	gElapsed := time.Since(gStart)
-	golden.SetL1DAccessHook(nil)
-	stop := golden.StopReason()
+	g.Elapsed = time.Since(start)
+	g.snaps = snaps
+	sim.SetL1DAccessHook(nil)
+	stop := sim.StopReason()
 	if stop != refsim.StopExit && stop != refsim.StopHalt {
 		return nil, fmt.Errorf("campaign: golden run stopped with %v", stop)
 	}
-	goldenCycles := golden.Cycles()
-	goldenOut := append([]byte(nil), golden.Output()...)
-	if goldenCycles < 16 {
-		return nil, fmt.Errorf("campaign: golden run too short (%d cycles)", goldenCycles)
+	g.Cycles = sim.Cycles()
+	g.Txns = g.pin.Len()
+	g.Output = append([]byte(nil), sim.Output()...)
+	if g.Cycles < 16 {
+		return nil, fmt.Errorf("campaign: golden run too short (%d cycles)", g.Cycles)
 	}
+	return g, nil
+}
 
-	// ---------------------------------------------------- fault plan
-	bits := golden.Bits(cfg.Target)
+// plan derives the campaign's fault plan from the golden artifacts. The
+// plan depends only on (seed, target bit space, golden cycle count,
+// distribution), so campaigns sharing a Golden produce plans
+// bit-identical to standalone runs.
+func (g *Golden) plan(cfg Config) ([]fault.Spec, error) {
+	bits := g.sim.Bits(cfg.Target)
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	specs, err := fault.Plan(cfg.Injections, cfg.Target, bits, goldenCycles, cfg.TimeDist, rng)
+	specs, err := fault.Plan(cfg.Injections, cfg.Target, bits, g.Cycles, cfg.TimeDist, rng)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.AdvanceToUse && cfg.Target == fault.TargetL1D {
-		for i := range specs {
-			specs[i].Cycle = advance(specs[i], timeline, golden)
+		if g.timeline == nil {
+			return nil, fmt.Errorf("campaign: AdvanceToUse requires a golden run with GoldenOptions.Timeline")
 		}
+		for i := range specs {
+			specs[i].Cycle = advance(specs[i], g.timeline, g.sim)
+		}
+	}
+	return specs, nil
+}
+
+// hangBudget is the cycle limit beyond which a run-to-end replay is
+// classified as a hang.
+func (g *Golden) hangBudget() uint64 { return g.Cycles*2 + 50_000 }
+
+// Run executes one standalone campaign: golden-artifact phase, fault
+// plan, replay/classify phase on a private worker pool, aggregation.
+// Sweep runs many campaigns over shared goldens and one global pool;
+// both produce bit-identical Outcomes for the same factory and config.
+func Run(factory Factory, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g, err := PrepareGolden(factory, GoldenOptions{
+		SnapshotEvery: cfg.SnapshotEvery,
+		Timeline:      cfg.AdvanceToUse,
+	})
+	if err != nil {
+		return nil, err
+	}
+	specs, err := g.plan(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	// ------------------------------------------------------- replays
-	hangBudget := goldenCycles*2 + 50_000
 	outcomes := make([]RunOutcome, len(specs))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	errs := make([]error, cfg.Workers)
+	indices := make([]int, len(specs))
+	for i := range indices {
+		indices[i] = i
+	}
 	start := time.Now()
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			sim, err := factory()
-			if err != nil {
-				errs[worker] = err
-				return
-			}
-			for i := range jobs {
-				oc, err := oneRun(sim, snaps, specs[i], cfg, goldenPin, goldenOut, goldenCycles, hangBudget)
-				if err != nil {
-					errs[worker] = err
-					return
-				}
-				outcomes[i] = oc
-			}
-		}(w)
-	}
-	for i := range specs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return nil, e
+	err = dispatchJobs(cfg.Workers, indices, func(_ int, jobs <-chan int) error {
+		sim, err := factory()
+		if err != nil {
+			return err
 		}
+		for i := range jobs {
+			oc, err := oneRun(sim, g, specs[i], cfg)
+			if err != nil {
+				return err
+			}
+			outcomes[i] = oc
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	elapsed := time.Since(start)
 
-	// --------------------------------------------------- aggregation
+	return aggregate(cfg, g, outcomes, elapsed)
+}
+
+// dispatchJobs fans pending out to `workers` copies of worker over an
+// unbuffered channel. Dispatch is cancelled on the first worker error:
+// surviving workers keep draining what was already queued, but nothing
+// new is sent, so the pool terminates even when every worker dies
+// early (the historical all-workers-exit deadlock). Returns the first
+// worker error. Both Run and Sweep pools are built on this.
+func dispatchJobs[T any](workers int, pending []T, worker func(id int, jobs <-chan T) error) error {
+	var (
+		wg       sync.WaitGroup
+		stopOnce sync.Once
+		errMu    sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan T)
+	stop := make(chan struct{})
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := worker(id, jobs); err != nil {
+				fail(err)
+			}
+		}(w)
+	}
+dispatch:
+	for _, j := range pending {
+		select {
+		case jobs <- j:
+		case <-stop:
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}
+
+// aggregate folds the replay outcomes into a campaign result.
+func aggregate(cfg Config, g *Golden, outcomes []RunOutcome, elapsed time.Duration) (*Result, error) {
 	res := &Result{
 		Config:        cfg,
-		GoldenCycles:  goldenCycles,
-		GoldenTxns:    goldenPin.Len(),
+		GoldenCycles:  g.Cycles,
+		GoldenTxns:    g.Txns,
 		Counts:        make(map[Class]int, int(numClasses)),
 		Outcomes:      outcomes,
 		Elapsed:       elapsed,
-		AvgSecPerRun:  elapsed.Seconds() / float64(len(specs)),
-		GoldenElapsed: gElapsed,
+		AvgSecPerRun:  elapsed.Seconds() / float64(len(outcomes)),
+		GoldenElapsed: g.Elapsed,
 	}
 	unsafe := 0
 	for _, oc := range outcomes {
@@ -300,6 +440,7 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 			unsafe++
 		}
 	}
+	var err error
 	res.Unsafeness, err = stats.EstimateProportion(unsafe, len(outcomes), cfg.Confidence)
 	if err != nil {
 		return nil, err
@@ -308,17 +449,20 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 }
 
 // goldenRunWithSnapshots runs to completion capturing periodic snapshots,
-// including one at cycle 0.
-func goldenRunWithSnapshots(sim Simulator, every uint64) ([]snapAt, error) {
+// including one at cycle 0. A non-zero max aborts a runaway program.
+func goldenRunWithSnapshots(sim Simulator, every, max uint64) ([]snapAt, error) {
 	snaps := []snapAt{{cycle: sim.Cycles(), snap: sim.Snapshot()}}
 	if every == 0 {
-		every = 2048
+		every = defaultSnapshotEvery
 	}
 	next := sim.Cycles() + every
 	for sim.Step() {
 		if sim.Cycles() >= next {
 			snaps = append(snaps, snapAt{cycle: sim.Cycles(), snap: sim.Snapshot()})
 			next = sim.Cycles() + every
+		}
+		if max > 0 && sim.Cycles() >= max {
+			return nil, fmt.Errorf("campaign: golden run exceeded the %d-cycle budget", max)
 		}
 	}
 	return snaps, nil
@@ -356,10 +500,10 @@ func advance(s fault.Spec, timeline map[[2]int][]uint64, sim Simulator) uint64 {
 }
 
 // oneRun replays a single faulty simulation and classifies it.
-func oneRun(sim Simulator, snaps []snapAt, spec fault.Spec, cfg Config,
-	goldenPin *trace.Pinout, goldenOut []byte, goldenCycles, hangBudget uint64) (RunOutcome, error) {
-
-	base := nearestSnap(snaps, spec.Cycle)
+func oneRun(sim Simulator, g *Golden, spec fault.Spec, cfg Config) (RunOutcome, error) {
+	goldenPin, goldenOut, goldenCycles := g.pin, g.Output, g.Cycles
+	hangBudget := g.hangBudget()
+	base := nearestSnap(g.snaps, spec.Cycle)
 	sim.Restore(base.snap)
 	pin := &trace.Pinout{}
 	sim.SetPinout(pin)

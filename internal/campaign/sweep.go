@@ -1,0 +1,469 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// SweepCampaign is one campaign of a sweep matrix.
+type SweepCampaign struct {
+	// Key uniquely identifies the campaign within the sweep (e.g.
+	// "fig1/GeFIN/qsort"); it names the campaign in Results and in
+	// checkpoint records.
+	Key string
+
+	// Group is the golden-sharing key. Campaigns with the same Group
+	// MUST be built from behaviourally identical factories (same
+	// model, program and setup): the sweep runs ONE golden run per
+	// group and shares its snapshots, pinout trace, program output,
+	// L1D timeline and cycle count across every member.
+	Group string
+
+	Factory Factory
+	Config  Config
+}
+
+// GoldenInfo summarises one shared golden run — the measured cost TABLE
+// II reports, exposed so callers never re-simulate a golden run the
+// sweep already executed.
+type GoldenInfo struct {
+	Group     string
+	Cycles    uint64
+	Txns      int
+	Elapsed   time.Duration
+	Snapshots int
+}
+
+// SweepResult aggregates a sweep.
+type SweepResult struct {
+	// Results maps each campaign Key to its result. Per-campaign
+	// Elapsed/AvgSecPerRun are attributed busy time (the sum of that
+	// campaign's replay wall times across the shared pool), not the
+	// sweep's wall clock; replays resumed from checkpoints contribute
+	// nothing, so a fully resumed campaign reports both as zero.
+	Results map[string]*Result
+
+	// Goldens maps each golden-sharing Group to its measured run. If
+	// several snapshot schedules split one Group into multiple golden
+	// runs, the first-planned schedule's run is recorded. Golden runs
+	// execute concurrently on the pool, so Elapsed values include
+	// whatever contention the machine exhibits under parallel load.
+	Goldens map[string]GoldenInfo
+
+	// GoldenRuns counts golden runs actually executed — the sweep's
+	// whole point is that this is #groups, not #campaigns.
+	GoldenRuns int
+
+	// Resumed counts replays restored from checkpoint shards instead
+	// of re-executed.
+	Resumed int
+
+	Elapsed time.Duration
+}
+
+// SweepOptions parameterises the shared replay pool.
+type SweepOptions struct {
+	// Workers bounds global sweep parallelism; zero uses GOMAXPROCS.
+	// Per-campaign Config.Workers is ignored: all replays of all
+	// campaigns go through this one pool, so stragglers of one
+	// campaign never idle workers that could run another's replays.
+	Workers int
+
+	// CheckpointDir enables streaming per-run outcome checkpoints:
+	// every completed replay is appended to a JSONL shard in this
+	// directory, and a later sweep over the same matrix resumes by
+	// loading matching records instead of re-simulating. Empty
+	// disables checkpointing.
+	CheckpointDir string
+}
+
+// groupKey derives the internal golden-sharing key: the caller's Group
+// plus the normalised snapshot schedule, so artifact sharing can never
+// pair a campaign with snapshots taken on a different schedule (the
+// determinism contract is "bit-identical to standalone Run").
+func groupKey(c SweepCampaign) string {
+	every := c.Config.SnapshotEvery
+	if every == 0 {
+		every = defaultSnapshotEvery
+	}
+	return fmt.Sprintf("%s/snap%d", c.Group, every)
+}
+
+type sweepGroup struct {
+	name    string // caller-visible Group
+	factory Factory
+	opts    GoldenOptions
+	golden  *Golden
+	members []int // campaign indices
+}
+
+// Sweep plans a matrix of campaigns, executes one golden run per
+// (Group, snapshot schedule), shares its artifacts across every member
+// campaign, and dispatches ALL replays through one global worker pool
+// with per-worker simulator reuse. Results are bit-identical to calling
+// Run per campaign with the same seeds: the fault plan depends only on
+// seed + golden cycle count, which sharing preserves.
+func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
+	if len(campaigns) == 0 {
+		return nil, fmt.Errorf("campaign: empty sweep")
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = defaultWorkers()
+	}
+	// Work on a copy: validation fills config defaults in place, and the
+	// caller's matrix must not change under it.
+	campaigns = append([]SweepCampaign(nil), campaigns...)
+	seen := make(map[string]bool, len(campaigns))
+	for i := range campaigns {
+		c := &campaigns[i]
+		if c.Key == "" || c.Group == "" || c.Factory == nil {
+			return nil, fmt.Errorf("campaign: sweep campaign %d needs Key, Group and Factory", i)
+		}
+		if seen[c.Key] {
+			return nil, fmt.Errorf("campaign: duplicate sweep key %q", c.Key)
+		}
+		seen[c.Key] = true
+		if err := c.Config.validate(); err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Key, err)
+		}
+	}
+
+	start := time.Now()
+
+	// ------------------------------------------- golden phase (1/group)
+	groups := make(map[string]*sweepGroup)
+	var order []string
+	for i, c := range campaigns {
+		k := groupKey(c)
+		gr, ok := groups[k]
+		if !ok {
+			gr = &sweepGroup{
+				name:    c.Group,
+				factory: c.Factory,
+				opts:    GoldenOptions{SnapshotEvery: c.Config.SnapshotEvery},
+			}
+			groups[k] = gr
+			order = append(order, k)
+		}
+		if c.Config.AdvanceToUse {
+			gr.opts.Timeline = true
+		}
+		gr.members = append(gr.members, i)
+	}
+	// Groups are independent, so golden runs go through the pool too —
+	// with the default bench list the RTL goldens dominate this phase,
+	// and running them sequentially would idle every other worker.
+	goldenWorkers := opt.Workers
+	if goldenWorkers > len(order) {
+		goldenWorkers = len(order)
+	}
+	err := dispatchJobs(goldenWorkers, order, func(_ int, keys <-chan string) error {
+		for k := range keys {
+			gr := groups[k]
+			g, err := PrepareGolden(gr.factory, gr.opts)
+			if err != nil {
+				return fmt.Errorf("campaign: golden run for group %q: %w", gr.name, err)
+			}
+			gr.golden = g
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	goldens := make(map[string]GoldenInfo, len(groups))
+	for _, k := range order {
+		gr := groups[k]
+		if _, ok := goldens[gr.name]; ok {
+			continue // first-planned snapshot schedule wins for a split Group
+		}
+		g := gr.golden
+		goldens[gr.name] = GoldenInfo{
+			Group: gr.name, Cycles: g.Cycles, Txns: g.Txns,
+			Elapsed: g.Elapsed, Snapshots: g.Snapshots(),
+		}
+	}
+
+	// ----------------------------------------------------- fault plans
+	plans := make([][]fault.Spec, len(campaigns))
+	outcomes := make([][]RunOutcome, len(campaigns))
+	campGroup := make([]*sweepGroup, len(campaigns))
+	goldenFp := make([]uint64, len(campaigns))
+	for i, c := range campaigns {
+		gr := groups[groupKey(c)]
+		campGroup[i] = gr
+		goldenFp[i] = gr.golden.fingerprint()
+		specs, err := gr.golden.plan(c.Config)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Key, err)
+		}
+		plans[i] = specs
+		outcomes[i] = make([]RunOutcome, len(specs))
+	}
+
+	// ------------------------------------------------ checkpoint resume
+	done := make([][]bool, len(campaigns))
+	for i := range done {
+		done[i] = make([]bool, len(plans[i]))
+	}
+	resumed := 0
+	if opt.CheckpointDir != "" {
+		if err := os.MkdirAll(opt.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: checkpoint dir: %w", err)
+		}
+		var err error
+		resumed, err = loadCheckpoints(opt.CheckpointDir, campaigns, plans, goldenFp, outcomes, done)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// -------------------------------------- replay phase (global pool)
+	// Jobs are dispatched group-major so per-worker cached simulators
+	// stay hot and at most a few groups are live at once.
+	type job struct{ camp, idx int }
+	var pending []job
+	for _, k := range order {
+		for _, ci := range groups[k].members {
+			for si := range plans[ci] {
+				if !done[ci][si] {
+					pending = append(pending, job{ci, si})
+				}
+			}
+		}
+	}
+
+	busy := make([]int64, len(campaigns)) // attributed ns per campaign
+	err = dispatchJobs(opt.Workers, pending, func(worker int, jobs <-chan job) (retErr error) {
+		// Group-major dispatch means each worker sees a non-decreasing
+		// group sequence, so it only ever needs ONE live simulator: the
+		// current group's, reused across campaigns and replays and
+		// dropped when the group changes (bounding live simulators at
+		// ~workers instead of workers x groups).
+		var (
+			cur *sweepGroup
+			sim Simulator
+		)
+		var ckpt *shardWriter
+		if opt.CheckpointDir != "" {
+			var err error
+			ckpt, err = newShardWriter(opt.CheckpointDir, worker)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if cerr := ckpt.close(); cerr != nil && retErr == nil {
+					retErr = cerr
+				}
+			}()
+		}
+		for j := range jobs {
+			c := &campaigns[j.camp]
+			gr := campGroup[j.camp]
+			if gr != cur {
+				var err error
+				sim, err = c.Factory()
+				if err != nil {
+					return fmt.Errorf("%s: worker simulator: %w", c.Key, err)
+				}
+				cur = gr
+			}
+			t0 := time.Now()
+			oc, err := oneRun(sim, gr.golden, plans[j.camp][j.idx], c.Config)
+			if err != nil {
+				return fmt.Errorf("%s: %w", c.Key, err)
+			}
+			atomic.AddInt64(&busy[j.camp], int64(time.Since(t0)))
+			outcomes[j.camp][j.idx] = oc
+			if ckpt != nil {
+				if err := ckpt.write(c.Key, j.idx, oc, c.Config, goldenFp[j.camp]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// ------------------------------------------------------ aggregation
+	sr := &SweepResult{
+		Results:    make(map[string]*Result, len(campaigns)),
+		Goldens:    goldens,
+		GoldenRuns: len(groups),
+		Resumed:    resumed,
+		Elapsed:    time.Since(start),
+	}
+	for i, c := range campaigns {
+		res, err := aggregate(c.Config, campGroup[i].golden, outcomes[i],
+			time.Duration(atomic.LoadInt64(&busy[i])))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Key, err)
+		}
+		// Busy time only accrues on replays executed this sweep, so the
+		// per-run average must use that count, not the total: a fully
+		// resumed campaign reports 0, never a bogus tiny throughput.
+		executed := 0
+		for _, d := range done[i] {
+			if !d {
+				executed++
+			}
+		}
+		if executed > 0 {
+			res.AvgSecPerRun = res.Elapsed.Seconds() / float64(executed)
+		} else {
+			res.AvgSecPerRun = 0
+		}
+		sr.Results[c.Key] = res
+	}
+	return sr, nil
+}
+
+// ---------------------------------------------------------- checkpoints
+
+// ckptRecord is one streamed replay outcome. The planned spec, the
+// classification-affecting config (window, observation point, compare
+// mode — which the spec does not depend on) AND a fingerprint of the
+// golden run are embedded so resume can self-validate: a record is only
+// accepted when the sweep's freshly derived plan, config and golden all
+// agree with it, which makes stale shards (different seed, window,
+// matrix, or simulator/workload behavior) harmless.
+type ckptRecord struct {
+	Campaign string `json:"campaign"`
+	Index    int    `json:"index"`
+	Target   int    `json:"target"`
+	Bit      int    `json:"bit"`
+	Cycle    uint64 `json:"cycle"`
+	Window   uint64 `json:"window"`
+	Obs      int    `json:"obs"`
+	Compare  int    `json:"compare"`
+	Golden   uint64 `json:"golden"` // Golden.fingerprint() of the backing run
+	Class    int    `json:"class"`
+	EndCycle uint64 `json:"endCycle"`
+}
+
+const shardPrefix = "shard-"
+
+type shardWriter struct {
+	f   *os.File
+	buf *bufio.Writer
+	enc *json.Encoder
+}
+
+func newShardWriter(dir string, worker int) (*shardWriter, error) {
+	f, err := os.OpenFile(
+		filepath.Join(dir, fmt.Sprintf("%s%03d.jsonl", shardPrefix, worker)),
+		os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint shard: %w", err)
+	}
+	buf := bufio.NewWriter(f)
+	return &shardWriter{f: f, buf: buf, enc: json.NewEncoder(buf)}, nil
+}
+
+func (w *shardWriter) write(key string, idx int, oc RunOutcome, cfg Config, golden uint64) error {
+	err := w.enc.Encode(ckptRecord{
+		Campaign: key, Index: idx,
+		Target: int(oc.Spec.Target), Bit: oc.Spec.Bit, Cycle: oc.Spec.Cycle,
+		Window: cfg.Window, Obs: int(cfg.Obs), Compare: int(cfg.CompareMode),
+		Golden: golden,
+		Class:  int(oc.Class), EndCycle: oc.EndCycle,
+	})
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+// close flushes and closes the shard; a failure here means completed
+// records may not be durable, so it must reach the caller.
+func (w *shardWriter) close() error {
+	ferr := w.buf.Flush()
+	cerr := w.f.Close()
+	if ferr != nil {
+		return fmt.Errorf("campaign: checkpoint flush: %w", ferr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("campaign: checkpoint close: %w", cerr)
+	}
+	return nil
+}
+
+// loadCheckpoints replays JSONL shards into the outcome tables,
+// returning how many replays were resumed. Records that do not match a
+// campaign key or its planned spec are skipped silently.
+func loadCheckpoints(dir string, campaigns []SweepCampaign,
+	plans [][]fault.Spec, goldenFp []uint64, outcomes [][]RunOutcome, done [][]bool) (int, error) {
+
+	byKey := make(map[string]int, len(campaigns))
+	for i, c := range campaigns {
+		byKey[c.Key] = i
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("campaign: checkpoint dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), shardPrefix) && strings.HasSuffix(e.Name(), ".jsonl") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	resumed := 0
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return 0, fmt.Errorf("campaign: checkpoint shard: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var r ckptRecord
+			if json.Unmarshal([]byte(line), &r) != nil {
+				continue // torn final line of an interrupted sweep
+			}
+			ci, ok := byKey[r.Campaign]
+			if !ok || r.Index < 0 || r.Index >= len(plans[ci]) {
+				continue
+			}
+			spec := plans[ci][r.Index]
+			if int(spec.Target) != r.Target || spec.Bit != r.Bit || spec.Cycle != r.Cycle {
+				continue // stale shard from a different plan
+			}
+			cfg := campaigns[ci].Config
+			if r.Window != cfg.Window || r.Obs != int(cfg.Obs) || r.Compare != int(cfg.CompareMode) {
+				continue // same plan but a different classification config
+			}
+			if r.Golden != goldenFp[ci] {
+				continue // simulator or workload behavior changed under the plan
+			}
+			if !done[ci][r.Index] {
+				resumed++
+			}
+			done[ci][r.Index] = true
+			outcomes[ci][r.Index] = RunOutcome{
+				Spec: spec, Class: Class(r.Class), EndCycle: r.EndCycle,
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return 0, fmt.Errorf("campaign: checkpoint shard %s: %w", name, err)
+		}
+	}
+	return resumed, nil
+}

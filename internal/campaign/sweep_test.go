@@ -1,0 +1,338 @@
+package campaign_test
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/refsim"
+	"repro/internal/trace"
+)
+
+// mockSim is a deterministic counter machine implementing the campaign
+// Simulator interface, used to drive error paths no real model hits.
+type mockSim struct {
+	cycles uint64
+	limit  uint64
+	stop   refsim.StopReason
+	broken bool // Step fails immediately (replay-error injection)
+}
+
+func (s *mockSim) Step() bool {
+	if s.broken {
+		s.stop = refsim.StopFault
+		return false
+	}
+	s.cycles++
+	if s.cycles >= s.limit {
+		s.stop = refsim.StopExit
+		return false
+	}
+	return true
+}
+
+func (s *mockSim) Run(max uint64) refsim.StopReason {
+	for s.cycles < max {
+		if !s.Step() {
+			return s.stop
+		}
+	}
+	s.stop = refsim.StopLimit
+	return s.stop
+}
+
+func (s *mockSim) Cycles() uint64                  { return s.cycles }
+func (s *mockSim) StopReason() refsim.StopReason   { return s.stop }
+func (s *mockSim) Output() []byte                  { return []byte("ok") }
+func (s *mockSim) SetPinout(*trace.Pinout)         {}
+func (s *mockSim) Bits(fault.Target) int           { return 32 }
+func (s *mockSim) Flip(fault.Target, int) error    { return nil }
+func (s *mockSim) Snapshot() campaign.Snapshot     { return s.cycles }
+func (s *mockSim) SetL1DAccessHook(func(int, int)) {}
+func (s *mockSim) L1DLineOfBit(int) (int, int)     { return 0, 0 }
+func (s *mockSim) Restore(snap campaign.Snapshot)  { s.cycles = snap.(uint64); s.stop = 0 }
+
+// runWithTimeout guards against the historical all-workers-dead
+// deadlock: the campaign must terminate, not hang the test binary.
+func runWithTimeout(t *testing.T, f campaign.Factory, cfg campaign.Config) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		_, err := campaign.Run(f, cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(60 * time.Second):
+		t.Fatal("campaign.Run did not terminate (worker-pool deadlock)")
+		return nil
+	}
+}
+
+func errCfg() campaign.Config {
+	return campaign.Config{
+		Injections: 50, Seed: 7, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 10, Workers: 4,
+	}
+}
+
+func TestGoldenFactoryErrorPropagates(t *testing.T) {
+	boom := errors.New("no simulator for you")
+	_, err := campaign.Run(func() (campaign.Simulator, error) { return nil, boom }, errCfg())
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("golden factory error not propagated: %v", err)
+	}
+}
+
+func TestAllWorkerFactoriesFailNoDeadlock(t *testing.T) {
+	// The golden instance builds fine; every worker instance fails, so
+	// with the old unbuffered dispatch no one drained the jobs channel.
+	var calls int32
+	boom := errors.New("worker factory down")
+	factory := func() (campaign.Simulator, error) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			return &mockSim{limit: 100}, nil
+		}
+		return nil, boom
+	}
+	err := runWithTimeout(t, factory, errCfg())
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("want worker factory error, got %v", err)
+	}
+}
+
+func TestAllWorkersReplayErrorNoDeadlock(t *testing.T) {
+	// Every replay instance breaks on its first Step, so every worker
+	// exits early through the oneRun error path.
+	var calls int32
+	factory := func() (campaign.Simulator, error) {
+		broken := atomic.AddInt32(&calls, 1) > 1
+		return &mockSim{limit: 100, broken: broken}, nil
+	}
+	err := runWithTimeout(t, factory, errCfg())
+	if err == nil || !strings.Contains(err.Error(), "replay stopped") {
+		t.Fatalf("want replay error, got %v", err)
+	}
+}
+
+func TestSweepWorkerErrorNoDeadlock(t *testing.T) {
+	var calls int32
+	factory := func() (campaign.Simulator, error) {
+		broken := atomic.AddInt32(&calls, 1) > 1
+		return &mockSim{limit: 100, broken: broken}, nil
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := campaign.Sweep([]campaign.SweepCampaign{
+			{Key: "a", Group: "mock", Factory: factory, Config: errCfg()},
+		}, campaign.SweepOptions{Workers: 4})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "replay stopped") {
+			t.Fatalf("want replay error, got %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Sweep did not terminate (worker-pool deadlock)")
+	}
+}
+
+func TestSweepRejectsBadMatrices(t *testing.T) {
+	factory := func() (campaign.Simulator, error) { return &mockSim{limit: 100}, nil }
+	ok := errCfg()
+	if _, err := campaign.Sweep(nil, campaign.SweepOptions{}); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := campaign.Sweep([]campaign.SweepCampaign{
+		{Key: "a", Group: "g", Factory: factory, Config: ok},
+		{Key: "a", Group: "g", Factory: factory, Config: ok},
+	}, campaign.SweepOptions{}); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+	sop := ok
+	sop.Obs = campaign.ObsSOP
+	sop.Window = 100
+	if _, err := campaign.Sweep([]campaign.SweepCampaign{
+		{Key: "a", Group: "g", Factory: factory, Config: sop},
+	}, campaign.SweepOptions{}); err == nil {
+		t.Error("SOP+Window accepted by sweep validation")
+	}
+	zero := ok
+	zero.Injections = 0
+	if _, err := campaign.Sweep([]campaign.SweepCampaign{
+		{Key: "a", Group: "g", Factory: factory, Config: zero},
+	}, campaign.SweepOptions{}); err == nil {
+		t.Error("zero injections accepted by sweep validation")
+	}
+}
+
+// sweepFixture is a 3-campaign matrix where the first two campaigns
+// share one golden run (same model and workload, different targets and
+// seeds) and the third is its own group.
+func sweepFixture(t *testing.T) []campaign.SweepCampaign {
+	t.Helper()
+	setup := core.CampaignSetup()
+	mk := func(workload string) campaign.Factory {
+		f, err := workloadFactory(workload, setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	qsort := mk("qsort")
+	return []campaign.SweepCampaign{
+		{
+			Key: "rf/qsort", Group: "ma/qsort", Factory: qsort,
+			Config: campaign.Config{
+				Injections: 25, Seed: 11, Target: fault.TargetRF,
+				Obs: campaign.ObsPinout, Window: 5_000,
+			},
+		},
+		{
+			Key: "l1d/qsort", Group: "ma/qsort", Factory: qsort,
+			Config: campaign.Config{
+				Injections: 25, Seed: 12, Target: fault.TargetL1D,
+				Obs: campaign.ObsPinout, Window: 5_000,
+			},
+		},
+		{
+			Key: "rf/sha", Group: "ma/sha", Factory: mk("sha"),
+			Config: campaign.Config{
+				Injections: 20, Seed: 13, Target: fault.TargetRF,
+				Obs: campaign.ObsPinout, Window: 5_000,
+			},
+		},
+	}
+}
+
+func workloadFactory(workload string, setup core.Setup) (campaign.Factory, error) {
+	w, err := bench.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := w.Program()
+	if err != nil {
+		return nil, err
+	}
+	return core.Factory(core.ModelMicroarch, prog, setup), nil
+}
+
+// TestSweepMatchesStandaloneRuns is the determinism contract: a sweep
+// must produce bit-identical Unsafeness and Outcomes to standalone
+// campaign.Run with the same seeds, while executing one golden run per
+// shared (model, workload) group instead of one per campaign.
+func TestSweepMatchesStandaloneRuns(t *testing.T) {
+	campaigns := sweepFixture(t)
+	sr, err := campaign.Sweep(campaigns, campaign.SweepOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.GoldenRuns != 2 {
+		t.Errorf("sweep ran %d golden runs for 3 campaigns in 2 groups", sr.GoldenRuns)
+	}
+	for _, c := range campaigns {
+		standalone, err := campaign.Run(c.Factory, c.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sr.Results[c.Key]
+		if got == nil {
+			t.Fatalf("%s: missing sweep result", c.Key)
+		}
+		if got.Unsafeness != standalone.Unsafeness {
+			t.Errorf("%s: sweep unsafeness %+v != standalone %+v",
+				c.Key, got.Unsafeness, standalone.Unsafeness)
+		}
+		if got.GoldenCycles != standalone.GoldenCycles {
+			t.Errorf("%s: golden cycles differ: %d vs %d",
+				c.Key, got.GoldenCycles, standalone.GoldenCycles)
+		}
+		if len(got.Outcomes) != len(standalone.Outcomes) {
+			t.Fatalf("%s: outcome counts differ", c.Key)
+		}
+		for i := range got.Outcomes {
+			if got.Outcomes[i] != standalone.Outcomes[i] {
+				t.Fatalf("%s: outcome %d differs: %+v vs %+v",
+					c.Key, i, got.Outcomes[i], standalone.Outcomes[i])
+			}
+		}
+	}
+	for _, g := range sr.Goldens {
+		if g.Cycles == 0 || g.Elapsed <= 0 || g.Snapshots == 0 {
+			t.Errorf("golden info %q incomplete: %+v", g.Group, g)
+		}
+	}
+}
+
+func TestSweepCheckpointResume(t *testing.T) {
+	campaigns := sweepFixture(t)
+	dir := t.TempDir()
+	opt := campaign.SweepOptions{Workers: 4, CheckpointDir: dir}
+	first, err := campaign.Sweep(campaigns, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Resumed != 0 {
+		t.Errorf("fresh sweep resumed %d replays", first.Resumed)
+	}
+	second, err := campaign.Sweep(campaigns, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range campaigns {
+		total += c.Config.Injections
+	}
+	if second.Resumed != total {
+		t.Errorf("resumed %d of %d replays from checkpoints", second.Resumed, total)
+	}
+	for _, c := range campaigns {
+		a, b := first.Results[c.Key], second.Results[c.Key]
+		if a.Unsafeness != b.Unsafeness {
+			t.Errorf("%s: resumed unsafeness differs: %+v vs %+v", c.Key, a.Unsafeness, b.Unsafeness)
+		}
+		for i := range a.Outcomes {
+			if a.Outcomes[i] != b.Outcomes[i] {
+				t.Fatalf("%s: resumed outcome %d differs", c.Key, i)
+			}
+		}
+	}
+	// A different seed must invalidate the stale shards, not reuse them.
+	changed := make([]campaign.SweepCampaign, len(campaigns))
+	copy(changed, campaigns)
+	changed[0].Config.Seed = 999
+	third, err := campaign.Sweep(changed, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Resumed > total-changed[0].Config.Injections {
+		t.Errorf("stale checkpoints reused after seed change: resumed %d", third.Resumed)
+	}
+	// A different window leaves the fault plan identical but changes
+	// classification, so those records must be invalidated too.
+	rewindowed := make([]campaign.SweepCampaign, len(campaigns))
+	copy(rewindowed, campaigns)
+	rewindowed[0].Config.Window = 20_000
+	fourth, err := campaign.Sweep(rewindowed, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fourth.Resumed > total-rewindowed[0].Config.Injections {
+		t.Errorf("stale checkpoints reused after window change: resumed %d", fourth.Resumed)
+	}
+	ref, err := campaign.Run(rewindowed[0].Factory, rewindowed[0].Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fourth.Results[rewindowed[0].Key].Unsafeness; got != ref.Unsafeness {
+		t.Errorf("rewindowed sweep result %+v != standalone %+v", got, ref.Unsafeness)
+	}
+}

@@ -66,7 +66,7 @@ func DefaultSetup() Setup {
 }
 
 // CampaignSetup returns the scaled-cache equivalent configuration used by
-// the fault-injection campaigns (see DESIGN.md on cache scaling).
+// the fault-injection campaigns (see EXPERIMENTS.md on cache scaling).
 func CampaignSetup() Setup {
 	ma := microarch.CampaignConfig()
 	return Setup{Name: "campaign", MA: ma, RTL: rtlFrom(ma)}

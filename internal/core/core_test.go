@@ -157,7 +157,7 @@ func TestLatchBitsOnlyAtRTL(t *testing.T) {
 		t.Error("microarch latch flip accepted")
 	}
 	// RF bit spaces intentionally differ (56 physical vs 16
-	// architectural registers) — the substitution DESIGN.md documents.
+	// architectural registers) — the substitution EXPERIMENTS.md documents.
 	if ma.Bits(fault.TargetRF) != 56*32 {
 		t.Errorf("microarch RF bits = %d", ma.Bits(fault.TargetRF))
 	}
@@ -192,5 +192,94 @@ func TestFigureSmall(t *testing.T) {
 		if s.Vuln["sha"].N != 15 {
 			t.Errorf("series %s has N=%d", s.Label, s.Vuln["sha"].N)
 		}
+	}
+}
+
+// TestFigure1GoldenRunCount asserts the acceptance criterion: Fig. 1 has
+// three series but its two GeFIN series share one golden run, so the
+// sweep executes 2 golden runs per benchmark, not 3.
+func TestFigure1GoldenRunCount(t *testing.T) {
+	p := DefaultParams()
+	p.Injections = 10
+	p.Benches = []string{"sha"}
+	fig, err := p.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.GoldenRuns != 2 {
+		t.Errorf("Figure 1 on one benchmark ran %d golden runs, want 2", fig.GoldenRuns)
+	}
+}
+
+// TestAblationWindowSharesOneGolden: five window lengths on one model
+// and benchmark need exactly one golden run.
+func TestAblationWindowSharesOneGolden(t *testing.T) {
+	p := DefaultParams()
+	p.Injections = 8
+	p.Benches = []string{"sha"}
+	fig, err := p.AblationWindow([]uint64{100, 500, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.GoldenRuns != 1 {
+		t.Errorf("window ablation ran %d golden runs, want 1", fig.GoldenRuns)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+}
+
+// TestRunAllSharesGoldens regenerates everything on one benchmark: the
+// whole regeneration — figures 1-3, both ablations and TABLE II — must
+// execute at most one golden run per (model, benchmark).
+func TestRunAllSharesGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full regeneration in -short mode")
+	}
+	p := DefaultParams()
+	p.Injections = 8
+	p.Benches = []string{"sha"}
+	all, err := p.RunAll([]uint64{200, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.GoldenRuns != 2 {
+		t.Errorf("full regeneration ran %d golden runs on one benchmark, want 2 (microarch + rtl)", all.GoldenRuns)
+	}
+	for _, fig := range []*FigureResult{all.Fig1, all.Fig2, all.Fig3, all.AblationWindow, all.AblationLatches} {
+		if fig == nil || len(fig.Series) == 0 {
+			t.Fatalf("missing figure in RunAll result")
+		}
+		for _, s := range fig.Series {
+			if s.Vuln["sha"].N != 8 {
+				t.Errorf("%s/%s: N = %d", fig.Name, s.Label, s.Vuln["sha"].N)
+			}
+		}
+	}
+	if len(all.Table2Rows) != 1 {
+		t.Fatalf("TABLE II rows = %d", len(all.Table2Rows))
+	}
+	row := all.Table2Rows[0]
+	if row.RTLSecPerRun <= 0 || row.MASecPerRun <= 0 || row.Ratio <= 0 {
+		t.Errorf("TABLE II row not measured from sweep goldens: %+v", row)
+	}
+	if row.MAMCycles <= 0 || row.RTLMCycles <= 0 {
+		t.Errorf("TABLE II cycle counts missing: %+v", row)
+	}
+}
+
+// TestTable2Standalone measures goldens directly when no sweep ran.
+func TestTable2Standalone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs on both models in -short mode")
+	}
+	p := DefaultParams()
+	p.Benches = []string{"qsort"}
+	rows, avg, err := p.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Ratio <= 0 || avg != rows[0].Ratio {
+		t.Errorf("rows = %+v, avg = %v", rows, avg)
 	}
 }

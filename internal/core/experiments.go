@@ -7,9 +7,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/campaign"
 	"repro/internal/fault"
-	"repro/internal/refsim"
 	"repro/internal/stats"
-	"repro/internal/trace"
 )
 
 // Params parameterises the paper's experiments. The paper used 4000
@@ -23,6 +21,11 @@ type Params struct {
 	Workers    int
 	Setup      Setup
 	Benches    []string // nil = the paper's TABLE II benchmark list
+
+	// Checkpoint enables streaming per-run outcome checkpoints (JSONL
+	// shards) in this directory; an interrupted regeneration resumes
+	// from them. Empty disables checkpointing.
+	Checkpoint string
 }
 
 // DefaultParams returns laptop-scale defaults; cmd/paper exposes flags to
@@ -58,7 +61,7 @@ func (p Params) benchList() ([]*bench.Workload, error) {
 	return out, nil
 }
 
-// RunCampaign runs one (workload, model) campaign.
+// RunCampaign runs one standalone (workload, model) campaign.
 func RunCampaign(workload string, m Model, setup Setup, cfg campaign.Config) (*campaign.Result, error) {
 	w, err := bench.ByName(workload)
 	if err != nil {
@@ -86,6 +89,14 @@ type FigureResult struct {
 	Benches []string
 	Series  []Series
 	Diff    stats.AbsDiffStats
+
+	// GoldenRuns counts the distinct golden runs backing this figure's
+	// campaigns: series sharing a (model, benchmark) share one golden
+	// run, so this is below len(Series)*len(Benches) whenever a figure
+	// repeats a model (Fig. 1: 3 series but 2 golden runs/benchmark).
+	// In a combined RunAll sweep the same goldens may also back other
+	// figures; they are still counted once here.
+	GoldenRuns int
 }
 
 // seriesSpec describes how to run one series of a figure.
@@ -95,25 +106,81 @@ type seriesSpec struct {
 	cfg   campaign.Config
 }
 
-func (p Params) runFigure(name string, specs []seriesSpec) (*FigureResult, error) {
-	workloads, err := p.benchList()
-	if err != nil {
-		return nil, err
+// figurePlan is one figure's campaign matrix before scheduling.
+type figurePlan struct {
+	name    string
+	benches []*bench.Workload // nil = p.benchList()
+	series  []seriesSpec
+}
+
+// sweepGroup names the golden-sharing group of (model, workload) under a
+// setup: every campaign in the group shares one golden run.
+func sweepGroup(m Model, workload string, s Setup) string {
+	return fmt.Sprintf("%v/%s/%s", m, s.Name, workload)
+}
+
+// sweepBuilder accumulates figure plans into one campaign.Sweep matrix,
+// reusing one factory (and one assembled program) per group.
+type sweepBuilder struct {
+	setup     Setup
+	campaigns []campaign.SweepCampaign
+	factories map[string]campaign.Factory
+}
+
+func newSweepBuilder(setup Setup) *sweepBuilder {
+	return &sweepBuilder{setup: setup, factories: make(map[string]campaign.Factory)}
+}
+
+func campaignKey(figure, label, workload string) string {
+	return figure + "/" + label + "/" + workload
+}
+
+func (b *sweepBuilder) add(plan figurePlan) error {
+	for _, sp := range plan.series {
+		for _, w := range plan.benches {
+			group := sweepGroup(sp.model, w.Name, b.setup)
+			fac, ok := b.factories[group]
+			if !ok {
+				prog, err := w.Program()
+				if err != nil {
+					return err
+				}
+				fac = Factory(sp.model, prog, b.setup)
+				b.factories[group] = fac
+			}
+			b.campaigns = append(b.campaigns, campaign.SweepCampaign{
+				Key:     campaignKey(plan.name, sp.label, w.Name),
+				Group:   group,
+				Factory: fac,
+				Config:  sp.cfg,
+			})
+		}
 	}
-	fig := &FigureResult{Name: name}
-	for _, w := range workloads {
+	return nil
+}
+
+// assembleFigure extracts one figure's results from a sweep.
+func assembleFigure(plan figurePlan, sr *campaign.SweepResult, setup Setup) (*FigureResult, error) {
+	figGroups := make(map[string]bool)
+	for _, sp := range plan.series {
+		for _, w := range plan.benches {
+			figGroups[sweepGroup(sp.model, w.Name, setup)] = true
+		}
+	}
+	fig := &FigureResult{Name: plan.name, GoldenRuns: len(figGroups)}
+	for _, w := range plan.benches {
 		fig.Benches = append(fig.Benches, w.Name)
 	}
-	for _, sp := range specs {
+	for _, sp := range plan.series {
 		s := Series{
 			Label:   sp.label,
-			Vuln:    make(map[string]stats.Proportion, len(workloads)),
-			Results: make(map[string]*campaign.Result, len(workloads)),
+			Vuln:    make(map[string]stats.Proportion, len(plan.benches)),
+			Results: make(map[string]*campaign.Result, len(plan.benches)),
 		}
-		for _, w := range workloads {
-			res, err := RunCampaign(w.Name, sp.model, p.Setup, sp.cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s/%s: %w", name, sp.label, w.Name, err)
+		for _, w := range plan.benches {
+			res, ok := sr.Results[campaignKey(plan.name, sp.label, w.Name)]
+			if !ok {
+				return nil, fmt.Errorf("%s/%s/%s: missing from sweep", plan.name, sp.label, w.Name)
 			}
 			s.Vuln[w.Name] = res.Unsafeness
 			s.Results[w.Name] = res
@@ -127,6 +194,7 @@ func (p Params) runFigure(name string, specs []seriesSpec) (*FigureResult, error
 			a[i] = fig.Series[0].Vuln[bn].P
 			b[i] = fig.Series[1].Vuln[bn].P
 		}
+		var err error
 		fig.Diff, err = stats.CompareSeries(a, b)
 		if err != nil {
 			return nil, err
@@ -135,28 +203,67 @@ func (p Params) runFigure(name string, specs []seriesSpec) (*FigureResult, error
 	return fig, nil
 }
 
-// Figure1 reproduces Fig. 1: register-file unsafeness per benchmark with
-// the core-pinout observation point — the microarchitectural model and
-// the RTL model with the 20k-cycle window, plus the microarchitectural
-// model run to the end ("GeFIN-no timer").
-func (p Params) Figure1() (*FigureResult, error) {
+// runFigure schedules one figure's matrix as a sweep: one golden run per
+// (model, benchmark) shared across all series, all replays through one
+// global pool.
+func (p Params) runFigure(plan figurePlan, err error) (*FigureResult, error) {
+	if err != nil {
+		return nil, err
+	}
+	b := newSweepBuilder(p.Setup)
+	if err := b.add(plan); err != nil {
+		return nil, err
+	}
+	sr, err := campaign.Sweep(b.campaigns, campaign.SweepOptions{
+		Workers: p.Workers, CheckpointDir: p.Checkpoint,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assembleFigure(plan, sr, p.Setup)
+}
+
+// figure1Plan is Fig. 1's matrix: register-file unsafeness at the core
+// pinout — the microarchitectural model and the RTL model with the
+// windowed timeout, plus the microarchitectural model run to the end
+// ("GeFIN-no timer"). The two GeFIN series share one golden run.
+func (p Params) figure1Plan() (figurePlan, error) {
+	workloads, err := p.benchList()
+	if err != nil {
+		return figurePlan{}, err
+	}
 	base := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetRF,
 		Obs: campaign.ObsPinout, Workers: p.Workers,
 	}
 	windowed := base
 	windowed.Window = p.Window
-	return p.runFigure("fig1-rf-unsafeness", []seriesSpec{
-		{"GeFIN", ModelMicroarch, windowed},
-		{"RTL", ModelRTL, windowed},
-		{"GeFIN-no-timer", ModelMicroarch, base},
-	})
+	return figurePlan{
+		name:    "fig1-rf-unsafeness",
+		benches: workloads,
+		series: []seriesSpec{
+			{"GeFIN", ModelMicroarch, windowed},
+			{"RTL", ModelRTL, windowed},
+			{"GeFIN-no-timer", ModelMicroarch, base},
+		},
+	}, nil
 }
 
-// Figure2 reproduces Fig. 2: L1 data cache unsafeness at the core pinout.
-// The RTL series enables injection-time advancement, the optimisation the
-// paper identifies as the cause of the GeFIN-vs-RTL gap on this figure.
-func (p Params) Figure2() (*FigureResult, error) {
+// Figure1 reproduces Fig. 1: register-file unsafeness per benchmark with
+// the core-pinout observation point.
+func (p Params) Figure1() (*FigureResult, error) {
+	return p.runFigure(p.figure1Plan())
+}
+
+// figure2Plan is Fig. 2's matrix: L1 data cache unsafeness at the core
+// pinout. The RTL series enables injection-time advancement, the
+// optimisation the paper identifies as the cause of the GeFIN-vs-RTL gap
+// on this figure.
+func (p Params) figure2Plan() (figurePlan, error) {
+	workloads, err := p.benchList()
+	if err != nil {
+		return figurePlan{}, err
+	}
 	base := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
 		Obs: campaign.ObsPinout, Workers: p.Workers,
@@ -165,48 +272,87 @@ func (p Params) Figure2() (*FigureResult, error) {
 	ma.Window = p.Window
 	rtl := ma
 	rtl.AdvanceToUse = true
-	return p.runFigure("fig2-l1d-unsafeness", []seriesSpec{
-		{"GeFIN", ModelMicroarch, ma},
-		{"RTL", ModelRTL, rtl},
-		{"GeFIN-no-timer", ModelMicroarch, base},
-	})
+	return figurePlan{
+		name:    "fig2-l1d-unsafeness",
+		benches: workloads,
+		series: []seriesSpec{
+			{"GeFIN", ModelMicroarch, ma},
+			{"RTL", ModelRTL, rtl},
+			{"GeFIN-no-timer", ModelMicroarch, base},
+		},
+	}, nil
 }
 
-// Figure3 reproduces Fig. 3: L1D AVF through the software observation
-// point, run to the end of the program on both levels. The paper could
-// only afford the shorter benchmarks at RTL; the default benchmark list
-// mirrors that subset.
-func (p Params) Figure3() (*FigureResult, error) {
+// Figure2 reproduces Fig. 2: L1 data cache unsafeness at the core pinout.
+func (p Params) Figure2() (*FigureResult, error) {
+	return p.runFigure(p.figure2Plan())
+}
+
+// figure3Plan is Fig. 3's matrix: L1D AVF through the software
+// observation point, run to the end of the program on both levels. The
+// paper could only afford the shorter benchmarks at RTL; the default
+// benchmark list mirrors that subset.
+func (p Params) figure3Plan() (figurePlan, error) {
 	if p.Benches == nil {
 		p.Benches = []string{"caes", "stringsearch", "susan_c", "susan_e", "susan_s"}
+	}
+	workloads, err := p.benchList()
+	if err != nil {
+		return figurePlan{}, err
 	}
 	cfg := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
 		Obs: campaign.ObsSOP, Workers: p.Workers,
 	}
-	return p.runFigure("fig3-l1d-avf-sop", []seriesSpec{
-		{"GeFIN", ModelMicroarch, cfg},
-		{"RTL", ModelRTL, cfg},
-	})
+	return figurePlan{
+		name:    "fig3-l1d-avf-sop",
+		benches: workloads,
+		series: []seriesSpec{
+			{"GeFIN", ModelMicroarch, cfg},
+			{"RTL", ModelRTL, cfg},
+		},
+	}, nil
 }
 
-// AblationLatches runs the RTL-only pipeline-latch injection experiment
-// (E7 in DESIGN.md): the fault space that has no microarchitectural
-// counterpart.
-func (p Params) AblationLatches() (*FigureResult, error) {
+// Figure3 reproduces Fig. 3: L1D AVF through the software observation
+// point.
+func (p Params) Figure3() (*FigureResult, error) {
+	return p.runFigure(p.figure3Plan())
+}
+
+// ablationLatchesPlan is the RTL-only pipeline-latch injection
+// experiment (E7 in EXPERIMENTS.md): the fault space that has no
+// microarchitectural counterpart.
+func (p Params) ablationLatchesPlan() (figurePlan, error) {
+	workloads, err := p.benchList()
+	if err != nil {
+		return figurePlan{}, err
+	}
 	cfg := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetLatches,
 		Obs: campaign.ObsPinout, Window: p.Window, Workers: p.Workers,
 	}
-	return p.runFigure("ablation-rtl-latches", []seriesSpec{
-		{"RTL-latches", ModelRTL, cfg},
-	})
+	return figurePlan{
+		name:    "ablation-rtl-latches",
+		benches: workloads,
+		series:  []seriesSpec{{"RTL-latches", ModelRTL, cfg}},
+	}, nil
 }
 
-// AblationWindow sweeps the observation-window length on the
+// AblationLatches runs the RTL-only pipeline-latch injection experiment.
+func (p Params) AblationLatches() (*FigureResult, error) {
+	return p.runFigure(p.ablationLatchesPlan())
+}
+
+// ablationWindowPlan sweeps the observation-window length on the
 // microarchitectural model (E8: the early-stopping accuracy loss the
-// paper's conclusions highlight).
-func (p Params) AblationWindow(windows []uint64) (*FigureResult, error) {
+// paper's conclusions highlight). Every window length shares the same
+// golden run per benchmark — the sweep runs one, not len(windows).
+func (p Params) ablationWindowPlan(windows []uint64) (figurePlan, error) {
+	workloads, err := p.benchList()
+	if err != nil {
+		return figurePlan{}, err
+	}
 	specs := make([]seriesSpec, 0, len(windows))
 	for _, w := range windows {
 		cfg := campaign.Config{
@@ -219,7 +365,17 @@ func (p Params) AblationWindow(windows []uint64) (*FigureResult, error) {
 		}
 		specs = append(specs, seriesSpec{label, ModelMicroarch, cfg})
 	}
-	return p.runFigure("ablation-window-sweep", specs)
+	return figurePlan{
+		name:    "ablation-window-sweep",
+		benches: workloads,
+		series:  specs,
+	}, nil
+}
+
+// AblationWindow sweeps the observation-window length on the
+// microarchitectural model.
+func (p Params) AblationWindow(windows []uint64) (*FigureResult, error) {
+	return p.runFigure(p.ablationWindowPlan(windows))
 }
 
 // ThroughputRow is one row of the paper's TABLE II.
@@ -232,40 +388,31 @@ type ThroughputRow struct {
 	MAMCycles    float64
 }
 
-// Table2 reproduces TABLE II: the wall-clock cost of one full golden run
-// per benchmark on each framework and the RTL/microarch throughput ratio.
-func (p Params) Table2() ([]ThroughputRow, float64, error) {
-	workloads, err := p.benchList()
-	if err != nil {
-		return nil, 0, err
-	}
+// table2Rows folds measured golden-run costs into TABLE II rows.
+func table2Rows(workloads []*bench.Workload, measured map[string]campaign.GoldenInfo,
+	measure func(m Model, w *bench.Workload) (campaign.GoldenInfo, error),
+	setup Setup) ([]ThroughputRow, float64, error) {
+
 	rows := make([]ThroughputRow, 0, len(workloads))
 	var ratioSum float64
 	for _, w := range workloads {
-		prog, err := w.Program()
-		if err != nil {
-			return nil, 0, err
-		}
 		row := ThroughputRow{Bench: w.Name}
 		for _, m := range []Model{ModelMicroarch, ModelRTL} {
-			sim, err := NewSimulator(m, prog, p.Setup)
-			if err != nil {
-				return nil, 0, err
-			}
-			sim.SetPinout(&trace.Pinout{})
-			start := time.Now()
-			stop := sim.Run(1 << 40)
-			secs := time.Since(start).Seconds()
-			if stop != refsim.StopExit && stop != refsim.StopHalt {
-				return nil, 0, fmt.Errorf("table2 %s on %v: stop %v", w.Name, m, stop)
+			info, ok := measured[sweepGroup(m, w.Name, setup)]
+			if !ok {
+				var err error
+				info, err = measure(m, w)
+				if err != nil {
+					return nil, 0, fmt.Errorf("table2 %s on %v: %w", w.Name, m, err)
+				}
 			}
 			switch m {
 			case ModelMicroarch:
-				row.MASecPerRun = secs
-				row.MAMCycles = float64(sim.Cycles()) / 1e6
+				row.MASecPerRun = info.Elapsed.Seconds()
+				row.MAMCycles = float64(info.Cycles) / 1e6
 			case ModelRTL:
-				row.RTLSecPerRun = secs
-				row.RTLMCycles = float64(sim.Cycles()) / 1e6
+				row.RTLSecPerRun = info.Elapsed.Seconds()
+				row.RTLMCycles = float64(info.Cycles) / 1e6
 			}
 		}
 		if row.MASecPerRun > 0 {
@@ -275,4 +422,122 @@ func (p Params) Table2() ([]ThroughputRow, float64, error) {
 		rows = append(rows, row)
 	}
 	return rows, ratioSum / float64(len(rows)), nil
+}
+
+// measureGolden times one golden run through the shared golden-artifact
+// phase, mirroring the sweep's golden configuration — the default
+// snapshot schedule, and the L1D access timeline on the RTL flow (its
+// §IV.B advancement records one) — so `-table 2` standalone and the
+// sweep-reusing RunAll report the same kind of cost.
+func (p Params) measureGolden(m Model, w *bench.Workload) (campaign.GoldenInfo, error) {
+	prog, err := w.Program()
+	if err != nil {
+		return campaign.GoldenInfo{}, err
+	}
+	g, err := campaign.PrepareGolden(Factory(m, prog, p.Setup),
+		campaign.GoldenOptions{Timeline: m == ModelRTL})
+	if err != nil {
+		return campaign.GoldenInfo{}, err
+	}
+	return campaign.GoldenInfo{
+		Group: sweepGroup(m, w.Name, p.Setup), Cycles: g.Cycles,
+		Txns: g.Txns, Elapsed: g.Elapsed, Snapshots: g.Snapshots(),
+	}, nil
+}
+
+// Table2 reproduces TABLE II standalone: the wall-clock cost of one full
+// golden run per benchmark on each framework and the RTL/microarch
+// throughput ratio. RunAll instead reuses the golden runs its sweep
+// already measured.
+//
+// The measured cost is deliberately the golden phase of each FLOW, not a
+// bare simulation: both levels pay the snapshot schedule and the RTL
+// flow additionally records its L1D access timeline (§IV.B), exactly as
+// in a campaign. In RunAll the goldens also run concurrently on the
+// pool, so expect some contention noise on loaded machines.
+func (p Params) Table2() ([]ThroughputRow, float64, error) {
+	workloads, err := p.benchList()
+	if err != nil {
+		return nil, 0, err
+	}
+	return table2Rows(workloads, nil, p.measureGolden, p.Setup)
+}
+
+// AllResults holds every table and figure of one full regeneration.
+type AllResults struct {
+	Fig1            *FigureResult
+	Fig2            *FigureResult
+	Fig3            *FigureResult
+	AblationWindow  *FigureResult
+	AblationLatches *FigureResult
+
+	Table2Rows     []ThroughputRow
+	Table2AvgRatio float64
+
+	// GoldenRuns is the number of golden runs the whole regeneration
+	// executed: at most one per (model, benchmark), shared across
+	// every figure, ablation and TABLE II.
+	GoldenRuns int
+	Resumed    int
+	Elapsed    time.Duration
+}
+
+// RunAll regenerates every figure and TABLE II as ONE sweep: all five
+// campaign matrices are planned up front, goldens are shared across
+// figures (at most one golden run per (model, benchmark)), every replay
+// goes through one global worker pool, and TABLE II reuses the measured
+// golden elapsed times instead of re-simulating. windows selects the
+// ablation sweep's window lengths.
+func (p Params) RunAll(windows []uint64) (*AllResults, error) {
+	plans := make([]figurePlan, 0, 5)
+	for _, mk := range []func() (figurePlan, error){
+		p.figure1Plan, p.figure2Plan, p.figure3Plan,
+		func() (figurePlan, error) { return p.ablationWindowPlan(windows) },
+		p.ablationLatchesPlan,
+	} {
+		plan, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, plan)
+	}
+
+	b := newSweepBuilder(p.Setup)
+	for _, plan := range plans {
+		if err := b.add(plan); err != nil {
+			return nil, err
+		}
+	}
+	sr, err := campaign.Sweep(b.campaigns, campaign.SweepOptions{
+		Workers: p.Workers, CheckpointDir: p.Checkpoint,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	all := &AllResults{
+		GoldenRuns: sr.GoldenRuns,
+		Resumed:    sr.Resumed,
+		Elapsed:    sr.Elapsed,
+	}
+	figs := []**FigureResult{
+		&all.Fig1, &all.Fig2, &all.Fig3, &all.AblationWindow, &all.AblationLatches,
+	}
+	for i, plan := range plans {
+		fig, err := assembleFigure(plan, sr, p.Setup)
+		if err != nil {
+			return nil, err
+		}
+		*figs[i] = fig
+	}
+
+	workloads, err := p.benchList()
+	if err != nil {
+		return nil, err
+	}
+	all.Table2Rows, all.Table2AvgRatio, err = table2Rows(workloads, sr.Goldens, p.measureGolden, p.Setup)
+	if err != nil {
+		return nil, err
+	}
+	return all, nil
 }

@@ -78,7 +78,7 @@ func DefaultConfig() Config {
 // datasets (the workloads here touch 1-8 KiB; with a 32 KiB L1D nothing
 // would ever be written back and the pinout observation point would be
 // vacuous). Both abstraction levels use the same scaled geometry, keeping
-// the comparison point-to-point (see DESIGN.md).
+// the comparison point-to-point (see EXPERIMENTS.md).
 func CampaignConfig() Config {
 	cfg := DefaultConfig()
 	cfg.L1I.SizeBytes = 2 * 1024

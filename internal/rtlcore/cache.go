@@ -10,7 +10,7 @@
 // every pipeline latch — is enumerable and injectable, and simulation
 // pays the event-driven RTL cost, orders of magnitude slower than the
 // microarchitectural model. The substitution (in-order scalar instead of
-// the proprietary out-of-order A9 netlist) is documented in DESIGN.md.
+// the proprietary out-of-order A9 netlist) is documented in EXPERIMENTS.md.
 package rtlcore
 
 import (

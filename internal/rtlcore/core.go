@@ -31,7 +31,7 @@ func DefaultConfig() Config {
 
 // CampaignConfig mirrors microarch.CampaignConfig: the same scaled cache
 // geometry used on both abstraction levels during fault-injection
-// campaigns (see DESIGN.md).
+// campaigns (see EXPERIMENTS.md).
 func CampaignConfig() Config {
 	cfg := DefaultConfig()
 	cfg.L1I.SizeBytes = 2 * 1024

@@ -16,7 +16,7 @@ import (
 
 // RFBits returns the architectural register file size in bits. (The RTL
 // core is in-order and has no renaming, so its register file is the 16
-// architectural registers; see DESIGN.md for this substitution.)
+// architectural registers; see EXPERIMENTS.md for this substitution.)
 func (c *Core) RFBits() int { return c.regfile.Bits() }
 
 // FlipRFBit injects a single transient bit flip into the register file.
