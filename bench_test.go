@@ -1,7 +1,7 @@
 package repro
 
 // One benchmark per reproduced table and figure (EXPERIMENTS.md's experiment
-// index E1-E8), plus throughput micro-benchmarks for the simulators
+// index E1-E9), plus throughput micro-benchmarks for the simulators
 // themselves. Campaign benchmarks use miniature samples so `go test
 // -bench=.` completes in minutes; cmd/paper runs the full versions.
 
@@ -191,6 +191,35 @@ func BenchmarkAblationWindow_GeFIN(b *testing.B) {
 	cfg := fig2Cfg()
 	cfg.Window = 2000
 	miniCampaign(b, core.ModelMicroarch, "sha", cfg)
+}
+
+// ------------------------------------------------------------------- E9
+
+// modelCfg is one fault-model ablation cell: register file, combined
+// observation point, run to program end.
+func modelCfg(prm fault.Params) campaign.Config {
+	return campaign.Config{
+		Injections: 10, Seed: 1, Target: fault.TargetRF,
+		Fault: prm, Obs: campaign.ObsCombined,
+	}
+}
+
+func BenchmarkAblationModels_Transient_GeFIN(b *testing.B) {
+	miniCampaign(b, core.ModelMicroarch, "caes", modelCfg(fault.Params{Model: fault.ModelTransient}))
+}
+
+func BenchmarkAblationModels_Burst_GeFIN(b *testing.B) {
+	miniCampaign(b, core.ModelMicroarch, "caes", modelCfg(fault.Params{Model: fault.ModelBurst}))
+}
+
+func BenchmarkAblationModels_StuckAt_GeFIN(b *testing.B) {
+	miniCampaign(b, core.ModelMicroarch, "caes",
+		modelCfg(fault.Params{Model: fault.ModelStuckAt, Stuck: fault.StuckRandom}))
+}
+
+func BenchmarkAblationModels_Intermittent_RTL(b *testing.B) {
+	miniCampaign(b, core.ModelRTL, "caes",
+		modelCfg(fault.Params{Model: fault.ModelIntermittent, Stuck: fault.StuckRandom}))
 }
 
 // ------------------------------------------- simulator micro-benchmarks

@@ -2,6 +2,12 @@
 //
 //	faultsim -bench qsort -model rtl -target rf -n 400 -window 500
 //	faultsim -bench caes -model microarch -target l1d -obs sop
+//	faultsim -bench sha -fault-model stuck-at-1 -obs combined -window 0
+//	faultsim -bench fft -fault-model burst -burst 4
+//
+// -fault-model selects the injected fault model (transient, burst,
+// stuck-at, stuck-at-0, stuck-at-1, intermittent); -burst and -span set
+// the burst width and the intermittent active window.
 package main
 
 import (
@@ -26,18 +32,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
 	var (
-		benchName = fs.String("bench", "qsort", "workload name (see cmd/runsim -list)")
-		model     = fs.String("model", "microarch", "simulation model: microarch or rtl")
-		target    = fs.String("target", "rf", "injection target: rf, l1d or latches (rtl only)")
-		obs       = fs.String("obs", "pinout", "observation point: pinout or sop")
-		n         = fs.Int("n", 400, "number of injections")
-		seed      = fs.Int64("seed", 1, "RNG seed")
-		window    = fs.Uint64("window", 500, "cycles simulated after injection (0 = to program end)")
-		advance   = fs.Bool("advance", false, "advance L1D injections to next line use (RTL flow optimisation)")
-		uniform   = fs.Bool("uniform", false, "uniform injection instants instead of normal")
-		strict    = fs.Bool("strict-cycle", false, "require cycle-exact pinout matches")
-		workers   = fs.Int("workers", 0, "parallel workers (default GOMAXPROCS)")
-		fullSize  = fs.Bool("paper-size", false, "use the paper's 4000-injection Leveugle sample")
+		benchName  = fs.String("bench", "qsort", "workload name (see cmd/runsim -list)")
+		model      = fs.String("model", "microarch", "simulation model: microarch or rtl")
+		target     = fs.String("target", "rf", "injection target: rf, l1d or latches (rtl only)")
+		obs        = fs.String("obs", "pinout", "observation point: pinout, sop or combined")
+		faultModel = fs.String("fault-model", "transient", "fault model: transient, burst, stuck-at, stuck-at-0, stuck-at-1, intermittent")
+		burst      = fs.Int("burst", 0, "adjacent bits per burst injection (default 2)")
+		span       = fs.Uint64("span", 0, "intermittent active window in cycles (default goldenCycles/16)")
+		n          = fs.Int("n", 400, "number of injections")
+		seed       = fs.Int64("seed", 1, "RNG seed")
+		window     = fs.Uint64("window", 500, "cycles simulated after injection (0 = to program end)")
+		advance    = fs.Bool("advance", false, "advance L1D injections to next line use (RTL flow optimisation)")
+		uniform    = fs.Bool("uniform", false, "uniform injection instants instead of normal")
+		strict     = fs.Bool("strict-cycle", false, "require cycle-exact pinout matches")
+		workers    = fs.Int("workers", 0, "parallel workers (default GOMAXPROCS)")
+		fullSize   = fs.Bool("paper-size", false, "use the paper's 4000-injection Leveugle sample")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,10 +60,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	fp, err := fault.ParseParams(*faultModel)
+	if err != nil {
+		return err
+	}
+	fp.Burst = *burst
+	fp.Span = *span
 	cfg := campaign.Config{
 		Injections:   *n,
 		Seed:         *seed,
 		Target:       tgt,
+		Fault:        fp,
 		Window:       *window,
 		Workers:      *workers,
 		AdvanceToUse: *advance,
@@ -67,6 +83,9 @@ func run(args []string) error {
 		cfg.Obs = campaign.ObsPinout
 	case "sop":
 		cfg.Obs = campaign.ObsSOP
+		cfg.Window = 0
+	case "combined":
+		cfg.Obs = campaign.ObsCombined
 		cfg.Window = 0
 	default:
 		return fmt.Errorf("unknown observation point %q", *obs)

@@ -8,6 +8,14 @@
 // -golden runs the campaign engine's golden-artifact phase instead of a
 // bare simulation, reporting what one shared golden run of a sweep
 // costs and captures (snapshots, pinout transactions, output bytes).
+//
+// -inject N probes the workload with a tiny N-injection campaign and
+// prints each planned fault and its classification — a debugging view
+// of what a full campaign would do. -fault-model and -burst select the
+// injected fault model:
+//
+//	runsim -bench qsort -model rtl -inject 5 -fault-model stuck-at-1
+//	runsim -bench sha -inject 3 -fault-model burst -burst 4
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/refsim"
 	"repro/internal/trace"
 )
@@ -42,6 +51,13 @@ func run(args []string) error {
 		paperCfg  = fs.Bool("tableI", false, "use TABLE I caches (32KB) instead of the campaign scaling")
 		golden    = fs.Bool("golden", false, "run the campaign golden-artifact phase (snapshots + pinout + timeline) and report its cost")
 		snapEvery = fs.Uint64("snapshot-every", 0, "golden snapshot interval in cycles with -golden (0 = default 2048)")
+		inject    = fs.Int("inject", 0, "probe with an N-injection campaign and print each fault's classification")
+		faultMod  = fs.String("fault-model", "transient", "fault model with -inject: transient, burst, stuck-at, stuck-at-0, stuck-at-1, intermittent")
+		burst     = fs.Int("burst", 0, "adjacent bits per burst injection with -inject (default 2)")
+		span      = fs.Uint64("span", 0, "intermittent active window in cycles with -inject (default goldenCycles/16)")
+		target    = fs.String("target", "rf", "injection target with -inject: rf, l1d or latches (rtl only)")
+		seed      = fs.Int64("seed", 1, "campaign RNG seed with -inject")
+		window    = fs.Uint64("window", 0, "cycles simulated after injection with -inject (0 = to program end)")
 		verbose   = fs.Bool("v", false, "print program output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -102,6 +118,42 @@ func run(args []string) error {
 	setup := core.CampaignSetup()
 	if *paperCfg {
 		setup = core.DefaultSetup()
+	}
+	if *inject > 0 {
+		tgt, err := fault.ParseTarget(*target)
+		if err != nil {
+			return err
+		}
+		fp, err := fault.ParseParams(*faultMod)
+		if err != nil {
+			return err
+		}
+		fp.Burst = *burst
+		fp.Span = *span
+		res, err := campaign.Run(core.Factory(m, prog, setup), campaign.Config{
+			Injections: *inject, Seed: *seed, Target: tgt, Fault: fp,
+			Window: *window, Obs: campaign.ObsPinout,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model=%v setup=%s golden=%d cycles, %d injections (%v on %v)\n",
+			m, setup.Name, res.GoldenCycles, len(res.Outcomes), fp.Model, tgt)
+		for _, oc := range res.Outcomes {
+			s := oc.Spec
+			extra := ""
+			switch s.Model {
+			case fault.ModelBurst:
+				extra = fmt.Sprintf(" width=%d", s.Width)
+			case fault.ModelStuckAt:
+				extra = fmt.Sprintf(" stuck=%d", s.Stuck)
+			case fault.ModelIntermittent:
+				extra = fmt.Sprintf(" stuck=%d span=%d", s.Stuck, s.Span)
+			}
+			fmt.Printf("  bit=%-6d cycle=%-8d%s -> %v (end cycle %d)\n",
+				s.Bit, s.Cycle, extra, oc.Class, oc.EndCycle)
+		}
+		return nil
 	}
 	if *golden {
 		g, err := campaign.PrepareGolden(core.Factory(m, prog, setup),

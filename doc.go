@@ -4,6 +4,7 @@
 // the same CPU — a gem5-class out-of-order microarchitectural model and
 // an RTL core on an event-driven kernel — compared point-to-point with
 // equivalent configurations, identical binaries and identical observation
-// points. See README.md for the build and module layout and
-// EXPERIMENTS.md for the experiment index (E1-E8) and scaling rationale.
+// points. See README.md for the build and module layout, DESIGN.md for
+// the architecture walkthrough, and EXPERIMENTS.md for the experiment
+// index (E1-E9) and scaling rationale.
 package repro

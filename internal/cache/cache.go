@@ -318,6 +318,22 @@ func (c *Cache) FlipDataBit(i int) error {
 	return nil
 }
 
+// ForceDataBit sets bit i of the data array to v (0 or 1). Idempotent;
+// the persistent fault models (stuck-at, intermittent) re-assert it
+// every active cycle, surviving line fills that rewrite the array.
+func (c *Cache) ForceDataBit(i int, v int) error {
+	if i < 0 || i >= c.DataBits() {
+		return fmt.Errorf("cache %s: data bit %d out of range", c.cfg.Name, i)
+	}
+	mask := byte(1) << (i % 8)
+	if v != 0 {
+		c.data[i/8] |= mask
+	} else {
+		c.data[i/8] &^= mask
+	}
+	return nil
+}
+
 // LineOfDataBit returns the set and way holding data bit i, used by
 // injection-time advancement to locate the faulted line.
 func (c *Cache) LineOfDataBit(i int) (set, way int) {

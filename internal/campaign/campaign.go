@@ -44,6 +44,13 @@ type Simulator interface {
 	Bits(t fault.Target) int
 	Flip(t fault.Target, bit int) error
 
+	// Force sets (rather than toggles) one bit of the target structure
+	// to v (0 or 1) — the model-aware inject hook behind the permanent
+	// and intermittent fault models. It must be idempotent: the replay
+	// engine re-asserts it after every cycle while the fault is active,
+	// so design writes cannot heal the fault.
+	Force(t fault.Target, bit, v int) error
+
 	// Snapshot captures full state; Restore rewinds to a capture taken
 	// by any instance built from the same factory.
 	Snapshot() Snapshot
@@ -72,6 +79,11 @@ const (
 	// ObsSOP compares the program output at the end of the run (AVF
 	// flow via the software observation point).
 	ObsSOP
+	// ObsCombined classifies at both points of a run-to-end replay:
+	// SDC when the program output deviates, otherwise Mismatch when
+	// the pinout trace deviates, otherwise Masked. The fault-model
+	// ablation (E9) uses it to split the class breakdown.
+	ObsCombined
 )
 
 func (o ObsPoint) String() string {
@@ -80,6 +92,8 @@ func (o ObsPoint) String() string {
 		return "pinout"
 	case ObsSOP:
 		return "sop"
+	case ObsCombined:
+		return "combined"
 	default:
 		return fmt.Sprintf("ObsPoint(%d)", int(o))
 	}
@@ -117,6 +131,10 @@ type Config struct {
 	Seed       int64
 	Target     fault.Target
 	TimeDist   fault.TimeDist
+
+	// Fault selects the fault model and its parameters; the zero value
+	// is the paper's baseline single transient bit flip.
+	Fault fault.Params
 
 	// Window is the number of cycles simulated after the injection
 	// before the run is terminated (the paper's 20k-cycle timeout).
@@ -162,6 +180,9 @@ func (c *Config) fillDefaults() {
 	if c.TimeDist == 0 {
 		c.TimeDist = fault.DistNormal
 	}
+	if c.Fault.Model == 0 {
+		c.Fault.Model = fault.ModelTransient
+	}
 	if c.Obs == 0 {
 		c.Obs = ObsPinout
 	}
@@ -201,8 +222,8 @@ func (c *Config) validate() error {
 	if c.Injections <= 0 {
 		return fmt.Errorf("campaign: Injections must be positive")
 	}
-	if c.Obs == ObsSOP && c.Window > 0 {
-		return fmt.Errorf("campaign: the software observation point requires run-to-end (Window=0)")
+	if (c.Obs == ObsSOP || c.Obs == ObsCombined) && c.Window > 0 {
+		return fmt.Errorf("campaign: observation point %v requires run-to-end (Window=0)", c.Obs)
 	}
 	return nil
 }
@@ -302,13 +323,13 @@ func PrepareGolden(factory Factory, opts GoldenOptions) (*Golden, error) {
 }
 
 // plan derives the campaign's fault plan from the golden artifacts. The
-// plan depends only on (seed, target bit space, golden cycle count,
-// distribution), so campaigns sharing a Golden produce plans
-// bit-identical to standalone runs.
+// plan depends only on (seed, fault model, target bit space, golden
+// cycle count, distribution), so campaigns sharing a Golden produce
+// plans bit-identical to standalone runs.
 func (g *Golden) plan(cfg Config) ([]fault.Spec, error) {
 	bits := g.sim.Bits(cfg.Target)
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	specs, err := fault.Plan(cfg.Injections, cfg.Target, bits, g.Cycles, cfg.TimeDist, rng)
+	specs, err := fault.Plan(cfg.Injections, cfg.Target, bits, g.Cycles, cfg.TimeDist, cfg.Fault, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -515,16 +536,19 @@ func oneRun(sim Simulator, g *Golden, spec fault.Spec, cfg Config) (RunOutcome, 
 				sim.Cycles(), spec.Cycle, sim.StopReason())
 		}
 	}
-	if err := sim.Flip(spec.Target, spec.Bit); err != nil {
+	if err := applyFault(sim, spec); err != nil {
 		return RunOutcome{}, err
 	}
 
-	// Simulate the observation window.
+	// Simulate the observation window, re-asserting persistent faults.
 	limit := hangBudget
 	if cfg.Window > 0 {
 		limit = spec.Cycle + cfg.Window
 	}
-	stop := sim.Run(limit)
+	stop, err := runWindow(sim, spec, limit)
+	if err != nil {
+		return RunOutcome{}, err
+	}
 
 	oc := RunOutcome{Spec: spec, EndCycle: sim.Cycles()}
 	switch {
@@ -549,6 +573,11 @@ func oneRun(sim Simulator, g *Golden, spec fault.Spec, cfg Config) (RunOutcome, 
 		} else {
 			oc.Class = ClassMasked
 		}
+	case cfg.Obs == ObsCombined && string(sim.Output()) != string(goldenOut):
+		// Combined observation: SDC dominates (the corruption reached
+		// software); otherwise fall through to the run-to-end pinout
+		// compare below.
+		oc.Class = ClassSDC
 	default:
 		// Run-to-end pinout: compare everything both runs produced.
 		end := sim.Cycles()
@@ -563,4 +592,52 @@ func oneRun(sim Simulator, g *Golden, spec fault.Spec, cfg Config) (RunOutcome, 
 		}
 	}
 	return oc, nil
+}
+
+// applyFault applies spec's fault action at the current cycle: one flip
+// per affected bit for the transient models (single or burst), a force
+// to the stuck value for the persistent ones.
+func applyFault(sim Simulator, spec fault.Spec) error {
+	width := spec.Width
+	if width < 1 {
+		width = 1
+	}
+	for b := spec.Bit; b < spec.Bit+width; b++ {
+		var err error
+		if spec.Model.Persistent() {
+			err = sim.Force(spec.Target, b, spec.Stuck)
+		} else {
+			err = sim.Flip(spec.Target, b)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runWindow simulates until the program stops or limit cycles elapse,
+// mirroring Simulator.Run's semantics. Persistent faults are re-applied
+// after every cycle while active — the design may overwrite the forced
+// bit on any clock edge — and once a fault deactivates (an intermittent
+// fault's span expires) the run falls through to the model's own fast
+// path.
+func runWindow(sim Simulator, spec fault.Spec, limit uint64) (refsim.StopReason, error) {
+	if !spec.Model.Persistent() {
+		return sim.Run(limit), nil
+	}
+	for sim.Cycles() < limit {
+		if !spec.ActiveAt(sim.Cycles()) {
+			return sim.Run(limit), nil
+		}
+		if !sim.Step() {
+			return sim.StopReason(), nil
+		}
+		if spec.ActiveAt(sim.Cycles()) {
+			if err := applyFault(sim, spec); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return refsim.StopLimit, nil
 }

@@ -118,6 +118,66 @@ func TestAdvancementRaisesL1DWindowedUnsafeness(t *testing.T) {
 	}
 }
 
+// TestFaultModelsOnRealSimulator runs a small campaign under every
+// fault model on the microarchitectural simulator: each must classify
+// all injections and be bit-deterministic under its seed.
+func TestFaultModelsOnRealSimulator(t *testing.T) {
+	for _, prm := range []fault.Params{
+		{Model: fault.ModelTransient},
+		{Model: fault.ModelBurst, Burst: 3},
+		{Model: fault.ModelStuckAt, Stuck: fault.StuckRandom},
+		{Model: fault.ModelIntermittent, Stuck: fault.StuckRandom, Span: 400},
+	} {
+		prm := prm
+		t.Run(prm.Model.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := campaign.Config{
+				Injections: 12, Seed: 31, Target: fault.TargetRF, Fault: prm,
+				Obs: campaign.ObsPinout, Window: 3_000, Workers: 2,
+			}
+			a := runSmall(t, core.ModelMicroarch, cfg, "qsort")
+			b := runSmall(t, core.ModelMicroarch, cfg, "qsort")
+			total := 0
+			for _, n := range a.Counts {
+				total += n
+			}
+			if total != 12 {
+				t.Errorf("class counts sum to %d", total)
+			}
+			for i := range a.Outcomes {
+				if a.Outcomes[i] != b.Outcomes[i] {
+					t.Fatalf("outcome %d differs under the same seed", i)
+				}
+				if got := a.Outcomes[i].Spec.Model; got != prm.Model {
+					t.Fatalf("outcome %d planned model %v", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestCombinedObsSplitsClasses: ObsCombined must be able to report both
+// SDC and Mismatch, and rejects windowed configs like ObsSOP does.
+func TestCombinedObsSplitsClasses(t *testing.T) {
+	cfg := campaign.Config{
+		Injections: 40, Seed: 3, Target: fault.TargetRF,
+		Fault: fault.Params{Model: fault.ModelStuckAt, Stuck: fault.StuckRandom},
+		Obs:   campaign.ObsCombined, Workers: 4,
+	}
+	res := runSmall(t, core.ModelMicroarch, cfg, "qsort")
+	if n := res.Counts[campaign.ClassMasked]; n == 0 {
+		t.Error("no masked outcomes at all")
+	}
+	if res.Counts[campaign.ClassSDC]+res.Counts[campaign.ClassMismatch] == 0 {
+		t.Error("combined observation never saw a deviation from 40 permanent faults")
+	}
+	bad := cfg
+	bad.Window = 100
+	if _, err := core.RunCampaign("qsort", core.ModelMicroarch, core.CampaignSetup(), bad); err == nil {
+		t.Error("ObsCombined with a window accepted")
+	}
+}
+
 func TestLatchTargetRejectedOnMicroarch(t *testing.T) {
 	cfg := campaign.Config{
 		Injections: 2, Seed: 5, Target: fault.TargetLatches,

@@ -344,12 +344,27 @@ type ckptRecord struct {
 	Target   int    `json:"target"`
 	Bit      int    `json:"bit"`
 	Cycle    uint64 `json:"cycle"`
+	Model    int    `json:"model"`
+	Width    int    `json:"width"`
+	Stuck    int    `json:"stuck"`
+	Span     uint64 `json:"span"`
 	Window   uint64 `json:"window"`
 	Obs      int    `json:"obs"`
 	Compare  int    `json:"compare"`
 	Golden   uint64 `json:"golden"` // Golden.fingerprint() of the backing run
 	Class    int    `json:"class"`
 	EndCycle uint64 `json:"endCycle"`
+}
+
+// spec reconstructs the planned injection the record describes. Records
+// written before the fault-model fields existed decode to Model 0 and
+// never equal a freshly planned spec (whose model is always set), so
+// pre-model shards are discarded rather than misread as transients.
+func (r ckptRecord) spec() fault.Spec {
+	return fault.Spec{
+		Target: fault.Target(r.Target), Bit: r.Bit, Cycle: r.Cycle,
+		Model: fault.Model(r.Model), Width: r.Width, Stuck: r.Stuck, Span: r.Span,
+	}
 }
 
 const shardPrefix = "shard-"
@@ -375,6 +390,8 @@ func (w *shardWriter) write(key string, idx int, oc RunOutcome, cfg Config, gold
 	err := w.enc.Encode(ckptRecord{
 		Campaign: key, Index: idx,
 		Target: int(oc.Spec.Target), Bit: oc.Spec.Bit, Cycle: oc.Spec.Cycle,
+		Model: int(oc.Spec.Model), Width: oc.Spec.Width,
+		Stuck: oc.Spec.Stuck, Span: oc.Spec.Span,
 		Window: cfg.Window, Obs: int(cfg.Obs), Compare: int(cfg.CompareMode),
 		Golden: golden,
 		Class:  int(oc.Class), EndCycle: oc.EndCycle,
@@ -442,8 +459,8 @@ func loadCheckpoints(dir string, campaigns []SweepCampaign,
 				continue
 			}
 			spec := plans[ci][r.Index]
-			if int(spec.Target) != r.Target || spec.Bit != r.Bit || spec.Cycle != r.Cycle {
-				continue // stale shard from a different plan
+			if spec != r.spec() {
+				continue // stale shard from a different plan or fault model
 			}
 			cfg := campaigns[ci].Config
 			if r.Window != cfg.Window || r.Obs != int(cfg.Obs) || r.Compare != int(cfg.CompareMode) {

@@ -47,16 +47,17 @@ func (s *mockSim) Run(max uint64) refsim.StopReason {
 	return s.stop
 }
 
-func (s *mockSim) Cycles() uint64                  { return s.cycles }
-func (s *mockSim) StopReason() refsim.StopReason   { return s.stop }
-func (s *mockSim) Output() []byte                  { return []byte("ok") }
-func (s *mockSim) SetPinout(*trace.Pinout)         {}
-func (s *mockSim) Bits(fault.Target) int           { return 32 }
-func (s *mockSim) Flip(fault.Target, int) error    { return nil }
-func (s *mockSim) Snapshot() campaign.Snapshot     { return s.cycles }
-func (s *mockSim) SetL1DAccessHook(func(int, int)) {}
-func (s *mockSim) L1DLineOfBit(int) (int, int)     { return 0, 0 }
-func (s *mockSim) Restore(snap campaign.Snapshot)  { s.cycles = snap.(uint64); s.stop = 0 }
+func (s *mockSim) Cycles() uint64                     { return s.cycles }
+func (s *mockSim) StopReason() refsim.StopReason      { return s.stop }
+func (s *mockSim) Output() []byte                     { return []byte("ok") }
+func (s *mockSim) SetPinout(*trace.Pinout)            {}
+func (s *mockSim) Bits(fault.Target) int              { return 32 }
+func (s *mockSim) Flip(fault.Target, int) error       { return nil }
+func (s *mockSim) Force(fault.Target, int, int) error { return nil }
+func (s *mockSim) Snapshot() campaign.Snapshot        { return s.cycles }
+func (s *mockSim) SetL1DAccessHook(func(int, int))    {}
+func (s *mockSim) L1DLineOfBit(int) (int, int)        { return 0, 0 }
+func (s *mockSim) Restore(snap campaign.Snapshot)     { s.cycles = snap.(uint64); s.stop = 0 }
 
 // runWithTimeout guards against the historical all-workers-dead
 // deadlock: the campaign must terminate, not hang the test binary.
@@ -174,9 +175,11 @@ func TestSweepRejectsBadMatrices(t *testing.T) {
 	}
 }
 
-// sweepFixture is a 3-campaign matrix where the first two campaigns
+// sweepFixture is a 4-campaign matrix where the first two campaigns
 // share one golden run (same model and workload, different targets and
-// seeds) and the third is its own group.
+// seeds), the third is its own group, and the fourth exercises a
+// non-default fault model (permanent stuck-at) against the first
+// group's golden run.
 func sweepFixture(t *testing.T) []campaign.SweepCampaign {
 	t.Helper()
 	setup := core.CampaignSetup()
@@ -210,6 +213,14 @@ func sweepFixture(t *testing.T) []campaign.SweepCampaign {
 				Obs: campaign.ObsPinout, Window: 5_000,
 			},
 		},
+		{
+			Key: "rf-stuck/qsort", Group: "ma/qsort", Factory: qsort,
+			Config: campaign.Config{
+				Injections: 15, Seed: 11, Target: fault.TargetRF,
+				Fault: fault.Params{Model: fault.ModelStuckAt, Stuck: fault.StuckRandom},
+				Obs:   campaign.ObsPinout, Window: 5_000,
+			},
+		},
 	}
 }
 
@@ -236,7 +247,7 @@ func TestSweepMatchesStandaloneRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	if sr.GoldenRuns != 2 {
-		t.Errorf("sweep ran %d golden runs for 3 campaigns in 2 groups", sr.GoldenRuns)
+		t.Errorf("sweep ran %d golden runs for 4 campaigns in 2 groups", sr.GoldenRuns)
 	}
 	for _, c := range campaigns {
 		standalone, err := campaign.Run(c.Factory, c.Config)
@@ -334,5 +345,54 @@ func TestSweepCheckpointResume(t *testing.T) {
 	}
 	if got := fourth.Results[rewindowed[0].Key].Unsafeness; got != ref.Unsafeness {
 		t.Errorf("rewindowed sweep result %+v != standalone %+v", got, ref.Unsafeness)
+	}
+}
+
+// TestSweepCheckpointDiscardsOtherModel: changing a campaign's fault
+// model must invalidate its stale shards — a transient record replayed
+// into a burst or stuck-at plan would silently misclassify — while the
+// fresh results still match standalone runs.
+func TestSweepCheckpointDiscardsOtherModel(t *testing.T) {
+	campaigns := sweepFixture(t)
+	dir := t.TempDir()
+	opt := campaign.SweepOptions{Workers: 4, CheckpointDir: dir}
+	if _, err := campaign.Sweep(campaigns, opt); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range campaigns {
+		total += c.Config.Injections
+	}
+	remodeled := make([]campaign.SweepCampaign, len(campaigns))
+	copy(remodeled, campaigns)
+	remodeled[0].Config.Fault = fault.Params{Model: fault.ModelBurst, Burst: 3}
+	second, err := campaign.Sweep(remodeled, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Resumed > total-remodeled[0].Config.Injections {
+		t.Errorf("stale checkpoints reused after fault-model change: resumed %d", second.Resumed)
+	}
+	ref, err := campaign.Run(remodeled[0].Factory, remodeled[0].Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := second.Results[remodeled[0].Key]
+	if got.Unsafeness != ref.Unsafeness {
+		t.Errorf("remodeled sweep result %+v != standalone %+v", got.Unsafeness, ref.Unsafeness)
+	}
+	for i := range got.Outcomes {
+		if got.Outcomes[i] != ref.Outcomes[i] {
+			t.Fatalf("remodeled outcome %d differs: %+v vs %+v", i, got.Outcomes[i], ref.Outcomes[i])
+		}
+	}
+	// Re-running the remodeled matrix resumes everything, including
+	// the burst campaign's fresh records.
+	third, err := campaign.Sweep(remodeled, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Resumed != total {
+		t.Errorf("resumed %d of %d after the model change was checkpointed", third.Resumed, total)
 	}
 }

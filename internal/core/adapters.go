@@ -52,6 +52,17 @@ func (s *maSim) Flip(t fault.Target, bit int) error {
 	}
 }
 
+func (s *maSim) Force(t fault.Target, bit, v int) error {
+	switch t {
+	case fault.TargetRF:
+		return s.cpu.ForceRFBit(bit, v)
+	case fault.TargetL1D:
+		return s.cpu.ForceL1DBit(bit, v)
+	default:
+		return fmt.Errorf("core: target %v does not exist at the microarchitectural level", t)
+	}
+}
+
 func (s *maSim) Snapshot() campaign.Snapshot { return s.cpu.Clone() }
 
 func (s *maSim) Restore(snap campaign.Snapshot) {
@@ -101,6 +112,19 @@ func (s *rtlSim) Flip(t fault.Target, bit int) error {
 		return s.core.FlipL1DBit(bit)
 	case fault.TargetLatches:
 		return s.core.FlipLatchBit(bit)
+	default:
+		return fmt.Errorf("core: unknown target %v", t)
+	}
+}
+
+func (s *rtlSim) Force(t fault.Target, bit, v int) error {
+	switch t {
+	case fault.TargetRF:
+		return s.core.ForceRFBit(bit, v)
+	case fault.TargetL1D:
+		return s.core.ForceL1DBit(bit, v)
+	case fault.TargetLatches:
+		return s.core.ForceLatchBit(bit, v)
 	default:
 		return fmt.Errorf("core: unknown target %v", t)
 	}

@@ -22,6 +22,13 @@ type Params struct {
 	Setup      Setup
 	Benches    []string // nil = the paper's TABLE II benchmark list
 
+	// Fault selects the fault model every figure's campaigns inject
+	// (zero value = the paper's single transient bit flip). The
+	// fault-model ablation (E9) sweeps all models itself and only
+	// honours Fault.Burst and Fault.Span as its burst/intermittent
+	// parameters.
+	Fault fault.Params
+
 	// Checkpoint enables streaming per-run outcome checkpoints (JSONL
 	// shards) in this directory; an interrupted regeneration resumes
 	// from them. Empty disables checkpointing.
@@ -234,7 +241,7 @@ func (p Params) figure1Plan() (figurePlan, error) {
 	}
 	base := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetRF,
-		Obs: campaign.ObsPinout, Workers: p.Workers,
+		Obs: campaign.ObsPinout, Workers: p.Workers, Fault: p.Fault,
 	}
 	windowed := base
 	windowed.Window = p.Window
@@ -266,7 +273,7 @@ func (p Params) figure2Plan() (figurePlan, error) {
 	}
 	base := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
-		Obs: campaign.ObsPinout, Workers: p.Workers,
+		Obs: campaign.ObsPinout, Workers: p.Workers, Fault: p.Fault,
 	}
 	ma := base
 	ma.Window = p.Window
@@ -302,7 +309,7 @@ func (p Params) figure3Plan() (figurePlan, error) {
 	}
 	cfg := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
-		Obs: campaign.ObsSOP, Workers: p.Workers,
+		Obs: campaign.ObsSOP, Workers: p.Workers, Fault: p.Fault,
 	}
 	return figurePlan{
 		name:    "fig3-l1d-avf-sop",
@@ -330,7 +337,7 @@ func (p Params) ablationLatchesPlan() (figurePlan, error) {
 	}
 	cfg := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetLatches,
-		Obs: campaign.ObsPinout, Window: p.Window, Workers: p.Workers,
+		Obs: campaign.ObsPinout, Window: p.Window, Workers: p.Workers, Fault: p.Fault,
 	}
 	return figurePlan{
 		name:    "ablation-rtl-latches",
@@ -357,7 +364,7 @@ func (p Params) ablationWindowPlan(windows []uint64) (figurePlan, error) {
 	for _, w := range windows {
 		cfg := campaign.Config{
 			Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
-			Obs: campaign.ObsPinout, Window: w, Workers: p.Workers,
+			Obs: campaign.ObsPinout, Window: w, Workers: p.Workers, Fault: p.Fault,
 		}
 		label := fmt.Sprintf("window-%d", w)
 		if w == 0 {
@@ -376,6 +383,56 @@ func (p Params) ablationWindowPlan(windows []uint64) (figurePlan, error) {
 // microarchitectural model.
 func (p Params) AblationWindow(windows []uint64) (*FigureResult, error) {
 	return p.runFigure(p.ablationWindowPlan(windows))
+}
+
+// ablationModelsPlan is the fault-model ablation (E9 in
+// EXPERIMENTS.md): the same register-file campaign under all four fault
+// models — transient, burst, stuck-at, intermittent — on both
+// abstraction levels, run to program end with the combined observation
+// point so the class breakdown separates Masked, Mismatch and SDC. All
+// four models on one level share that level's single golden run: the
+// golden run is fault-free, so the model only changes the plan and the
+// replay. The default benchmark subset mirrors Fig. 3's short list (E9
+// replays run to the end on both levels).
+func (p Params) ablationModelsPlan() (figurePlan, error) {
+	if p.Benches == nil {
+		p.Benches = []string{"caes", "stringsearch"}
+	}
+	workloads, err := p.benchList()
+	if err != nil {
+		return figurePlan{}, err
+	}
+	models := []fault.Params{
+		{Model: fault.ModelTransient},
+		{Model: fault.ModelBurst, Burst: p.Fault.Burst},
+		{Model: fault.ModelStuckAt, Stuck: fault.StuckRandom},
+		{Model: fault.ModelIntermittent, Stuck: fault.StuckRandom, Span: p.Fault.Span},
+	}
+	var specs []seriesSpec
+	for _, m := range []Model{ModelMicroarch, ModelRTL} {
+		for _, fm := range models {
+			cfg := campaign.Config{
+				Injections: p.Injections, Seed: p.Seed, Target: fault.TargetRF,
+				Obs: campaign.ObsCombined, Workers: p.Workers, Fault: fm,
+			}
+			specs = append(specs, seriesSpec{
+				label: fmt.Sprintf("%v/%v", m, fm.Model),
+				model: m,
+				cfg:   cfg,
+			})
+		}
+	}
+	return figurePlan{
+		name:    "ablation-fault-models",
+		benches: workloads,
+		series:  specs,
+	}, nil
+}
+
+// AblationModels runs the fault-model ablation: all four fault models
+// on both abstraction levels.
+func (p Params) AblationModels() (*FigureResult, error) {
+	return p.runFigure(p.ablationModelsPlan())
 }
 
 // ThroughputRow is one row of the paper's TABLE II.

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestAblationModelsDeterministic is E9's acceptance test: the
+// fault-model ablation must produce one series per (abstraction level,
+// fault model) — all four models on both levels — share one golden run
+// per level, and be bit-deterministic at a fixed seed.
+func TestAblationModelsDeterministic(t *testing.T) {
+	p := DefaultParams()
+	p.Injections = 5
+	p.Seed = 4
+	p.Benches = []string{"caes"}
+	run := func() *FigureResult {
+		t.Helper()
+		fig, err := p.AblationModels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig
+	}
+	a := run()
+	if len(a.Series) != 8 {
+		t.Fatalf("series = %d, want 4 models x 2 levels", len(a.Series))
+	}
+	if a.GoldenRuns != 2 {
+		t.Errorf("E9 ran %d golden runs, want one per level", a.GoldenRuns)
+	}
+	wantLabels := map[string]bool{}
+	for _, m := range []Model{ModelMicroarch, ModelRTL} {
+		for _, fm := range []fault.Model{
+			fault.ModelTransient, fault.ModelBurst,
+			fault.ModelStuckAt, fault.ModelIntermittent,
+		} {
+			wantLabels[m.String()+"/"+fm.String()] = true
+		}
+	}
+	for _, s := range a.Series {
+		if !wantLabels[s.Label] {
+			t.Errorf("unexpected series %q", s.Label)
+		}
+		delete(wantLabels, s.Label)
+		res := s.Results["caes"]
+		if res == nil || len(res.Outcomes) != 5 {
+			t.Fatalf("%s: missing or truncated campaign result", s.Label)
+		}
+	}
+	for l := range wantLabels {
+		t.Errorf("missing series %q", l)
+	}
+
+	b := run()
+	for i, s := range a.Series {
+		other := b.Series[i]
+		if s.Label != other.Label {
+			t.Fatalf("series order unstable: %q vs %q", s.Label, other.Label)
+		}
+		if s.Vuln["caes"] != other.Vuln["caes"] {
+			t.Errorf("%s: unsafeness differs across runs at the same seed: %+v vs %+v",
+				s.Label, s.Vuln["caes"], other.Vuln["caes"])
+		}
+		ra, rb := s.Results["caes"], other.Results["caes"]
+		for j := range ra.Outcomes {
+			if ra.Outcomes[j] != rb.Outcomes[j] {
+				t.Fatalf("%s: outcome %d differs across runs at the same seed", s.Label, j)
+			}
+		}
+	}
+}
+
+// TestFigurePlansCarryFaultModel: the -fault-model flag must reach every
+// figure's campaign configs.
+func TestFigurePlansCarryFaultModel(t *testing.T) {
+	p := DefaultParams()
+	p.Fault = fault.Params{Model: fault.ModelBurst, Burst: 4}
+	for name, mk := range map[string]func() (figurePlan, error){
+		"fig1":    p.figure1Plan,
+		"fig2":    p.figure2Plan,
+		"fig3":    p.figure3Plan,
+		"latches": p.ablationLatchesPlan,
+	} {
+		plan, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range plan.series {
+			if s.cfg.Fault != p.Fault {
+				t.Errorf("%s/%s: fault params %+v not carried", name, s.label, s.cfg.Fault)
+			}
+		}
+	}
+}

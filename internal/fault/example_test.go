@@ -1,0 +1,29 @@
+package fault_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fault"
+)
+
+// ExamplePlan plans a tiny stuck-at campaign over a 64-bit register
+// file observed for 1000 golden cycles. Plans are deterministic per
+// (seed, model parameters, bit space, window, distribution), which is
+// what lets the sweep scheduler share golden runs without changing a
+// single outcome.
+func ExamplePlan() {
+	prm := fault.Params{Model: fault.ModelStuckAt, Stuck: 1}
+	rng := rand.New(rand.NewSource(42))
+	specs, err := fault.Plan(3, fault.TargetRF, 64, 1000, fault.DistUniform, prm, rng)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range specs {
+		fmt.Printf("%v bit %d stuck at %d from cycle %d\n", s.Model, s.Bit, s.Stuck, s.Cycle)
+	}
+	// Output:
+	// stuck-at bit 49 stuck at 1 from cycle 305
+	// stuck-at bit 4 stuck at 1 from cycle 687
+	// stuck-at bit 31 stuck at 1 from cycle 952
+}

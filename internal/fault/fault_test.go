@@ -24,7 +24,7 @@ func TestParseTarget(t *testing.T) {
 
 func TestPlanBounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	specs, err := Plan(5000, TargetRF, 56*32, 100000, DistNormal, rng)
+	specs, err := Plan(5000, TargetRF, 56*32, 100000, DistNormal, Params{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,13 +40,13 @@ func TestPlanBounds(t *testing.T) {
 
 func TestPlanErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	if _, err := Plan(0, TargetRF, 10, 100, DistNormal, rng); err == nil {
+	if _, err := Plan(0, TargetRF, 10, 100, DistNormal, Params{}, rng); err == nil {
 		t.Error("n=0 accepted")
 	}
-	if _, err := Plan(1, TargetRF, 0, 100, DistNormal, rng); err == nil {
+	if _, err := Plan(1, TargetRF, 0, 100, DistNormal, Params{}, rng); err == nil {
 		t.Error("bits=0 accepted")
 	}
-	if _, err := Plan(1, TargetRF, 10, 2, DistNormal, rng); err == nil {
+	if _, err := Plan(1, TargetRF, 10, 2, DistNormal, Params{}, rng); err == nil {
 		t.Error("tiny window accepted")
 	}
 }
@@ -56,7 +56,7 @@ func TestPlanErrors(t *testing.T) {
 func TestNormalDistributionShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	const window = 60000
-	specs, err := Plan(20000, TargetL1D, 1024, window, DistNormal, rng)
+	specs, err := Plan(20000, TargetL1D, 1024, window, DistNormal, Params{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestNormalDistributionShape(t *testing.T) {
 func TestUniformDistributionShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	const window = 60000
-	specs, err := Plan(20000, TargetL1D, 1024, window, DistUniform, rng)
+	specs, err := Plan(20000, TargetL1D, 1024, window, DistUniform, Params{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,12 +98,204 @@ func TestUniformDistributionShape(t *testing.T) {
 }
 
 func TestPlanDeterministic(t *testing.T) {
-	a, _ := Plan(100, TargetRF, 512, 1000, DistNormal, rand.New(rand.NewSource(5)))
-	b, _ := Plan(100, TargetRF, 512, 1000, DistNormal, rand.New(rand.NewSource(5)))
+	a, _ := Plan(100, TargetRF, 512, 1000, DistNormal, Params{}, rand.New(rand.NewSource(5)))
+	b, _ := Plan(100, TargetRF, 512, 1000, DistNormal, Params{}, rand.New(rand.NewSource(5)))
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("plans differ under the same seed")
 		}
+	}
+}
+
+// allModelParams covers every fault model with non-default knobs where
+// they exist.
+func allModelParams() []Params {
+	return []Params{
+		{Model: ModelTransient},
+		{Model: ModelBurst},
+		{Model: ModelBurst, Burst: 5},
+		{Model: ModelStuckAt, Stuck: StuckRandom},
+		{Model: ModelStuckAt, Stuck: 1},
+		{Model: ModelIntermittent, Stuck: StuckRandom},
+		{Model: ModelIntermittent, Stuck: 0, Span: 77},
+	}
+}
+
+// TestPlanPerModelDeterministic: the determinism invariant the sweep
+// scheduler and checkpoint resume rely on — same (seed, model, bit
+// space, window) must give a bit-identical plan for every fault model.
+func TestPlanPerModelDeterministic(t *testing.T) {
+	for _, prm := range allModelParams() {
+		a, err := Plan(200, TargetRF, 512, 9000, DistNormal, prm, rand.New(rand.NewSource(17)))
+		if err != nil {
+			t.Fatalf("%+v: %v", prm, err)
+		}
+		b, err := Plan(200, TargetRF, 512, 9000, DistNormal, prm, rand.New(rand.NewSource(17)))
+		if err != nil {
+			t.Fatalf("%+v: %v", prm, err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: spec %d differs under the same seed: %+v vs %+v", prm.Model, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestTransientPlanUnchangedByModelParams: a transient plan must consume
+// the RNG exactly as the historical single-bit-flip planner, so
+// pre-existing seeds reproduce their plans.
+func TestTransientPlanUnchangedByModelParams(t *testing.T) {
+	old, _ := Plan(50, TargetL1D, 4096, 20000, DistNormal, Params{}, rand.New(rand.NewSource(3)))
+	now, _ := Plan(50, TargetL1D, 4096, 20000, DistNormal, Params{Model: ModelTransient}, rand.New(rand.NewSource(3)))
+	for i := range old {
+		if old[i] != now[i] {
+			t.Fatalf("spec %d: %+v vs %+v", i, old[i], now[i])
+		}
+	}
+	if old[0].Model != ModelTransient || old[0].Width != 1 {
+		t.Errorf("zero-value params did not normalise to transient: %+v", old[0])
+	}
+}
+
+func TestBurstPlanBounds(t *testing.T) {
+	const bits, width = 256, 9
+	specs, err := Plan(3000, TargetRF, bits, 5000, DistUniform,
+		Params{Model: ModelBurst, Burst: width}, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if s.Width != width {
+			t.Fatalf("width = %d", s.Width)
+		}
+		if s.Bit < 0 || s.Bit+s.Width > bits {
+			t.Fatalf("burst [%d,%d) escapes the %d-bit space", s.Bit, s.Bit+s.Width, bits)
+		}
+	}
+	if _, err := Plan(1, TargetRF, 4, 5000, DistUniform,
+		Params{Model: ModelBurst, Burst: 5}, rand.New(rand.NewSource(8))); err == nil {
+		t.Error("burst wider than the target accepted")
+	}
+}
+
+// TestMismatchedModelKnobsRejected: an explicit burst width or active
+// span on a model that ignores it must error, not silently run a
+// different experiment than the caller asked for.
+func TestMismatchedModelKnobsRejected(t *testing.T) {
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(12)) }
+	if _, err := Plan(1, TargetRF, 64, 5000, DistUniform,
+		Params{Model: ModelTransient, Burst: 4}, rng()); err == nil {
+		t.Error("burst width on the transient model accepted")
+	}
+	if _, err := Plan(1, TargetRF, 64, 5000, DistUniform,
+		Params{Model: ModelStuckAt, Stuck: 1, Span: 500}, rng()); err == nil {
+		t.Error("active span on the stuck-at model accepted")
+	}
+	// Burst 1 is the degenerate single-bit case and stays legal anywhere.
+	if _, err := Plan(1, TargetRF, 64, 5000, DistUniform,
+		Params{Model: ModelTransient, Burst: 1}, rng()); err != nil {
+		t.Errorf("degenerate burst width 1 rejected: %v", err)
+	}
+}
+
+func TestStuckAtPlanValues(t *testing.T) {
+	specs, err := Plan(2000, TargetRF, 128, 5000, DistUniform,
+		Params{Model: ModelStuckAt, Stuck: StuckRandom}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zeros, ones int
+	for _, s := range specs {
+		switch s.Stuck {
+		case 0:
+			zeros++
+		case 1:
+			ones++
+		default:
+			t.Fatalf("stuck value %d", s.Stuck)
+		}
+	}
+	if zeros == 0 || ones == 0 {
+		t.Errorf("StuckRandom never sampled both values: %d zeros, %d ones", zeros, ones)
+	}
+	forced, _ := Plan(50, TargetRF, 128, 5000, DistUniform,
+		Params{Model: ModelStuckAt, Stuck: 1}, rand.New(rand.NewSource(9)))
+	for _, s := range forced {
+		if s.Stuck != 1 {
+			t.Fatalf("forced stuck-at-1 sampled %d", s.Stuck)
+		}
+	}
+	if _, err := Plan(1, TargetRF, 128, 5000, DistUniform,
+		Params{Model: ModelStuckAt, Stuck: 7}, rand.New(rand.NewSource(9))); err == nil {
+		t.Error("invalid stuck value accepted")
+	}
+}
+
+func TestIntermittentSpanAndActivity(t *testing.T) {
+	specs, err := Plan(10, TargetRF, 128, 1600, DistUniform,
+		Params{Model: ModelIntermittent, Stuck: StuckRandom}, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if s.Span != 100 { // window/16
+			t.Fatalf("default span = %d, want 100", s.Span)
+		}
+		if s.ActiveAt(s.Cycle - 1) {
+			t.Error("active before the injection instant")
+		}
+		if !s.ActiveAt(s.Cycle) || !s.ActiveAt(s.Cycle+s.Span-1) {
+			t.Error("inactive inside the span")
+		}
+		if s.ActiveAt(s.Cycle + s.Span) {
+			t.Error("active after the span expired")
+		}
+	}
+	// A stuck-at fault never deactivates; a transient is never "active".
+	st := Spec{Model: ModelStuckAt, Cycle: 10}
+	if !st.ActiveAt(10) || !st.ActiveAt(1<<40) || st.ActiveAt(9) {
+		t.Error("stuck-at activity window wrong")
+	}
+	if (Spec{Model: ModelTransient, Cycle: 10}).ActiveAt(10) {
+		t.Error("transient reported persistent activity")
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	for s, want := range map[string]Params{
+		"transient":    {Model: ModelTransient},
+		"burst":        {Model: ModelBurst},
+		"stuck-at":     {Model: ModelStuckAt, Stuck: StuckRandom},
+		"stuck-at-0":   {Model: ModelStuckAt, Stuck: 0},
+		"stuck-at-1":   {Model: ModelStuckAt, Stuck: 1},
+		"intermittent": {Model: ModelIntermittent, Stuck: StuckRandom},
+	} {
+		got, err := ParseParams(s)
+		if err != nil || got != want {
+			t.Errorf("ParseParams(%q) = %+v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseParams("gamma-ray"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	for m, want := range map[Model]string{
+		ModelTransient: "transient", ModelBurst: "burst",
+		ModelStuckAt: "stuck-at", ModelIntermittent: "intermittent",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", int(m), m.String())
+		}
+	}
+	if Model(99).String() == "" {
+		t.Error("unknown model has empty String")
+	}
+	if ModelTransient.Persistent() || ModelBurst.Persistent() ||
+		!ModelStuckAt.Persistent() || !ModelIntermittent.Persistent() {
+		t.Error("Persistent() classification wrong")
 	}
 }
 

@@ -3,6 +3,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
 	"strings"
 
@@ -45,16 +46,17 @@ func Table(headers []string, rows [][]string) string {
 	return sb.String()
 }
 
-// CSV renders rows as comma-separated values (no quoting; inputs are
-// simple identifiers and numbers).
+// CSV renders rows as RFC 4180 comma-separated values. Fields
+// containing commas, quotes or newlines are quoted, so arbitrary labels
+// (e.g. "window-2,000" or benchmark descriptions) round-trip through
+// spreadsheet tools instead of silently splitting columns.
 func CSV(headers []string, rows [][]string) string {
 	var sb strings.Builder
-	sb.WriteString(strings.Join(headers, ","))
-	sb.WriteByte('\n')
-	for _, r := range rows {
-		sb.WriteString(strings.Join(r, ","))
-		sb.WriteByte('\n')
-	}
+	w := csv.NewWriter(&sb)
+	// The writer only errors on I/O failure, which strings.Builder
+	// cannot produce.
+	_ = w.Write(headers)
+	_ = w.WriteAll(rows)
 	return sb.String()
 }
 
@@ -86,12 +88,18 @@ func Figure(fig *core.FigureResult) string {
 	sb.WriteString(Table(headers, rows))
 
 	sb.WriteByte('\n')
+	labelW := 16
+	for _, s := range fig.Series {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+	}
 	for _, b := range fig.Benches {
 		fmt.Fprintf(&sb, "%-14s\n", b)
 		for _, s := range fig.Series {
 			p := s.Vuln[b].P
 			bar := strings.Repeat("#", int(p*50+0.5))
-			fmt.Fprintf(&sb, "  %-16s %6.1f%% |%s\n", s.Label, p*100, bar)
+			fmt.Fprintf(&sb, "  %-*s %6.1f%% |%s\n", labelW, s.Label, p*100, bar)
 		}
 	}
 	if len(fig.Series) >= 2 {
@@ -113,6 +121,55 @@ func FigureCSV(fig *core.FigureResult) string {
 		}
 		rows = append(rows, row)
 	}
+	return CSV(headers, rows)
+}
+
+// breakdownClasses is the class order of ClassBreakdown rows.
+var breakdownClasses = []campaign.Class{
+	campaign.ClassMasked, campaign.ClassMismatch, campaign.ClassSDC,
+	campaign.ClassCrash, campaign.ClassHang,
+}
+
+// classBreakdownRows builds the per-class outcome fractions of every
+// (benchmark, series) campaign of a figure, formatting fractions with
+// the given verb.
+func classBreakdownRows(fig *core.FigureResult, verb string) (headers []string, rows [][]string) {
+	headers = []string{"benchmark", "series"}
+	for _, c := range breakdownClasses {
+		headers = append(headers, c.String())
+	}
+	headers = append(headers, "unsafe")
+	for _, b := range fig.Benches {
+		for _, s := range fig.Series {
+			res := s.Results[b]
+			if res == nil {
+				continue
+			}
+			n := len(res.Outcomes)
+			row := []string{b, s.Label}
+			for _, c := range breakdownClasses {
+				row = append(row, fmt.Sprintf(verb, float64(res.Counts[c])/float64(n)))
+			}
+			row = append(row, fmt.Sprintf(verb, res.Unsafeness.P))
+			rows = append(rows, row)
+		}
+	}
+	return headers, rows
+}
+
+// ClassBreakdown renders the per-class outcome fractions of every
+// (benchmark, series) campaign of a figure — the view the fault-model
+// ablation (E9) uses to compare how transients, bursts, stuck-ats and
+// intermittents split between Masked, Mismatch and SDC.
+func ClassBreakdown(fig *core.FigureResult) string {
+	headers, rows := classBreakdownRows(fig, "%.3f")
+	return fmt.Sprintf("== %s: class breakdown ==\n\n%s", fig.Name, Table(headers, rows))
+}
+
+// ClassBreakdownCSV renders the class breakdown as CSV for plotting
+// pipelines.
+func ClassBreakdownCSV(fig *core.FigureResult) string {
+	headers, rows := classBreakdownRows(fig, "%.5f")
 	return CSV(headers, rows)
 }
 
@@ -156,8 +213,9 @@ func TableII(rows []core.ThroughputRow, avgRatio float64) string {
 func Campaign(name string, res *campaign.Result) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "campaign %s\n", name)
-	fmt.Fprintf(&sb, "  target=%v obs=%v window=%d injections=%d seed=%d\n",
-		res.Config.Target, res.Config.Obs, res.Config.Window, res.Config.Injections, res.Config.Seed)
+	fmt.Fprintf(&sb, "  target=%v model=%v obs=%v window=%d injections=%d seed=%d\n",
+		res.Config.Target, res.Config.Fault.Model, res.Config.Obs, res.Config.Window,
+		res.Config.Injections, res.Config.Seed)
 	fmt.Fprintf(&sb, "  golden: %d cycles, %d pinout txns (%.2fs)\n",
 		res.GoldenCycles, res.GoldenTxns, res.GoldenElapsed.Seconds())
 	fmt.Fprintf(&sb, "  classes:")

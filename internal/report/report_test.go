@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/stats"
 )
@@ -31,6 +32,27 @@ func TestCSV(t *testing.T) {
 	out := CSV([]string{"a", "b"}, [][]string{{"1", "2"}})
 	if out != "a,b\n1,2\n" {
 		t.Errorf("CSV = %q", out)
+	}
+}
+
+// TestCSVQuoting: fields containing commas, quotes or newlines must be
+// quoted per RFC 4180 instead of silently corrupting the column layout
+// (the historical "no quoting" footgun).
+func TestCSVQuoting(t *testing.T) {
+	out := CSV([]string{"bench", "label"}, [][]string{
+		{"qsort", "window-2,000"},
+		{"sha", `the "fast" one`},
+		{"fft", "two\nlines"},
+	})
+	want := "bench,label\n" +
+		"qsort,\"window-2,000\"\n" +
+		"sha,\"the \"\"fast\"\" one\"\n" +
+		"fft,\"two\nlines\"\n"
+	if out != want {
+		t.Errorf("CSV quoting:\n got %q\nwant %q", out, want)
+	}
+	if strings.Count(strings.Split(out, "\n")[1], ",") != 2 {
+		t.Error("comma-bearing field split into extra columns")
 	}
 }
 
@@ -70,6 +92,48 @@ func TestFigureCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, "sha,0.05000,0.06000") {
 		t.Errorf("rows: %q", out)
+	}
+}
+
+func TestClassBreakdownRendering(t *testing.T) {
+	fig := figFixture(t)
+	mkRes := func(masked, sdc, mismatch int) *campaign.Result {
+		n := masked + sdc + mismatch
+		p, err := stats.EstimateProportion(n-masked, n, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &campaign.Result{
+			Counts: map[campaign.Class]int{
+				campaign.ClassMasked: masked, campaign.ClassSDC: sdc,
+				campaign.ClassMismatch: mismatch,
+			},
+			Outcomes:   make([]campaign.RunOutcome, n),
+			Unsafeness: p,
+		}
+	}
+	fig.Series[0].Results = map[string]*campaign.Result{
+		"sha": mkRes(5, 3, 2), "qsort": mkRes(8, 1, 1),
+	}
+	fig.Series[1].Results = map[string]*campaign.Result{
+		"sha": mkRes(6, 0, 4), "qsort": mkRes(10, 0, 0),
+	}
+	out := ClassBreakdown(fig)
+	for _, want := range []string{
+		"class breakdown", "masked", "mismatch", "sdc", "crash", "hang", "unsafe",
+		"0.500", // sha/GeFIN masked 5/10
+		"0.300", // sha/GeFIN sdc 3/10
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown lacks %q:\n%s", want, out)
+		}
+	}
+	csvOut := ClassBreakdownCSV(fig)
+	if !strings.HasPrefix(csvOut, "benchmark,series,masked,mismatch,sdc,crash,hang,unsafe\n") {
+		t.Errorf("breakdown CSV header: %q", csvOut)
+	}
+	if !strings.Contains(csvOut, "sha,GeFIN,0.50000,0.20000,0.30000,0.00000,0.00000,0.50000") {
+		t.Errorf("breakdown CSV rows: %q", csvOut)
 	}
 }
 

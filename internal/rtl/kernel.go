@@ -123,6 +123,18 @@ func (r *Reg) FlipBit(b int) {
 	r.out.cur ^= 1 << (uint(b) % uint(r.out.width))
 }
 
+// ForceBit sets bit b of the latched value to v (0 or 1), effective
+// immediately. Unlike FlipBit it is idempotent, so the persistent fault
+// models (stuck-at, intermittent) re-assert it after every clock edge.
+func (r *Reg) ForceBit(b int, v int) {
+	mask := uint64(1) << (uint(b) % uint(r.out.width))
+	if v != 0 {
+		r.out.cur |= mask
+	} else {
+		r.out.cur &^= mask
+	}
+}
+
 // memWrite is a queued synchronous memory write.
 type memWrite struct {
 	idx int
@@ -174,6 +186,22 @@ func (m *Mem) FlipBit(b int) error {
 		return fmt.Errorf("rtl: %s bit %d out of range [0,%d)", m.name, b, m.Bits())
 	}
 	m.data[b/m.width] ^= 1 << (b % m.width)
+	return nil
+}
+
+// ForceBit sets bit b of the array (flat index word*width + bit) to v
+// (0 or 1), effective immediately. Idempotent; the persistent fault
+// models re-assert it after every clock edge.
+func (m *Mem) ForceBit(b int, v int) error {
+	if b < 0 || b >= m.Bits() {
+		return fmt.Errorf("rtl: %s bit %d out of range [0,%d)", m.name, b, m.Bits())
+	}
+	mask := uint64(1) << (b % m.width)
+	if v != 0 {
+		m.data[b/m.width] |= mask
+	} else {
+		m.data[b/m.width] &^= mask
+	}
 	return nil
 }
 

@@ -22,11 +22,20 @@ func (c *Core) RFBits() int { return c.regfile.Bits() }
 // FlipRFBit injects a single transient bit flip into the register file.
 func (c *Core) FlipRFBit(i int) error { return c.regfile.FlipBit(i) }
 
+// ForceRFBit sets register file bit i to v (0 or 1). It is the
+// idempotent primitive behind the permanent and intermittent fault
+// models, re-asserted after every clock edge while the fault is active.
+func (c *Core) ForceRFBit(i int, v int) error { return c.regfile.ForceBit(i, v) }
+
 // L1DBits returns the L1 data cache data-array size in bits.
 func (c *Core) L1DBits() int { return c.l1d.data.Bits() }
 
 // FlipL1DBit injects a single transient bit flip into the L1D data array.
 func (c *Core) FlipL1DBit(i int) error { return c.l1d.data.FlipBit(i) }
+
+// ForceL1DBit sets L1D data-array bit i to v (0 or 1); see ForceRFBit
+// for the re-assertion contract.
+func (c *Core) ForceL1DBit(i int, v int) error { return c.l1d.data.ForceBit(i, v) }
 
 // L1DLineOfBit returns the (set, way) whose line holds L1D data bit i,
 // used by injection-time advancement.
@@ -48,19 +57,38 @@ func (c *Core) LatchBits() int {
 	return n
 }
 
-// FlipLatchBit injects into the flattened pipeline/control latch space.
-func (c *Core) FlipLatchBit(i int) error {
+// latchAt resolves flat latch-space bit i to its register and local
+// bit, so Flip and Force can never disagree on targeting.
+func (c *Core) latchAt(i int) (*rtl.Reg, int, error) {
 	if i < 0 {
-		return fmt.Errorf("rtlcore: latch bit %d out of range", i)
+		return nil, 0, fmt.Errorf("rtlcore: latch bit %d out of range", i)
 	}
 	for _, r := range c.latchRegs() {
 		if i < r.Width() {
-			r.FlipBit(i)
-			return nil
+			return r, i, nil
 		}
 		i -= r.Width()
 	}
-	return fmt.Errorf("rtlcore: latch bit beyond %d", c.LatchBits())
+	return nil, 0, fmt.Errorf("rtlcore: latch bit beyond %d", c.LatchBits())
+}
+
+// FlipLatchBit injects into the flattened pipeline/control latch space.
+func (c *Core) FlipLatchBit(i int) error {
+	r, b, err := c.latchAt(i)
+	if err == nil {
+		r.FlipBit(b)
+	}
+	return err
+}
+
+// ForceLatchBit sets bit i of the flattened pipeline/control latch
+// space to v (0 or 1); see ForceRFBit for the re-assertion contract.
+func (c *Core) ForceLatchBit(i int, v int) error {
+	r, b, err := c.latchAt(i)
+	if err == nil {
+		r.ForceBit(b, v)
+	}
+	return err
 }
 
 // latchRegs enumerates the non-array state elements in a stable order.

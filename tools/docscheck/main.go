@@ -1,0 +1,78 @@
+// Command docscheck is the CI docs-integrity gate: it fails when any
+// package under internal/ or cmd/ lacks a package-level doc comment,
+// so the documentation layer cannot silently rot as packages are added.
+//
+//	go run ./tools/docscheck
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"internal", "cmd"}
+	}
+	var missing []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(dir string, d fs.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			ok, checked, err := packageHasDoc(dir)
+			if err != nil {
+				return fmt.Errorf("%s: %w", dir, err)
+			}
+			if checked && !ok {
+				missing = append(missing, dir)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			os.Exit(1)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fmt.Fprintln(os.Stderr, "docscheck: packages without a package doc comment:")
+		for _, dir := range missing {
+			fmt.Fprintln(os.Stderr, "  "+dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// packageHasDoc reports whether the non-test package in dir carries a
+// doc comment on at least one of its files. checked is false when the
+// directory holds no non-test Go files (nothing to enforce).
+func packageHasDoc(dir string) (ok, checked bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		checked = true
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return false, true, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, true, nil
+		}
+	}
+	return false, checked, nil
+}
