@@ -6,6 +6,7 @@ package repro
 // -bench=.` completes in minutes; cmd/paper runs the full versions.
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/asm"
@@ -313,3 +314,114 @@ func BenchmarkCloneMicroarch(b *testing.B) {
 		sim.Restore(snap)
 	}
 }
+
+// ------------------------------------------------- E10 + engine paths
+
+// replayBench measures the engine's hottest path: one differential
+// replay (snapshot restore, roll to the injection instant, fault, window
+// simulation, classification) against a prepared golden run.
+func replayBench(b *testing.B, model core.Model, cfg campaign.Config) {
+	p := workloadProgram(b, "qsort")
+	factory := core.Factory(model, p, core.CampaignSetup())
+	opts := campaign.GoldenOptions{}
+	if cfg.EarlyStop {
+		opts.HashEvery = 64
+	}
+	g, err := campaign.PrepareGolden(factory, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := factory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs, err := fault.Plan(256, cfg.Target, sim.Bits(cfg.Target), g.Cycles,
+		fault.DistNormal, cfg.Fault, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		oc, err := g.ReplayOne(sim, specs[i%len(specs)], cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += oc.EndCycle - specs[i%len(specs)].Cycle
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replays/s")
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "Mcyc/s")
+}
+
+func BenchmarkOneRunReplay_GeFIN(b *testing.B) {
+	replayBench(b, core.ModelMicroarch, campaign.Config{
+		Injections: 1, Seed: 1, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 500,
+	})
+}
+
+func BenchmarkOneRunReplay_RTL(b *testing.B) {
+	replayBench(b, core.ModelRTL, campaign.Config{
+		Injections: 1, Seed: 1, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 500,
+	})
+}
+
+func BenchmarkOneRunReplay_GeFIN_EarlyStop(b *testing.B) {
+	replayBench(b, core.ModelMicroarch, campaign.Config{
+		Injections: 1, Seed: 1, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 500, EarlyStop: true,
+	})
+}
+
+// BenchmarkSweepWall measures the full-sweep wall time of a miniature
+// two-campaign matrix sharing one golden run — the scheduler overhead
+// trajectory (dispatch, checkpointless streaming, aggregation) rather
+// than raw simulator speed.
+func BenchmarkSweepWall(b *testing.B) {
+	p := workloadProgram(b, "qsort")
+	factory := core.Factory(core.ModelMicroarch, p, core.CampaignSetup())
+	cfg := campaign.Config{
+		Injections: 30, Seed: 1, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 500,
+	}
+	l1d := cfg
+	l1d.Target = fault.TargetL1D
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := campaign.Sweep([]campaign.SweepCampaign{
+			{Key: "rf", Group: "ma/qsort", Factory: factory, Config: cfg},
+			{Key: "l1d", Group: "ma/qsort", Factory: factory, Config: l1d},
+		}, campaign.SweepOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sr.GoldenRuns != 1 {
+			b.Fatalf("golden runs = %d", sr.GoldenRuns)
+		}
+	}
+}
+
+// campaignCyclesBench reports the simulated replay cycles of one
+// run-to-end campaign configuration — the quantity the adaptive engine
+// exists to cut (compare the Fixed and Adaptive variants).
+func campaignCyclesBench(b *testing.B, early bool) {
+	cfg := campaign.Config{
+		Injections: 40, Seed: 5, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, EarlyStop: early,
+	}
+	b.ResetTimer()
+	var res *campaign.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunCampaign("caes", core.ModelMicroarch, core.CampaignSetup(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.CyclesSimulated)/1e6, "Mcycles/campaign")
+	b.ReportMetric(float64(res.ConvergedRuns), "converged")
+}
+
+func BenchmarkCampaignRunToEnd_Fixed(b *testing.B)    { campaignCyclesBench(b, false) }
+func BenchmarkCampaignRunToEnd_Adaptive(b *testing.B) { campaignCyclesBench(b, true) }

@@ -4,10 +4,14 @@
 //	faultsim -bench caes -model microarch -target l1d -obs sop
 //	faultsim -bench sha -fault-model stuck-at-1 -obs combined -window 0
 //	faultsim -bench fft -fault-model burst -burst 4
+//	faultsim -bench caes -window 0 -early-stop -target-error 0.05
 //
 // -fault-model selects the injected fault model (transient, burst,
 // stuck-at, stuck-at-0, stuck-at-1, intermittent); -burst and -span set
-// the burst width and the intermittent active window.
+// the burst width and the intermittent active window. -early-stop and
+// -target-error enable the adaptive engine (convergence exits and
+// sequential statistical stopping); the report then carries the
+// converged/saved accounting.
 package main
 
 import (
@@ -47,6 +51,8 @@ func run(args []string) error {
 		strict     = fs.Bool("strict-cycle", false, "require cycle-exact pinout matches")
 		workers    = fs.Int("workers", 0, "parallel workers (default GOMAXPROCS)")
 		fullSize   = fs.Bool("paper-size", false, "use the paper's 4000-injection Leveugle sample")
+		earlyStop  = fs.Bool("early-stop", false, "adaptive engine: end a replay the moment its state reconverges with golden")
+		targetErr  = fs.Float64("target-error", 0, "adaptive engine: stop injecting once every class proportion is within this margin (0 = full plan)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +80,8 @@ func run(args []string) error {
 		Window:       *window,
 		Workers:      *workers,
 		AdvanceToUse: *advance,
+		EarlyStop:    *earlyStop,
+		TargetError:  *targetErr,
 	}
 	if *fullSize {
 		cfg.Injections = 4000

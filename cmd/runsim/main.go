@@ -10,8 +10,10 @@
 // costs and captures (snapshots, pinout transactions, output bytes).
 //
 // -inject N probes the workload with a tiny N-injection campaign and
-// prints each planned fault and its classification — a debugging view
-// of what a full campaign would do. -fault-model and -burst select the
+// prints each planned fault, its classification and its convergence
+// cycle — the instant the corrupted state reconverged with the golden
+// run ("never" if it stayed divergent), making masking behavior
+// inspectable from the CLI. -fault-model and -burst select the
 // injected fault model:
 //
 //	runsim -bench qsort -model rtl -inject 5 -fault-model stuck-at-1
@@ -130,9 +132,13 @@ func run(args []string) error {
 		}
 		fp.Burst = *burst
 		fp.Span = *span
+		// The probe always runs the adaptive engine so each fault's
+		// convergence cycle (the instant the corrupted state rejoins
+		// the golden run) is observable; the exit is exact, so the
+		// classes match a fixed-plan campaign's.
 		res, err := campaign.Run(core.Factory(m, prog, setup), campaign.Config{
 			Injections: *inject, Seed: *seed, Target: tgt, Fault: fp,
-			Window: *window, Obs: campaign.ObsPinout,
+			Window: *window, Obs: campaign.ObsPinout, EarlyStop: true,
 		})
 		if err != nil {
 			return err
@@ -150,8 +156,12 @@ func run(args []string) error {
 			case fault.ModelIntermittent:
 				extra = fmt.Sprintf(" stuck=%d span=%d", s.Stuck, s.Span)
 			}
-			fmt.Printf("  bit=%-6d cycle=%-8d%s -> %v (end cycle %d)\n",
-				s.Bit, s.Cycle, extra, oc.Class, oc.EndCycle)
+			conv := "never"
+			if oc.Converged {
+				conv = fmt.Sprintf("@%d", oc.EndCycle)
+			}
+			fmt.Printf("  bit=%-6d cycle=%-8d%s -> %v (end cycle %d, converged %s)\n",
+				s.Bit, s.Cycle, extra, oc.Class, oc.EndCycle, conv)
 		}
 		return nil
 	}

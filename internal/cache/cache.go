@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/statehash"
 )
 
 // Config describes a cache geometry.
@@ -373,6 +374,20 @@ func (c *Cache) WriteBackAll(fn func(addr uint32, data []byte)) {
 			}
 		}
 	}
+}
+
+// HashState folds every architecturally significant bit of the cache —
+// tags, valid, dirty and LRU state, and the data array — into h for the
+// campaign engine's convergence exit. Statistics and the access hook are
+// excluded: they never influence future accesses.
+func (c *Cache) HashState(h *statehash.Hash) {
+	for i := range c.tags {
+		h.U32(c.tags[i])
+		h.Bool(c.valid[i])
+		h.Bool(c.dirty[i])
+		h.U64(uint64(c.age[i]))
+	}
+	h.Bytes(c.data)
 }
 
 // Clone deep-copies the cache, rebinding it to the given backing memory

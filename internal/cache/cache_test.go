@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/mem"
+	"repro/internal/statehash"
 )
 
 func testCache(t *testing.T, size, ways, line int) (*Cache, *mem.Memory) {
@@ -228,5 +229,50 @@ func TestAgainstFlatMemory(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestHashStateRoundTrip: Clone must reproduce an identical state
+// digest, and every covered state class (data, tags/valid/dirty, LRU)
+// must perturb it — the behavioural cache's half of the campaign
+// engine's convergence-exit contract.
+func TestHashStateRoundTrip(t *testing.T) {
+	c, m := testCache(t, 1024, 2, 32)
+	var res Result
+	for i := uint32(0); i < 64; i++ {
+		if !c.StoreWord(i*44%4096&^3, i, &res) {
+			t.Fatal("store failed")
+		}
+	}
+	digest := func(c *Cache) uint64 {
+		h := statehash.New()
+		c.HashState(h)
+		return h.Sum()
+	}
+	before := digest(c)
+	clone := c.Clone(m.Snapshot())
+	if digest(clone) != before {
+		t.Error("clone digests differently from its original")
+	}
+	if err := clone.FlipDataBit(17); err != nil {
+		t.Fatal(err)
+	}
+	if digest(clone) == before {
+		t.Error("data-array flip left the digest unchanged")
+	}
+	if err := clone.FlipDataBit(17); err != nil {
+		t.Fatal(err)
+	}
+	if digest(clone) != before {
+		t.Error("flip-flip did not restore the digest")
+	}
+	// An access reorders LRU state without touching data: the digest
+	// must see that too, or replays could "converge" into a cache that
+	// will evict a different line.
+	if _, ok := clone.LoadWord(0, &res); !ok {
+		t.Fatal("load failed")
+	}
+	if digest(clone) == before && clone.cfg.Ways > 1 {
+		t.Error("LRU touch left the digest unchanged")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -55,6 +56,13 @@ type Simulator interface {
 	// by any instance built from the same factory.
 	Snapshot() Snapshot
 	Restore(s Snapshot)
+
+	// StateHash digests the complete behavior-bearing simulation state.
+	// Equal digests at equal cycles must imply equal futures: the
+	// adaptive engine classifies a faulty replay as Masked the moment
+	// its digest matches the golden digest recorded at the same cycle
+	// (with no fault still active and an identical pinout prefix).
+	StateHash() uint64
 
 	// SetL1DAccessHook observes D-cache accesses (set, way) during the
 	// golden run; L1DLineOfBit maps an L1D data bit to its line. Both
@@ -157,13 +165,46 @@ type Config struct {
 	// Workers bounds campaign parallelism; zero uses GOMAXPROCS.
 	Workers int
 
-	// Confidence level for the result interval (default 0.99).
+	// Confidence level for the result interval (default 0.99). It is
+	// also the confidence at which TargetError is enforced.
 	Confidence float64
+
+	// EarlyStop enables per-run convergence detection: golden state
+	// hashes are recorded along the golden run, and a replay whose
+	// state digest matches golden at the same cycle — with no fault
+	// still active and an identical pinout prefix — is classified
+	// Masked immediately instead of simulating to the end. The exit is
+	// exact (a reconverged run retraces golden), so it changes only
+	// cycles, never classes. Off by default; the default path
+	// reproduces the fixed-plan engine bit for bit.
+	EarlyStop bool
+
+	// TargetError, when positive, enables sequential statistical
+	// stopping: outcomes stream into an incremental estimator, and the
+	// dispatcher stops issuing injections once every fault-effect
+	// class proportion's Wilson interval half-width is within
+	// TargetError at Confidence. The stopping index is decided over
+	// outcomes in plan order, so results stay deterministic under any
+	// worker schedule. Zero runs the full fixed plan.
+	TargetError float64
+
+	// MinRuns floors the sample size before sequential stopping may
+	// trigger (0 selects 50). Requires TargetError.
+	MinRuns int
 }
 
 // defaultSnapshotEvery is the golden-run snapshot interval selected by
 // SnapshotEvery == 0 (~64 snapshots on the scaled workloads).
 const defaultSnapshotEvery = 2048
+
+// defaultHashEvery is the golden state-hash stride used by the
+// convergence exit: dense enough that a masked windowed replay is
+// caught well inside its observation window, cheap enough (page-level
+// memoised memory hashing) that recording barely taxes the golden run.
+const defaultHashEvery = 64
+
+// defaultMinRuns floors sequential stopping when Config.MinRuns is 0.
+const defaultMinRuns = 50
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
@@ -193,6 +234,12 @@ type RunOutcome struct {
 	Spec     fault.Spec
 	Class    Class
 	EndCycle uint64
+
+	// Converged marks a replay terminated by the convergence exit at
+	// EndCycle: the faulty state digest matched golden with no fault
+	// still active and an identical pinout prefix, so the run is
+	// Masked without simulating its remaining future.
+	Converged bool
 }
 
 // Result aggregates a campaign.
@@ -210,6 +257,23 @@ type Result struct {
 
 	Outcomes []RunOutcome
 
+	// Adaptive-engine accounting. CyclesSimulated (cycles stepped
+	// across the counted replays, from each base snapshot to its end)
+	// and AchievedMargin (the widest class-proportion Wilson
+	// half-width at Confidence) are always populated; ConvergedRuns,
+	// RunsSaved and CyclesSaved are non-zero only under EarlyStop /
+	// TargetError. CyclesSaved is exact for convergence exits (a
+	// masked run's fixed-plan end is known) and, for injections the
+	// sequential stop never issued, a prefix-mean estimate that never
+	// materialises the skipped tail. Replays a worker had already
+	// started when the stopping index was decided are excluded from
+	// all counts, keeping every field deterministic.
+	ConvergedRuns   int
+	RunsSaved       int
+	CyclesSimulated uint64
+	CyclesSaved     uint64
+	AchievedMargin  float64
+
 	Elapsed       time.Duration
 	AvgSecPerRun  float64
 	GoldenElapsed time.Duration
@@ -224,6 +288,15 @@ func (c *Config) validate() error {
 	}
 	if (c.Obs == ObsSOP || c.Obs == ObsCombined) && c.Window > 0 {
 		return fmt.Errorf("campaign: observation point %v requires run-to-end (Window=0)", c.Obs)
+	}
+	if c.TargetError < 0 || c.TargetError >= 1 {
+		return fmt.Errorf("campaign: TargetError %v out of [0,1)", c.TargetError)
+	}
+	if c.MinRuns < 0 {
+		return fmt.Errorf("campaign: MinRuns %d negative", c.MinRuns)
+	}
+	if c.MinRuns > 0 && c.TargetError == 0 {
+		return fmt.Errorf("campaign: MinRuns set but sequential stopping is off (TargetError=0)")
 	}
 	return nil
 }
@@ -245,6 +318,12 @@ type GoldenOptions struct {
 	// not stopped within this many cycles (0 = unbounded); a hung
 	// workload fails fast instead of accumulating snapshots forever.
 	MaxCycles uint64
+
+	// HashEvery records a golden state digest every HashEvery cycles
+	// for the convergence exit (0 disables recording). Recording is
+	// pure observation, so a hash-enabled golden run serves campaigns
+	// without EarlyStop too.
+	HashEvery uint64
 }
 
 // Golden holds every artifact of one golden run: the snapshots, pinout
@@ -260,12 +339,17 @@ type Golden struct {
 	sim      Simulator // the stopped golden instance (bit spaces, L1D geometry)
 	pin      *trace.Pinout
 	snaps    []snapAt
+	hashes   []hashAt // golden state digests (convergence exit), cycle-ascending
 	timeline map[[2]int][]uint64
 	opts     GoldenOptions
 }
 
 // Snapshots reports how many differential-injection snapshots were taken.
 func (g *Golden) Snapshots() int { return len(g.snaps) }
+
+// Hashes reports how many golden state digests were recorded for the
+// convergence exit.
+func (g *Golden) Hashes() int { return len(g.hashes) }
 
 // fingerprint identifies the golden run's observable behavior (cycle
 // count, pinout volume, program output) so checkpoint resume can detect
@@ -302,12 +386,13 @@ func PrepareGolden(factory Factory, opts GoldenOptions) (*Golden, error) {
 	}
 
 	start := time.Now()
-	snaps, err := goldenRunWithSnapshots(sim, opts.SnapshotEvery, opts.MaxCycles)
+	snaps, hashes, err := goldenRunWithSnapshots(sim, opts.SnapshotEvery, opts.MaxCycles, opts.HashEvery)
 	if err != nil {
 		return nil, err
 	}
 	g.Elapsed = time.Since(start)
 	g.snaps = snaps
+	g.hashes = hashes
 	sim.SetL1DAccessHook(nil)
 	stop := sim.StopReason()
 	if stop != refsim.StopExit && stop != refsim.StopHalt {
@@ -322,31 +407,69 @@ func PrepareGolden(factory Factory, opts GoldenOptions) (*Golden, error) {
 	return g, nil
 }
 
-// plan derives the campaign's fault plan from the golden artifacts. The
-// plan depends only on (seed, fault model, target bit space, golden
-// cycle count, distribution), so campaigns sharing a Golden produce
-// plans bit-identical to standalone runs.
-func (g *Golden) plan(cfg Config) ([]fault.Spec, error) {
+// lazyPlan is a campaign's fault plan as a deterministic stream: spec i
+// is generated on first demand (advancement applied at generation), so a
+// sequentially stopped campaign never materialises the tail it skipped.
+// The stream depends only on (seed, fault model, target bit space,
+// golden cycle count, distribution), so campaigns sharing a Golden
+// produce plans bit-identical to standalone runs.
+type lazyPlan struct {
+	n     int
+	gen   *fault.Generator
+	specs []fault.Spec
+	g     *Golden
+	adv   bool
+}
+
+// planner derives the campaign's lazy fault plan from the golden
+// artifacts.
+func (g *Golden) planner(cfg Config) (*lazyPlan, error) {
 	bits := g.sim.Bits(cfg.Target)
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	specs, err := fault.Plan(cfg.Injections, cfg.Target, bits, g.Cycles, cfg.TimeDist, cfg.Fault, rng)
+	gen, err := fault.NewGenerator(cfg.Target, bits, g.Cycles, cfg.TimeDist, cfg.Fault, rng)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.AdvanceToUse && cfg.Target == fault.TargetL1D {
-		if g.timeline == nil {
-			return nil, fmt.Errorf("campaign: AdvanceToUse requires a golden run with GoldenOptions.Timeline")
-		}
-		for i := range specs {
-			specs[i].Cycle = advance(specs[i], g.timeline, g.sim)
-		}
+	adv := cfg.AdvanceToUse && cfg.Target == fault.TargetL1D
+	if adv && g.timeline == nil {
+		return nil, fmt.Errorf("campaign: AdvanceToUse requires a golden run with GoldenOptions.Timeline")
 	}
-	return specs, nil
+	return &lazyPlan{
+		n: cfg.Injections, gen: gen, g: g, adv: adv,
+		specs: make([]fault.Spec, 0, cfg.Injections),
+	}, nil
+}
+
+// spec returns planned injection i, generating the stream up to it. Not
+// safe for concurrent use; only the (single-threaded) dispatch loop and
+// the pre-dispatch checkpoint loader call it.
+func (p *lazyPlan) spec(i int) fault.Spec {
+	for len(p.specs) <= i {
+		s := p.gen.Next()
+		if p.adv {
+			s.Cycle = advance(s, p.g.timeline, p.g.sim)
+		}
+		p.specs = append(p.specs, s)
+	}
+	return p.specs[i]
 }
 
 // hangBudget is the cycle limit beyond which a run-to-end replay is
 // classified as a hang.
 func (g *Golden) hangBudget() uint64 { return g.Cycles*2 + 50_000 }
+
+// goldenOptionsFor derives the golden-artifact options one standalone
+// campaign needs.
+func goldenOptionsFor(cfg Config) GoldenOptions {
+	opts := GoldenOptions{
+		SnapshotEvery: cfg.SnapshotEvery,
+		Timeline:      cfg.AdvanceToUse,
+	}
+	if cfg.EarlyStop {
+		opts.HashEvery = defaultHashEvery
+	}
+	return opts
+}
 
 // Run executes one standalone campaign: golden-artifact phase, fault
 // plan, replay/classify phase on a private worker pool, aggregation.
@@ -356,36 +479,48 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	g, err := PrepareGolden(factory, GoldenOptions{
-		SnapshotEvery: cfg.SnapshotEvery,
-		Timeline:      cfg.AdvanceToUse,
-	})
+	g, err := PrepareGolden(factory, goldenOptionsFor(cfg))
 	if err != nil {
 		return nil, err
 	}
-	specs, err := g.plan(cfg)
+	pl, err := g.planner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := newSeqStop(cfg)
 	if err != nil {
 		return nil, err
 	}
 
-	// ------------------------------------------------------- replays
-	outcomes := make([]RunOutcome, len(specs))
-	indices := make([]int, len(specs))
-	for i := range indices {
-		indices[i] = i
+	// --------------------------------------------- streaming replays
+	// The dispatch loop generates specs lazily and stops issuing as
+	// soon as the in-order estimator converges; workers stream every
+	// outcome back through seq.
+	type job struct {
+		idx  int
+		spec fault.Spec
+	}
+	nextIdx := 0
+	next := func() (job, bool) {
+		if nextIdx >= pl.n || seq.stopped() {
+			return job{}, false
+		}
+		j := job{idx: nextIdx, spec: pl.spec(nextIdx)}
+		nextIdx++
+		return j, true
 	}
 	start := time.Now()
-	err = dispatchJobs(cfg.Workers, indices, func(_ int, jobs <-chan int) error {
+	err = streamJobs(cfg.Workers, next, func(_ int, jobs <-chan job) error {
 		sim, err := factory()
 		if err != nil {
 			return err
 		}
-		for i := range jobs {
-			oc, err := oneRun(sim, g, specs[i], cfg)
+		for j := range jobs {
+			oc, err := oneRun(sim, g, j.spec, cfg)
 			if err != nil {
 				return err
 			}
-			outcomes[i] = oc
+			seq.deliver(j.idx, oc)
 		}
 		return nil
 	})
@@ -394,16 +529,114 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 	}
 	elapsed := time.Since(start)
 
-	return aggregate(cfg, g, outcomes, elapsed)
+	return aggregate(cfg, g, pl, seq, elapsed)
 }
 
-// dispatchJobs fans pending out to `workers` copies of worker over an
-// unbuffered channel. Dispatch is cancelled on the first worker error:
-// surviving workers keep draining what was already queued, but nothing
-// new is sent, so the pool terminates even when every worker dies
-// early (the historical all-workers-exit deadlock). Returns the first
-// worker error. Both Run and Sweep pools are built on this.
-func dispatchJobs[T any](workers int, pending []T, worker func(id int, jobs <-chan T) error) error {
+// seqStop collects streamed replay outcomes and decides the sequential
+// stopping index. Outcomes may arrive in any order; the estimator only
+// ever consumes them in plan order (the frontier), so the stopping index
+// — the first prefix length at which every class proportion is within
+// the target margin — is a deterministic function of the plan, immune
+// to worker scheduling. With TargetError == 0 it degenerates to a plain
+// outcome collector that never stops.
+type seqStop struct {
+	mu       sync.Mutex
+	outcomes []RunOutcome
+	have     []bool
+	frontier int
+	stopAt   int // -1 until decided
+	est      *stats.Sequential
+	target   float64
+	minRuns  int
+}
+
+// newSeqStop builds the collector for one campaign.
+func newSeqStop(cfg Config) (*seqStop, error) {
+	s := &seqStop{
+		outcomes: make([]RunOutcome, cfg.Injections),
+		have:     make([]bool, cfg.Injections),
+		stopAt:   -1,
+		target:   cfg.TargetError,
+		minRuns:  cfg.MinRuns,
+	}
+	if s.target > 0 {
+		if s.minRuns == 0 {
+			s.minRuns = defaultMinRuns
+		}
+		var err error
+		s.est, err = stats.NewSequential(cfg.Confidence,
+			int(ClassMasked), int(ClassMismatch), int(ClassSDC), int(ClassCrash), int(ClassHang))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// deliver records outcome idx and advances the in-order frontier,
+// deciding the stopping index when the estimator converges.
+func (s *seqStop) deliver(idx int, oc RunOutcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.have[idx] {
+		return
+	}
+	s.outcomes[idx] = oc
+	s.have[idx] = true
+	for s.frontier < len(s.outcomes) && s.have[s.frontier] {
+		if s.est != nil && s.stopAt < 0 {
+			s.est.Observe(int(s.outcomes[s.frontier].Class))
+			if s.est.Converged(s.target, s.minRuns) {
+				s.stopAt = s.frontier + 1
+			}
+		}
+		s.frontier++
+	}
+}
+
+// stopped reports whether the dispatcher should cease issuing jobs.
+func (s *seqStop) stopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopAt >= 0
+}
+
+// done reports whether outcome idx has already been delivered (e.g.
+// resumed from a checkpoint shard).
+func (s *seqStop) done(idx int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.have[idx]
+}
+
+// stopIndex returns the decided stopping index, or -1 if the campaign
+// ran (or is running) its full plan.
+func (s *seqStop) stopIndex() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopAt
+}
+
+// cut returns the counted prefix of outcomes. Indices past the stopping
+// index (in-flight overshoot when the stop was decided) are discarded so
+// the result is deterministic.
+func (s *seqStop) cut() []RunOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopAt >= 0 {
+		return s.outcomes[:s.stopAt]
+	}
+	return s.outcomes[:s.frontier]
+}
+
+// streamJobs feeds jobs drawn lazily from next to `workers` copies of
+// worker over an unbuffered channel. Dispatch is cancelled on the first
+// worker error: surviving workers keep draining what was already queued,
+// but nothing new is sent, so the pool terminates even when every worker
+// dies early (the historical all-workers-exit deadlock). Returns the
+// first worker error. Both Run and Sweep pools are built on this; next
+// is only ever called from the dispatch loop, so it may be stateful.
+func streamJobs[T any](workers int, next func() (T, bool), worker func(id int, jobs <-chan T) error) error {
 	var (
 		wg       sync.WaitGroup
 		stopOnce sync.Once
@@ -430,7 +663,11 @@ func dispatchJobs[T any](workers int, pending []T, worker func(id int, jobs <-ch
 		}(w)
 	}
 dispatch:
-	for _, j := range pending {
+	for {
+		j, ok := next()
+		if !ok {
+			break
+		}
 		select {
 		case jobs <- j:
 		case <-stop:
@@ -442,14 +679,51 @@ dispatch:
 	return firstErr
 }
 
-// aggregate folds the replay outcomes into a campaign result.
-func aggregate(cfg Config, g *Golden, outcomes []RunOutcome, elapsed time.Duration) (*Result, error) {
+// dispatchJobs fans a materialised job slice out through streamJobs.
+func dispatchJobs[T any](workers int, pending []T, worker func(id int, jobs <-chan T) error) error {
+	i := 0
+	return streamJobs(workers, func() (T, bool) {
+		if i >= len(pending) {
+			var zero T
+			return zero, false
+		}
+		j := pending[i]
+		i++
+		return j, true
+	}, worker)
+}
+
+// fullReplayEnd is the cycle at which a fixed-plan replay of spec would
+// end if it deviated nowhere from golden: the observation-window limit
+// for windowed configs (capped at the golden stop cycle, where the
+// program exits), the golden stop cycle for run-to-end ones. Exact for
+// converged (masked) replays; a fixed-plan estimate for runs that would
+// have crashed or hung elsewhere.
+func (g *Golden) fullReplayEnd(spec fault.Spec, cfg Config) uint64 {
+	if cfg.Window > 0 {
+		end := spec.Cycle + cfg.Window
+		if end > g.Cycles {
+			end = g.Cycles
+		}
+		if end < spec.Cycle {
+			end = spec.Cycle
+		}
+		return end
+	}
+	return g.Cycles
+}
+
+// aggregate folds the counted replay outcomes into a campaign result,
+// including the adaptive engine's savings accounting.
+func aggregate(cfg Config, g *Golden, pl *lazyPlan, seq *seqStop, elapsed time.Duration) (*Result, error) {
+	outcomes := seq.cut()
 	res := &Result{
 		Config:        cfg,
 		GoldenCycles:  g.Cycles,
 		GoldenTxns:    g.Txns,
 		Counts:        make(map[Class]int, int(numClasses)),
 		Outcomes:      outcomes,
+		RunsSaved:     pl.n - len(outcomes),
 		Elapsed:       elapsed,
 		AvgSecPerRun:  elapsed.Seconds() / float64(len(outcomes)),
 		GoldenElapsed: g.Elapsed,
@@ -460,38 +734,85 @@ func aggregate(cfg Config, g *Golden, outcomes []RunOutcome, elapsed time.Durati
 		if oc.Class != ClassMasked {
 			unsafe++
 		}
+		base := nearestSnap(g.snaps, oc.Spec.Cycle).cycle
+		if oc.EndCycle > base {
+			res.CyclesSimulated += oc.EndCycle - base
+		}
+		if oc.Converged {
+			res.ConvergedRuns++
+			if full := g.fullReplayEnd(oc.Spec, cfg); full > oc.EndCycle {
+				res.CyclesSaved += full - oc.EndCycle
+			}
+		}
+	}
+	// Injections the sequential stop never issued are saved wholesale.
+	// Their cost is estimated as the counted prefix's mean fixed-plan
+	// replay length — injection instants are identically distributed
+	// across the plan — so the skipped tail is never materialised.
+	if skipped := pl.n - len(outcomes); skipped > 0 && len(outcomes) > 0 {
+		var prefixFull uint64
+		for _, oc := range outcomes {
+			base := nearestSnap(g.snaps, oc.Spec.Cycle).cycle
+			if full := g.fullReplayEnd(oc.Spec, cfg); full > base {
+				prefixFull += full - base
+			}
+		}
+		res.CyclesSaved += prefixFull / uint64(len(outcomes)) * uint64(skipped)
 	}
 	var err error
 	res.Unsafeness, err = stats.EstimateProportion(unsafe, len(outcomes), cfg.Confidence)
 	if err != nil {
 		return nil, err
 	}
+	z, err := stats.ZForConfidence(cfg.Confidence)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range []Class{ClassMasked, ClassMismatch, ClassSDC, ClassCrash, ClassHang} {
+		if w := stats.WilsonHalfWidth(res.Counts[c], len(outcomes), z); w > res.AchievedMargin {
+			res.AchievedMargin = w
+		}
+	}
 	return res, nil
 }
 
-// goldenRunWithSnapshots runs to completion capturing periodic snapshots,
-// including one at cycle 0. A non-zero max aborts a runaway program.
-func goldenRunWithSnapshots(sim Simulator, every, max uint64) ([]snapAt, error) {
+// goldenRunWithSnapshots runs to completion capturing periodic snapshots
+// (including one at cycle 0) and, when hashEvery is non-zero, golden
+// state digests every hashEvery cycles for the convergence exit. A
+// non-zero max aborts a runaway program.
+func goldenRunWithSnapshots(sim Simulator, every, max, hashEvery uint64) ([]snapAt, []hashAt, error) {
 	snaps := []snapAt{{cycle: sim.Cycles(), snap: sim.Snapshot()}}
 	if every == 0 {
 		every = defaultSnapshotEvery
 	}
+	var hashes []hashAt
 	next := sim.Cycles() + every
+	nextHash := sim.Cycles() + hashEvery
 	for sim.Step() {
 		if sim.Cycles() >= next {
 			snaps = append(snaps, snapAt{cycle: sim.Cycles(), snap: sim.Snapshot()})
 			next = sim.Cycles() + every
 		}
+		if hashEvery > 0 && sim.Cycles() >= nextHash {
+			hashes = append(hashes, hashAt{cycle: sim.Cycles(), hash: sim.StateHash()})
+			nextHash = sim.Cycles() + hashEvery
+		}
 		if max > 0 && sim.Cycles() >= max {
-			return nil, fmt.Errorf("campaign: golden run exceeded the %d-cycle budget", max)
+			return nil, nil, fmt.Errorf("campaign: golden run exceeded the %d-cycle budget", max)
 		}
 	}
-	return snaps, nil
+	return snaps, hashes, nil
 }
 
 type snapAt struct {
 	cycle uint64
 	snap  Snapshot
+}
+
+// hashAt is one golden state digest along the run.
+type hashAt struct {
+	cycle uint64
+	hash  uint64
 }
 
 // nearestSnap returns the latest snapshot at or before cycle.
@@ -520,6 +841,17 @@ func advance(s fault.Spec, timeline map[[2]int][]uint64, sim Simulator) uint64 {
 	return s.Cycle // never accessed again: inject at the sampled instant
 }
 
+// ReplayOne replays a single planned injection against this golden run
+// and classifies it — the public entry to the engine's hottest path,
+// used by probe tooling and benchmarks. sim must come from the same
+// factory as the golden run.
+func (g *Golden) ReplayOne(sim Simulator, spec fault.Spec, cfg Config) (RunOutcome, error) {
+	if err := cfg.validate(); err != nil {
+		return RunOutcome{}, err
+	}
+	return oneRun(sim, g, spec, cfg)
+}
+
 // oneRun replays a single faulty simulation and classifies it.
 func oneRun(sim Simulator, g *Golden, spec fault.Spec, cfg Config) (RunOutcome, error) {
 	goldenPin, goldenOut, goldenCycles := g.pin, g.Output, g.Cycles
@@ -541,16 +873,35 @@ func oneRun(sim Simulator, g *Golden, spec fault.Spec, cfg Config) (RunOutcome, 
 	}
 
 	// Simulate the observation window, re-asserting persistent faults.
+	// With EarlyStop and a hash-recording golden run, the convergence
+	// exit classifies the replay as Masked the moment its state digest
+	// matches golden; otherwise the seed engine's fixed window runs.
 	limit := hangBudget
 	if cfg.Window > 0 {
 		limit = spec.Cycle + cfg.Window
 	}
-	stop, err := runWindow(sim, spec, limit)
+	var stop refsim.StopReason
+	var err error
+	converged := false
+	if cfg.EarlyStop && len(g.hashes) > 0 {
+		stop, converged, err = runConvergent(sim, g, spec, cfg, base.cycle, pin, limit)
+	} else {
+		stop, err = runWindow(sim, spec, limit)
+	}
 	if err != nil {
 		return RunOutcome{}, err
 	}
 
 	oc := RunOutcome{Spec: spec, EndCycle: sim.Cycles()}
+	if converged {
+		// The faulty state, output and pinout prefix all match golden
+		// with no fault active: every future of this replay retraces
+		// the fault-free run, so it is Masked at either observation
+		// point — exactly the class the full simulation would report.
+		oc.Class = ClassMasked
+		oc.Converged = true
+		return oc, nil
+	}
 	switch {
 	case stop == refsim.StopFault:
 		oc.Class = ClassCrash
@@ -614,6 +965,43 @@ func applyFault(sim Simulator, spec fault.Spec) error {
 		}
 	}
 	return nil
+}
+
+// runConvergent is the adaptive replay loop: it steps the simulation
+// like runWindow (re-asserting persistent faults every active cycle)
+// and, at every golden hash point past the injection with no fault
+// active, compares the faulty state digest and the pinout prefix
+// against golden. A double match means the corrupted state has
+// reconverged with the fault-free run — the replay's entire remaining
+// future is golden's, so it terminates immediately as converged.
+func runConvergent(sim Simulator, g *Golden, spec fault.Spec, cfg Config,
+	baseCycle uint64, pin *trace.Pinout, limit uint64) (refsim.StopReason, bool, error) {
+
+	// First hash point strictly after the injection instant: before it
+	// the replay is golden by construction and a match means nothing.
+	hi := sort.Search(len(g.hashes), func(i int) bool { return g.hashes[i].cycle > spec.Cycle })
+	for sim.Cycles() < limit {
+		if !sim.Step() {
+			return sim.StopReason(), false, nil
+		}
+		if spec.ActiveAt(sim.Cycles()) {
+			if err := applyFault(sim, spec); err != nil {
+				return 0, false, err
+			}
+		}
+		for hi < len(g.hashes) && g.hashes[hi].cycle < sim.Cycles() {
+			hi++
+		}
+		if hi < len(g.hashes) && g.hashes[hi].cycle == sim.Cycles() {
+			if !spec.ActiveAt(sim.Cycles()) &&
+				sim.StateHash() == g.hashes[hi].hash &&
+				trace.CompareWindow(g.pin, pin, baseCycle, sim.Cycles(), cfg.CompareMode).Match {
+				return sim.StopReason(), true, nil
+			}
+			hi++
+		}
+	}
+	return refsim.StopLimit, false, nil
 }
 
 // runWindow simulates until the program stops or limit cycles elapse,

@@ -74,6 +74,10 @@ func (s *toySim) Restore(snap campaign.Snapshot) {
 func (s *toySim) SetL1DAccessHook(func(int, int)) {}
 func (s *toySim) L1DLineOfBit(int) (int, int)     { return 0, 0 }
 
+func (s *toySim) StateHash() uint64 {
+	return uint64(s.word)<<32 | s.cycles
+}
+
 func toyFactory() (campaign.Simulator, error) { return &toySim{}, nil }
 
 // ExampleRun executes one standalone campaign — golden run, fault plan,

@@ -157,6 +157,11 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		if c.Config.AdvanceToUse {
 			gr.opts.Timeline = true
 		}
+		if c.Config.EarlyStop {
+			// Hash recording is pure observation, so one hash-enabled
+			// golden run serves the group's non-adaptive members too.
+			gr.opts.HashEvery = defaultHashEvery
+		}
 		gr.members = append(gr.members, i)
 	}
 	// Groups are independent, so golden runs go through the pool too —
@@ -194,26 +199,31 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 	}
 
 	// ----------------------------------------------------- fault plans
-	plans := make([][]fault.Spec, len(campaigns))
-	outcomes := make([][]RunOutcome, len(campaigns))
+	// Plans are lazy generators: a sequentially stopped campaign never
+	// materialises the specs it does not run. Each campaign also gets a
+	// streaming collector deciding its (deterministic) stopping index.
+	plans := make([]*lazyPlan, len(campaigns))
+	seqs := make([]*seqStop, len(campaigns))
 	campGroup := make([]*sweepGroup, len(campaigns))
 	goldenFp := make([]uint64, len(campaigns))
 	for i, c := range campaigns {
 		gr := groups[groupKey(c)]
 		campGroup[i] = gr
 		goldenFp[i] = gr.golden.fingerprint()
-		specs, err := gr.golden.plan(c.Config)
+		pl, err := gr.golden.planner(c.Config)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.Key, err)
 		}
-		plans[i] = specs
-		outcomes[i] = make([]RunOutcome, len(specs))
+		plans[i] = pl
+		if seqs[i], err = newSeqStop(c.Config); err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Key, err)
+		}
 	}
 
 	// ------------------------------------------------ checkpoint resume
-	done := make([][]bool, len(campaigns))
-	for i := range done {
-		done[i] = make([]bool, len(plans[i]))
+	stopHint := make([]int, len(campaigns))
+	for i := range stopHint {
+		stopHint[i] = -1
 	}
 	resumed := 0
 	if opt.CheckpointDir != "" {
@@ -221,7 +231,7 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 			return nil, fmt.Errorf("campaign: checkpoint dir: %w", err)
 		}
 		var err error
-		resumed, err = loadCheckpoints(opt.CheckpointDir, campaigns, plans, goldenFp, outcomes, done)
+		resumed, err = loadCheckpoints(opt.CheckpointDir, campaigns, plans, goldenFp, seqs, stopHint)
 		if err != nil {
 			return nil, err
 		}
@@ -229,21 +239,43 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 
 	// -------------------------------------- replay phase (global pool)
 	// Jobs are dispatched group-major so per-worker cached simulators
-	// stay hot and at most a few groups are live at once.
-	type job struct{ camp, idx int }
-	var pending []job
+	// stay hot and at most a few groups are live at once. The producer
+	// walks each campaign's plan lazily and moves on the moment its
+	// sequential stop triggers (or its checkpointed stopping index is
+	// reached), so stopped campaigns stop consuming the pool.
+	type job struct {
+		camp, idx int
+		spec      fault.Spec
+	}
+	var campOrder []int
 	for _, k := range order {
-		for _, ci := range groups[k].members {
-			for si := range plans[ci] {
-				if !done[ci][si] {
-					pending = append(pending, job{ci, si})
-				}
+		campOrder = append(campOrder, groups[k].members...)
+	}
+	oi, idx := 0, 0
+	next := func() (job, bool) {
+		for oi < len(campOrder) {
+			ci := campOrder[oi]
+			limit := plans[ci].n
+			if stopHint[ci] >= 0 && stopHint[ci] < limit {
+				limit = stopHint[ci]
 			}
+			for idx < limit && !seqs[ci].stopped() {
+				i := idx
+				idx++
+				if seqs[ci].done(i) {
+					continue
+				}
+				return job{camp: ci, idx: i, spec: plans[ci].spec(i)}, true
+			}
+			oi++
+			idx = 0
 		}
+		return job{}, false
 	}
 
-	busy := make([]int64, len(campaigns)) // attributed ns per campaign
-	err = dispatchJobs(opt.Workers, pending, func(worker int, jobs <-chan job) (retErr error) {
+	busy := make([]int64, len(campaigns))     // attributed ns per campaign
+	executed := make([]int64, len(campaigns)) // replays run this sweep
+	err = streamJobs(opt.Workers, next, func(worker int, jobs <-chan job) (retErr error) {
 		// Group-major dispatch means each worker sees a non-decreasing
 		// group sequence, so it only ever needs ONE live simulator: the
 		// current group's, reused across campaigns and replays and
@@ -256,7 +288,7 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		var ckpt *shardWriter
 		if opt.CheckpointDir != "" {
 			var err error
-			ckpt, err = newShardWriter(opt.CheckpointDir, worker)
+			ckpt, err = newShardWriter(opt.CheckpointDir, fmt.Sprintf("%03d", worker))
 			if err != nil {
 				return err
 			}
@@ -278,12 +310,13 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 				cur = gr
 			}
 			t0 := time.Now()
-			oc, err := oneRun(sim, gr.golden, plans[j.camp][j.idx], c.Config)
+			oc, err := oneRun(sim, gr.golden, j.spec, c.Config)
 			if err != nil {
 				return fmt.Errorf("%s: %w", c.Key, err)
 			}
 			atomic.AddInt64(&busy[j.camp], int64(time.Since(t0)))
-			outcomes[j.camp][j.idx] = oc
+			atomic.AddInt64(&executed[j.camp], 1)
+			seqs[j.camp].deliver(j.idx, oc)
 			if ckpt != nil {
 				if err := ckpt.write(c.Key, j.idx, oc, c.Config, goldenFp[j.camp]); err != nil {
 					return err
@@ -296,6 +329,14 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		return nil, err
 	}
 
+	// Record each campaign's stopping state so a resumed sweep neither
+	// re-derives it from scratch nor re-executes the skipped tail.
+	if opt.CheckpointDir != "" {
+		if err := writeStopRecords(opt.CheckpointDir, campaigns, plans, seqs, goldenFp, stopHint); err != nil {
+			return nil, err
+		}
+	}
+
 	// ------------------------------------------------------ aggregation
 	sr := &SweepResult{
 		Results:    make(map[string]*Result, len(campaigns)),
@@ -305,7 +346,7 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		Elapsed:    time.Since(start),
 	}
 	for i, c := range campaigns {
-		res, err := aggregate(c.Config, campGroup[i].golden, outcomes[i],
+		res, err := aggregate(c.Config, campGroup[i].golden, plans[i], seqs[i],
 			time.Duration(atomic.LoadInt64(&busy[i])))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.Key, err)
@@ -313,14 +354,8 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		// Busy time only accrues on replays executed this sweep, so the
 		// per-run average must use that count, not the total: a fully
 		// resumed campaign reports 0, never a bogus tiny throughput.
-		executed := 0
-		for _, d := range done[i] {
-			if !d {
-				executed++
-			}
-		}
-		if executed > 0 {
-			res.AvgSecPerRun = res.Elapsed.Seconds() / float64(executed)
+		if n := atomic.LoadInt64(&executed[i]); n > 0 {
+			res.AvgSecPerRun = res.Elapsed.Seconds() / float64(n)
 		} else {
 			res.AvgSecPerRun = 0
 		}
@@ -331,13 +366,17 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 
 // ---------------------------------------------------------- checkpoints
 
-// ckptRecord is one streamed replay outcome. The planned spec, the
+// ckptRecord is one streamed replay outcome (or, with Kind "stop", a
+// campaign's sequential stopping state). The planned spec, the
 // classification-affecting config (window, observation point, compare
-// mode — which the spec does not depend on) AND a fingerprint of the
-// golden run are embedded so resume can self-validate: a record is only
-// accepted when the sweep's freshly derived plan, config and golden all
-// agree with it, which makes stale shards (different seed, window,
-// matrix, or simulator/workload behavior) harmless.
+// mode, adaptive-engine switch — which the spec does not depend on) AND
+// a fingerprint of the golden run are embedded so resume can
+// self-validate: a record is only accepted when the sweep's freshly
+// derived plan, config and golden all agree with it, which makes stale
+// shards (different seed, window, matrix, or simulator/workload
+// behavior) harmless. Stop records additionally pin the stopping
+// parameters, so a changed margin or confidence re-derives the index
+// instead of trusting a stale one.
 type ckptRecord struct {
 	Campaign string `json:"campaign"`
 	Index    int    `json:"index"`
@@ -354,7 +393,21 @@ type ckptRecord struct {
 	Golden   uint64 `json:"golden"` // Golden.fingerprint() of the backing run
 	Class    int    `json:"class"`
 	EndCycle uint64 `json:"endCycle"`
+
+	// Adaptive-engine fields. Records written before the adaptive
+	// engine existed decode to the zero values, which only ever match
+	// campaigns with the engine off.
+	Kind      string  `json:"kind,omitempty"` // "" = outcome, ckptKindStop = stopping state
+	EarlyStop bool    `json:"estop,omitempty"`
+	Converged bool    `json:"conv,omitempty"`
+	TargetErr float64 `json:"terr,omitempty"`
+	MinRuns   int     `json:"minRuns,omitempty"`
+	Conf      float64 `json:"conf,omitempty"`
 }
+
+// ckptKindStop marks a record carrying a campaign's sequential stopping
+// index (in Index) instead of a replay outcome.
+const ckptKindStop = "stop"
 
 // spec reconstructs the planned injection the record describes. Records
 // written before the fault-model fields existed decode to Model 0 and
@@ -375,9 +428,9 @@ type shardWriter struct {
 	enc *json.Encoder
 }
 
-func newShardWriter(dir string, worker int) (*shardWriter, error) {
+func newShardWriter(dir, name string) (*shardWriter, error) {
 	f, err := os.OpenFile(
-		filepath.Join(dir, fmt.Sprintf("%s%03d.jsonl", shardPrefix, worker)),
+		filepath.Join(dir, fmt.Sprintf("%s%s.jsonl", shardPrefix, name)),
 		os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: checkpoint shard: %w", err)
@@ -386,8 +439,15 @@ func newShardWriter(dir string, worker int) (*shardWriter, error) {
 	return &shardWriter{f: f, buf: buf, enc: json.NewEncoder(buf)}, nil
 }
 
+func (w *shardWriter) encode(r ckptRecord) error {
+	if err := w.enc.Encode(r); err != nil {
+		return fmt.Errorf("campaign: checkpoint write: %w", err)
+	}
+	return nil
+}
+
 func (w *shardWriter) write(key string, idx int, oc RunOutcome, cfg Config, golden uint64) error {
-	err := w.enc.Encode(ckptRecord{
+	return w.encode(ckptRecord{
 		Campaign: key, Index: idx,
 		Target: int(oc.Spec.Target), Bit: oc.Spec.Bit, Cycle: oc.Spec.Cycle,
 		Model: int(oc.Spec.Model), Width: oc.Spec.Width,
@@ -395,9 +455,55 @@ func (w *shardWriter) write(key string, idx int, oc RunOutcome, cfg Config, gold
 		Window: cfg.Window, Obs: int(cfg.Obs), Compare: int(cfg.CompareMode),
 		Golden: golden,
 		Class:  int(oc.Class), EndCycle: oc.EndCycle,
+		EarlyStop: cfg.EarlyStop, Converged: oc.Converged,
 	})
-	if err != nil {
-		return fmt.Errorf("campaign: checkpoint write: %w", err)
+}
+
+// writeStopRecords appends one stopping-state record per sequentially
+// stopped campaign, so a resumed sweep skips the saved tail outright
+// instead of re-deriving (or worse, re-simulating) it. Campaigns whose
+// index was already pinned by a loaded stop record (stopHint) are
+// skipped, so resumes do not grow the stop shard with duplicates.
+func writeStopRecords(dir string, campaigns []SweepCampaign, plans []*lazyPlan,
+	seqs []*seqStop, goldenFp []uint64, stopHint []int) (retErr error) {
+
+	var w *shardWriter
+	defer func() {
+		if w != nil {
+			if cerr := w.close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}
+	}()
+	for i, c := range campaigns {
+		s := seqs[i].stopIndex()
+		if s < 0 || s == stopHint[i] {
+			continue
+		}
+		if w == nil {
+			var err error
+			if w, err = newShardWriter(dir, ckptKindStop); err != nil {
+				return err
+			}
+		}
+		// The spec at the last counted index pins the fault-plan
+		// identity (seed, target, model parameters, distribution): a
+		// stop record from a different plan must not cap a resumed
+		// campaign, exactly as outcome records self-validate.
+		cfg := c.Config
+		last := plans[i].spec(s - 1)
+		err := w.encode(ckptRecord{
+			Kind: ckptKindStop, Campaign: c.Key, Index: s,
+			Target: int(last.Target), Bit: last.Bit, Cycle: last.Cycle,
+			Model: int(last.Model), Width: last.Width,
+			Stuck: last.Stuck, Span: last.Span,
+			Window: cfg.Window, Obs: int(cfg.Obs), Compare: int(cfg.CompareMode),
+			Golden: goldenFp[i], EarlyStop: cfg.EarlyStop,
+			TargetErr: cfg.TargetError, MinRuns: cfg.MinRuns, Conf: cfg.Confidence,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -416,11 +522,16 @@ func (w *shardWriter) close() error {
 	return nil
 }
 
-// loadCheckpoints replays JSONL shards into the outcome tables,
+// loadCheckpoints replays JSONL shards into the streaming collectors,
 // returning how many replays were resumed. Records that do not match a
-// campaign key or its planned spec are skipped silently.
+// campaign key, its planned spec or its classification config are
+// skipped silently. Delivery order does not matter: each collector's
+// estimator consumes outcomes strictly in plan order, so a resumed
+// campaign re-derives the exact stopping index the original run chose.
+// Matching stop records short-circuit that by capping the producer at
+// the recorded index via stopHint.
 func loadCheckpoints(dir string, campaigns []SweepCampaign,
-	plans [][]fault.Spec, goldenFp []uint64, outcomes [][]RunOutcome, done [][]bool) (int, error) {
+	plans []*lazyPlan, goldenFp []uint64, seqs []*seqStop, stopHint []int) (int, error) {
 
 	byKey := make(map[string]int, len(campaigns))
 	for i, c := range campaigns {
@@ -455,12 +566,8 @@ func loadCheckpoints(dir string, campaigns []SweepCampaign,
 				continue // torn final line of an interrupted sweep
 			}
 			ci, ok := byKey[r.Campaign]
-			if !ok || r.Index < 0 || r.Index >= len(plans[ci]) {
+			if !ok {
 				continue
-			}
-			spec := plans[ci][r.Index]
-			if spec != r.spec() {
-				continue // stale shard from a different plan or fault model
 			}
 			cfg := campaigns[ci].Config
 			if r.Window != cfg.Window || r.Obs != int(cfg.Obs) || r.Compare != int(cfg.CompareMode) {
@@ -469,13 +576,35 @@ func loadCheckpoints(dir string, campaigns []SweepCampaign,
 			if r.Golden != goldenFp[ci] {
 				continue // simulator or workload behavior changed under the plan
 			}
-			if !done[ci][r.Index] {
+			if r.EarlyStop != cfg.EarlyStop {
+				continue // convergence exits change EndCycle accounting
+			}
+			if r.Kind == ckptKindStop {
+				if r.TargetErr != cfg.TargetError || r.MinRuns != cfg.MinRuns || r.Conf != cfg.Confidence {
+					continue // different stopping rule: re-derive the index
+				}
+				if r.Index <= 0 || r.Index > plans[ci].n {
+					continue
+				}
+				if plans[ci].spec(r.Index-1) != r.spec() {
+					continue // stop record from a different fault plan
+				}
+				stopHint[ci] = r.Index
+				continue
+			}
+			if r.Index < 0 || r.Index >= plans[ci].n {
+				continue
+			}
+			spec := plans[ci].spec(r.Index)
+			if spec != r.spec() {
+				continue // stale shard from a different plan or fault model
+			}
+			if !seqs[ci].done(r.Index) {
 				resumed++
 			}
-			done[ci][r.Index] = true
-			outcomes[ci][r.Index] = RunOutcome{
-				Spec: spec, Class: Class(r.Class), EndCycle: r.EndCycle,
-			}
+			seqs[ci].deliver(r.Index, RunOutcome{
+				Spec: spec, Class: Class(r.Class), EndCycle: r.EndCycle, Converged: r.Converged,
+			})
 		}
 		f.Close()
 		if err := sc.Err(); err != nil {

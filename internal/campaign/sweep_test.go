@@ -58,6 +58,7 @@ func (s *mockSim) Snapshot() campaign.Snapshot        { return s.cycles }
 func (s *mockSim) SetL1DAccessHook(func(int, int))    {}
 func (s *mockSim) L1DLineOfBit(int) (int, int)        { return 0, 0 }
 func (s *mockSim) Restore(snap campaign.Snapshot)     { s.cycles = snap.(uint64); s.stop = 0 }
+func (s *mockSim) StateHash() uint64                  { return s.cycles }
 
 // runWithTimeout guards against the historical all-workers-dead
 // deadlock: the campaign must terminate, not hang the test binary.

@@ -29,6 +29,7 @@ func (s *maSim) Output() []byte                         { return s.cpu.Output }
 func (s *maSim) SetPinout(p *trace.Pinout)              { s.cpu.Pinout = p }
 func (s *maSim) SetL1DAccessHook(fn func(set, way int)) { s.cpu.L1D.AccessHook = fn }
 func (s *maSim) L1DLineOfBit(bit int) (int, int)        { return s.cpu.L1D.LineOfDataBit(bit) }
+func (s *maSim) StateHash() uint64                      { return s.cpu.StateHash() }
 
 func (s *maSim) Bits(t fault.Target) int {
 	switch t {
@@ -90,6 +91,7 @@ func (s *rtlSim) Output() []byte                         { return s.core.Output 
 func (s *rtlSim) SetPinout(p *trace.Pinout)              { s.core.Pinout = p }
 func (s *rtlSim) SetL1DAccessHook(fn func(set, way int)) { s.core.SetL1DAccessHook(fn) }
 func (s *rtlSim) L1DLineOfBit(bit int) (int, int)        { return s.core.L1DLineOfBit(bit) }
+func (s *rtlSim) StateHash() uint64                      { return s.core.StateHash() }
 
 func (s *rtlSim) Bits(t fault.Target) int {
 	switch t {

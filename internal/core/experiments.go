@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/bench"
@@ -33,6 +34,18 @@ type Params struct {
 	// shards) in this directory; an interrupted regeneration resumes
 	// from them. Empty disables checkpointing.
 	Checkpoint string
+
+	// EarlyStop enables the adaptive engine's convergence exit in every
+	// figure's campaigns: replays whose state digest reconverges with
+	// golden are classified Masked immediately. Classes are unchanged
+	// by construction; only cycles drop.
+	EarlyStop bool
+
+	// TargetError, when positive, enables sequential statistical
+	// stopping in every figure's campaigns: injection dispatch stops
+	// once each class proportion is within this margin at the
+	// campaign confidence.
+	TargetError float64
 }
 
 // DefaultParams returns laptop-scale defaults; cmd/paper exposes flags to
@@ -242,6 +255,7 @@ func (p Params) figure1Plan() (figurePlan, error) {
 	base := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetRF,
 		Obs: campaign.ObsPinout, Workers: p.Workers, Fault: p.Fault,
+		EarlyStop: p.EarlyStop, TargetError: p.TargetError,
 	}
 	windowed := base
 	windowed.Window = p.Window
@@ -274,6 +288,7 @@ func (p Params) figure2Plan() (figurePlan, error) {
 	base := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
 		Obs: campaign.ObsPinout, Workers: p.Workers, Fault: p.Fault,
+		EarlyStop: p.EarlyStop, TargetError: p.TargetError,
 	}
 	ma := base
 	ma.Window = p.Window
@@ -310,6 +325,7 @@ func (p Params) figure3Plan() (figurePlan, error) {
 	cfg := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
 		Obs: campaign.ObsSOP, Workers: p.Workers, Fault: p.Fault,
+		EarlyStop: p.EarlyStop, TargetError: p.TargetError,
 	}
 	return figurePlan{
 		name:    "fig3-l1d-avf-sop",
@@ -338,6 +354,7 @@ func (p Params) ablationLatchesPlan() (figurePlan, error) {
 	cfg := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetLatches,
 		Obs: campaign.ObsPinout, Window: p.Window, Workers: p.Workers, Fault: p.Fault,
+		EarlyStop: p.EarlyStop, TargetError: p.TargetError,
 	}
 	return figurePlan{
 		name:    "ablation-rtl-latches",
@@ -365,6 +382,7 @@ func (p Params) ablationWindowPlan(windows []uint64) (figurePlan, error) {
 		cfg := campaign.Config{
 			Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
 			Obs: campaign.ObsPinout, Window: w, Workers: p.Workers, Fault: p.Fault,
+			EarlyStop: p.EarlyStop, TargetError: p.TargetError,
 		}
 		label := fmt.Sprintf("window-%d", w)
 		if w == 0 {
@@ -414,6 +432,7 @@ func (p Params) ablationModelsPlan() (figurePlan, error) {
 			cfg := campaign.Config{
 				Injections: p.Injections, Seed: p.Seed, Target: fault.TargetRF,
 				Obs: campaign.ObsCombined, Workers: p.Workers, Fault: fm,
+				EarlyStop: p.EarlyStop, TargetError: p.TargetError,
 			}
 			specs = append(specs, seriesSpec{
 				label: fmt.Sprintf("%v/%v", m, fm.Model),
@@ -433,6 +452,98 @@ func (p Params) ablationModelsPlan() (figurePlan, error) {
 // on both abstraction levels.
 func (p Params) AblationModels() (*FigureResult, error) {
 	return p.runFigure(p.ablationModelsPlan())
+}
+
+// EarlyStopRow summarises one benchmark of the adaptive-engine ablation
+// (E10): how many runs and simulated cycles the adaptive engine saved
+// against the fixed plan, and how far the truncated estimate drifted.
+type EarlyStopRow struct {
+	Bench           string
+	FixedRuns       int
+	AdaptiveRuns    int
+	Converged       int     // replays ended by the convergence exit
+	FixedMCycles    float64 // replay cycles simulated by the fixed plan (M)
+	AdaptiveMCycles float64
+	SavedFrac       float64 // 1 - adaptive/fixed simulated replay cycles
+	Margin          float64 // achieved class-proportion margin (adaptive)
+	Drift           float64 // |unsafeness(adaptive) - unsafeness(fixed)|
+}
+
+// EarlyStopResult is the E10 deliverable: the two-series figure plus the
+// per-benchmark savings table.
+type EarlyStopResult struct {
+	Fig  *FigureResult
+	Rows []EarlyStopRow
+}
+
+// earlyStopDefaultMargin is the sequential-stopping margin the E10
+// ablation uses when Params.TargetError is unset: loose enough to
+// trigger at laptop-scale sample sizes, and exactly the margin the
+// drift column is judged against.
+const earlyStopDefaultMargin = 0.05
+
+// ablationEarlyStopPlan is the adaptive-engine ablation (E10): the same
+// run-to-end register-file campaign executed by the fixed-plan engine
+// and by the adaptive engine (convergence exit + sequential stopping at
+// 95% confidence). Run-to-end replays are where the paper-scale cost
+// lives — the fig. 1 "no timer" series — so they are where the
+// convergence exit pays. Both series share one golden run.
+func (p Params) ablationEarlyStopPlan() (figurePlan, error) {
+	if p.Benches == nil {
+		p.Benches = []string{"caes", "stringsearch"}
+	}
+	workloads, err := p.benchList()
+	if err != nil {
+		return figurePlan{}, err
+	}
+	fixed := campaign.Config{
+		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Workers: p.Workers, Fault: p.Fault,
+		Confidence: 0.95,
+	}
+	adaptive := fixed
+	adaptive.EarlyStop = true
+	adaptive.TargetError = p.TargetError
+	if adaptive.TargetError == 0 {
+		adaptive.TargetError = earlyStopDefaultMargin
+	}
+	return figurePlan{
+		name:    "ablation-early-stop",
+		benches: workloads,
+		series: []seriesSpec{
+			{"fixed-plan", ModelMicroarch, fixed},
+			{"adaptive", ModelMicroarch, adaptive},
+		},
+	}, nil
+}
+
+// AblationEarlyStop runs the adaptive-engine ablation and folds the two
+// series into the per-benchmark savings table.
+func (p Params) AblationEarlyStop() (*EarlyStopResult, error) {
+	fig, err := p.runFigure(p.ablationEarlyStopPlan())
+	if err != nil {
+		return nil, err
+	}
+	res := &EarlyStopResult{Fig: fig}
+	fixed, adaptive := fig.Series[0], fig.Series[1]
+	for _, b := range fig.Benches {
+		fr, ar := fixed.Results[b], adaptive.Results[b]
+		row := EarlyStopRow{
+			Bench:           b,
+			FixedRuns:       len(fr.Outcomes),
+			AdaptiveRuns:    len(ar.Outcomes),
+			Converged:       ar.ConvergedRuns,
+			FixedMCycles:    float64(fr.CyclesSimulated) / 1e6,
+			AdaptiveMCycles: float64(ar.CyclesSimulated) / 1e6,
+			Margin:          ar.AchievedMargin,
+			Drift:           math.Abs(ar.Unsafeness.P - fr.Unsafeness.P),
+		}
+		if fr.CyclesSimulated > 0 {
+			row.SavedFrac = 1 - float64(ar.CyclesSimulated)/float64(fr.CyclesSimulated)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
 }
 
 // ThroughputRow is one row of the paper's TABLE II.

@@ -1,0 +1,118 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+func midRunSim(t *testing.T, m core.Model, workload string, cycles int) campaign.Simulator {
+	t.Helper()
+	w, err := bench.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.NewSimulator(m, prog, core.CampaignSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cycles; i++ {
+		if !sim.Step() {
+			t.Fatalf("%v stopped after %d cycles", m, i)
+		}
+	}
+	return sim
+}
+
+// TestSnapshotRoundTripsStateHash is the snapshot-fidelity contract the
+// convergence exit rests on: Restore(Snapshot()) must reproduce an
+// identical StateHash on every model. Any state element the hash covers
+// but the snapshot misses (or vice versa) breaks the digest comparison
+// between a golden instance and a replayed one, so this test pins the
+// two mechanisms together.
+func TestSnapshotRoundTripsStateHash(t *testing.T) {
+	for _, m := range []core.Model{core.ModelMicroarch, core.ModelRTL} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			sim := midRunSim(t, m, "qsort", 2_000)
+			h := sim.StateHash()
+			snap := sim.Snapshot()
+
+			// Perturb: simulate onward, then inject, then rewind.
+			for i := 0; i < 700; i++ {
+				sim.Step()
+			}
+			if err := sim.Flip(fault.TargetRF, 5); err != nil {
+				t.Fatal(err)
+			}
+			if got := sim.StateHash(); got == h {
+				t.Fatal("perturbed state hashed identically; digest is not covering state")
+			}
+			sim.Restore(snap)
+			if got := sim.StateHash(); got != h {
+				t.Errorf("Restore(Snapshot()) hash %x != original %x", got, h)
+			}
+
+			// The same capture restored into a FRESH instance must also
+			// agree — that is the cross-worker replay scenario.
+			fresh := midRunSim(t, m, "qsort", 0)
+			fresh.Restore(snap)
+			if got := fresh.StateHash(); got != h {
+				t.Errorf("fresh-instance restore hash %x != original %x", got, h)
+			}
+		})
+	}
+}
+
+// TestStateHashSensitivity: a single flipped bit in any campaign target
+// must change the digest (the convergence exit would otherwise declare
+// a still-corrupted run golden).
+func TestStateHashSensitivity(t *testing.T) {
+	for _, m := range []core.Model{core.ModelMicroarch, core.ModelRTL} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			targets := []fault.Target{fault.TargetRF, fault.TargetL1D}
+			if m == core.ModelRTL {
+				targets = append(targets, fault.TargetLatches)
+			}
+			for _, tgt := range targets {
+				sim := midRunSim(t, m, "caes", 1_500)
+				before := sim.StateHash()
+				if err := sim.Flip(tgt, 3); err != nil {
+					t.Fatal(err)
+				}
+				if sim.StateHash() == before {
+					t.Errorf("%v: flip in %v left the digest unchanged", m, tgt)
+				}
+				if err := sim.Flip(tgt, 3); err != nil {
+					t.Fatal(err)
+				}
+				if sim.StateHash() != before {
+					t.Errorf("%v: flip-flip in %v did not restore the digest", m, tgt)
+				}
+			}
+		})
+	}
+}
+
+// TestStateHashDeterministicAcrossInstances: two fresh instances of the
+// same factory stepped the same number of cycles digest identically —
+// the property PrepareGolden's recorded hashes rely on.
+func TestStateHashDeterministicAcrossInstances(t *testing.T) {
+	for _, m := range []core.Model{core.ModelMicroarch, core.ModelRTL} {
+		a := midRunSim(t, m, "stringsearch", 1_000)
+		b := midRunSim(t, m, "stringsearch", 1_000)
+		if a.StateHash() != b.StateHash() {
+			t.Errorf("%v: identical runs digest differently", m)
+		}
+	}
+}

@@ -239,19 +239,24 @@ func (s Spec) ActiveAt(cycle uint64) bool {
 	}
 }
 
-// Plan samples n injection specs under the given model parameters: bits
-// uniform over the target's bit space (burst bases clamped so the whole
-// burst fits), instants over [1, window-1] according to dist. The
-// normal distribution is centred mid-window with sigma = window/6,
-// truncated by resampling (matching the statistical-fault-injection
-// setups the paper builds on). Output is deterministic per (rng seed,
-// model parameters, bit space, window, distribution); transient plans
-// consume the RNG exactly as the original single-bit-flip planner did,
-// so pre-existing seeds reproduce their historical plans.
-func Plan(n int, target Target, bits int, window uint64, dist TimeDist, prm Params, rng *rand.Rand) ([]Spec, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("fault: sample size %d must be positive", n)
-	}
+// Generator yields the injection specs of a plan one at a time — the
+// lazy form the adaptive campaign engine streams from, so a sequentially
+// stopped campaign never materialises the specs it will not run. The
+// stream is deterministic per (rng seed, model parameters, bit space,
+// window, distribution) and consumes the RNG exactly as Plan does, so
+// Generator and Plan produce identical sequences from identical seeds.
+type Generator struct {
+	target Target
+	bits   int
+	window uint64
+	dist   TimeDist
+	prm    Params
+	rng    *rand.Rand
+}
+
+// NewGenerator validates the plan parameters (see Plan) and returns the
+// spec stream.
+func NewGenerator(target Target, bits int, window uint64, dist TimeDist, prm Params, rng *rand.Rand) (*Generator, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("fault: target %v has no bits", target)
 	}
@@ -265,24 +270,50 @@ func Plan(n int, target Target, bits int, window uint64, dist TimeDist, prm Para
 	if prm.Burst > bits {
 		return nil, fmt.Errorf("fault: burst width %d exceeds the %d-bit target %v", prm.Burst, bits, target)
 	}
+	return &Generator{target: target, bits: bits, window: window, dist: dist, prm: prm, rng: rng}, nil
+}
+
+// Next samples the next injection spec of the stream.
+func (g *Generator) Next() Spec {
+	s := Spec{
+		Target: g.target,
+		Bit:    g.rng.Intn(g.bits - g.prm.Burst + 1),
+		Cycle:  sampleCycle(g.window, g.dist, g.rng),
+		Model:  g.prm.Model,
+		Width:  g.prm.Burst,
+		Span:   g.prm.Span,
+	}
+	if g.prm.Model.Persistent() {
+		if g.prm.Stuck == StuckRandom {
+			s.Stuck = g.rng.Intn(2)
+		} else {
+			s.Stuck = g.prm.Stuck
+		}
+	}
+	return s
+}
+
+// Plan samples n injection specs under the given model parameters: bits
+// uniform over the target's bit space (burst bases clamped so the whole
+// burst fits), instants over [1, window-1] according to dist. The
+// normal distribution is centred mid-window with sigma = window/6,
+// truncated by resampling (matching the statistical-fault-injection
+// setups the paper builds on). Output is deterministic per (rng seed,
+// model parameters, bit space, window, distribution); transient plans
+// consume the RNG exactly as the original single-bit-flip planner did,
+// so pre-existing seeds reproduce their historical plans. Plan is the
+// materialised form of Generator.
+func Plan(n int, target Target, bits int, window uint64, dist TimeDist, prm Params, rng *rand.Rand) ([]Spec, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fault: sample size %d must be positive", n)
+	}
+	g, err := NewGenerator(target, bits, window, dist, prm, rng)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Spec, n)
 	for i := range out {
-		s := Spec{
-			Target: target,
-			Bit:    rng.Intn(bits - prm.Burst + 1),
-			Cycle:  sampleCycle(window, dist, rng),
-			Model:  prm.Model,
-			Width:  prm.Burst,
-			Span:   prm.Span,
-		}
-		if prm.Model.Persistent() {
-			if prm.Stuck == StuckRandom {
-				s.Stuck = rng.Intn(2)
-			} else {
-				s.Stuck = prm.Stuck
-			}
-		}
-		out[i] = s
+		out[i] = g.Next()
 	}
 	return out, nil
 }

@@ -13,7 +13,11 @@
 // outcome.
 package mem
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/statehash"
+)
 
 // Page geometry.
 const (
@@ -25,6 +29,34 @@ const (
 type page struct {
 	data [PageSize]byte
 	refs atomic.Int32 // number of Memory instances sharing this page
+
+	// hash memoises the FNV-1a digest of data (0 = not computed).
+	// Invalidated on every write; shared pages are immutable (writes
+	// clone first), so a digest computed once serves every snapshot
+	// holding the page — this is what makes whole-memory hashing at
+	// convergence checkpoints O(dirty pages), not O(memory).
+	hash atomic.Uint64
+}
+
+// zeroPageHash is the digest of an all-zero page, used for unallocated
+// pages so a written-then-zeroed page and a never-touched page agree.
+var zeroPageHash = func() uint64 {
+	var z [PageSize]byte
+	return statehash.Bytes(z[:])
+}()
+
+// digest returns the page's memoised content hash, computing it on first
+// use. The stored value is never 0 so 0 can mean "unknown".
+func (p *page) digest() uint64 {
+	if v := p.hash.Load(); v != 0 {
+		return v
+	}
+	v := statehash.Bytes(p.data[:])
+	if v == 0 {
+		v = 1
+	}
+	p.hash.Store(v)
+	return v
 }
 
 // Memory is a sparse byte-addressable physical memory of fixed size.
@@ -70,7 +102,25 @@ func (m *Memory) writablePage(addr uint32) *page {
 		m.pages[idx] = clone
 		return clone
 	}
+	p.hash.Store(0) // content about to change; drop the memoised digest
 	return p
+}
+
+// Hash returns an order-sensitive FNV-1a digest of the full memory
+// contents. Unallocated pages hash as zero pages, so logically equal
+// memories with different allocation histories agree. Per-page digests
+// are memoised on the (copy-on-write shared) pages, so repeated hashing
+// along a run only pays for pages written since the previous call.
+func (m *Memory) Hash() uint64 {
+	h := statehash.New()
+	for _, p := range m.pages {
+		if p == nil {
+			h.U64(zeroPageHash)
+		} else {
+			h.U64(p.digest())
+		}
+	}
+	return h.Sum()
 }
 
 // LoadByte reads one byte. ok is false when addr is out of range.

@@ -228,7 +228,56 @@ func Campaign(name string, res *campaign.Result) string {
 	u := res.Unsafeness
 	fmt.Fprintf(&sb, "  unsafeness: %.4f  (%d/%d, %v%% CI [%.4f, %.4f])\n",
 		u.P, u.Hits, u.N, int(u.Conf*100), u.Lo, u.Hi)
+	if res.Config.EarlyStop || res.Config.TargetError > 0 {
+		fmt.Fprintf(&sb, "  adaptive: %d converged, %d of %d runs saved, %.2f Mcycles simulated, %.2f Mcycles saved, achieved margin %.4f\n",
+			res.ConvergedRuns, res.RunsSaved, res.Config.Injections,
+			float64(res.CyclesSimulated)/1e6, float64(res.CyclesSaved)/1e6,
+			res.AchievedMargin)
+	}
 	fmt.Fprintf(&sb, "  campaign wall: %.2fs (%.4f s/injection)\n",
 		res.Elapsed.Seconds(), res.AvgSecPerRun)
 	return sb.String()
+}
+
+// earlyStopRows renders the E10 savings table. The human table shows
+// the saved fraction as a percentage; the CSV keeps it a raw fraction
+// so plotting pipelines parse every numeric column directly.
+func earlyStopRows(res *core.EarlyStopResult, verb string, percent bool) (headers []string, rows [][]string) {
+	headers = []string{
+		"benchmark", "runs fixed", "runs adaptive", "converged",
+		"Mcycles fixed", "Mcycles adaptive", "cycles saved", "margin", "drift",
+	}
+	for _, r := range res.Rows {
+		saved := fmt.Sprintf("%.4f", r.SavedFrac)
+		if percent {
+			saved = fmt.Sprintf("%.1f%%", r.SavedFrac*100)
+		}
+		rows = append(rows, []string{
+			r.Bench,
+			fmt.Sprintf("%d", r.FixedRuns),
+			fmt.Sprintf("%d", r.AdaptiveRuns),
+			fmt.Sprintf("%d", r.Converged),
+			fmt.Sprintf(verb, r.FixedMCycles),
+			fmt.Sprintf(verb, r.AdaptiveMCycles),
+			saved,
+			fmt.Sprintf("%.4f", r.Margin),
+			fmt.Sprintf("%.4f", r.Drift),
+		})
+	}
+	return headers, rows
+}
+
+// EarlyStop renders the adaptive-engine ablation (E10): the fixed-vs-
+// adaptive unsafeness figure plus the per-benchmark runs/cycles-saved
+// and estimate-drift table.
+func EarlyStop(res *core.EarlyStopResult) string {
+	headers, rows := earlyStopRows(res, "%.2f", true)
+	return Figure(res.Fig) +
+		fmt.Sprintf("\n== %s: savings ==\n\n%s", res.Fig.Name, Table(headers, rows))
+}
+
+// EarlyStopCSV renders the E10 savings table as CSV.
+func EarlyStopCSV(res *core.EarlyStopResult) string {
+	headers, rows := earlyStopRows(res, "%.4f", false)
+	return CSV(headers, rows)
 }

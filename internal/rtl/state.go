@@ -1,5 +1,7 @@
 package rtl
 
+import "repro/internal/statehash"
+
 // State is an opaque capture of a design's sequential state: every
 // register's latched value and pending D input, every memory's contents
 // and queued writes, and the cycle counter. It is the RTL analogue of the
@@ -68,4 +70,29 @@ func (s *Simulator) RestoreState(st *State) {
 		sig.hasNext = false
 	}
 	s.pending = s.pending[:0]
+}
+
+// HashState folds the design's complete sequential state — every
+// register's latched value and pending D input, every memory's contents
+// and queued writes, and the cycle counter — into h, in declaration
+// order. It covers exactly the state CaptureState snapshots, which is
+// the state that determines the design's future (pure wires settle from
+// it), so equal digests at equal cycles imply equal futures.
+func (s *Simulator) HashState(h *statehash.Hash) {
+	for _, r := range s.regs {
+		h.U64(r.out.cur)
+		h.U64(r.d)
+		h.Bool(r.dSet)
+	}
+	for _, m := range s.mems {
+		for _, w := range m.data {
+			h.U64(w)
+		}
+		h.Int(len(m.queue))
+		for _, w := range m.queue {
+			h.Int(w.idx)
+			h.U64(w.v)
+		}
+	}
+	h.U64(s.CycleCount)
 }

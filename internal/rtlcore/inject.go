@@ -6,6 +6,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/refsim"
 	"repro/internal/rtl"
+	"repro/internal/statehash"
 	"repro/internal/trace"
 )
 
@@ -151,6 +152,21 @@ func (c *Core) Restore(s *Snapshot) {
 	c.Insts = s.insts
 	c.l1i.accesses, c.l1i.misses, c.l1i.evictions = s.l1iStats[0], s.l1iStats[1], s.l1iStats[2]
 	c.l1d.accesses, c.l1d.misses, c.l1d.evictions = s.l1dStats[0], s.l1dStats[1], s.l1dStats[2]
+}
+
+// StateHash digests the core's complete behavior-bearing state for the
+// campaign engine's convergence exit: the kernel's sequential state
+// (every register and array, including both caches' tag/data/state
+// arrays), backing memory, and the program output. Testbench statistics
+// and the retired-instruction counter are excluded — they never
+// influence future design behavior, and including them would prevent a
+// reconverged replay from ever matching golden.
+func (c *Core) StateHash() uint64 {
+	h := statehash.New()
+	c.sim.HashState(h)
+	h.U64(c.backing.Hash())
+	h.Bytes(c.Output)
+	return h.Sum()
 }
 
 // L1DStats reports (accesses, misses, evictions) for reports and tests.

@@ -1,0 +1,79 @@
+// Package statehash provides the streaming FNV-1a state digest used by
+// the adaptive campaign engine's convergence exit: every simulation
+// model folds its complete architectural and microarchitectural state
+// into a Hash, and the replay engine compares the faulty digest against
+// the golden digest recorded at the same cycle. Two digests matching is
+// (modulo 64-bit collisions) evidence that the corrupted state has
+// reconverged with the fault-free run, so the replay's remaining future
+// is already known.
+//
+// The hash is deliberately order-sensitive: callers must fold state
+// elements in a stable declaration order so that a golden instance and a
+// replayed instance of the same design produce comparable digests.
+package statehash
+
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Hash is a streaming FNV-1a 64-bit digest.
+type Hash struct {
+	sum uint64
+}
+
+// New returns a Hash at the FNV-1a offset basis.
+func New() *Hash { return &Hash{sum: offset64} }
+
+// Bytes folds a byte slice.
+func (h *Hash) Bytes(p []byte) {
+	s := h.sum
+	for _, b := range p {
+		s = (s ^ uint64(b)) * prime64
+	}
+	h.sum = s
+}
+
+// U64 folds a 64-bit value (little-endian).
+func (h *Hash) U64(v uint64) {
+	s := h.sum
+	for i := 0; i < 8; i++ {
+		s = (s ^ (v & 0xFF)) * prime64
+		v >>= 8
+	}
+	h.sum = s
+}
+
+// U32 folds a 32-bit value.
+func (h *Hash) U32(v uint32) { h.U64(uint64(v)) }
+
+// Int folds an int.
+func (h *Hash) Int(v int) { h.U64(uint64(int64(v))) }
+
+// Bool folds a boolean as one byte.
+func (h *Hash) Bool(v bool) {
+	if v {
+		h.U64(1)
+	} else {
+		h.U64(0)
+	}
+}
+
+// Str folds a string.
+func (h *Hash) Str(s string) {
+	b := h.sum
+	for i := 0; i < len(s); i++ {
+		b = (b ^ uint64(s[i])) * prime64
+	}
+	h.sum = b
+}
+
+// Sum returns the current digest.
+func (h *Hash) Sum() uint64 { return h.sum }
+
+// Bytes returns the FNV-1a digest of p in one call.
+func Bytes(p []byte) uint64 {
+	h := New()
+	h.Bytes(p)
+	return h.Sum()
+}

@@ -1,0 +1,44 @@
+package statehash
+
+import "testing"
+
+// TestFNVReference pins the digest to the FNV-1a reference values and
+// checks that every fold method perturbs the stream.
+func TestFNVReference(t *testing.T) {
+	// Known FNV-1a 64 vectors.
+	if got := Bytes([]byte("")); got != 14695981039346656037 {
+		t.Errorf("empty digest %d", got)
+	}
+	if got := Bytes([]byte("a")); got != 0xaf63dc4c8601ec8c {
+		t.Errorf("digest(a) = %#x", got)
+	}
+	h := New()
+	h.Bytes([]byte("a"))
+	if h.Sum() != Bytes([]byte("a")) {
+		t.Error("streaming and one-shot digests disagree")
+	}
+
+	base := New().Sum()
+	for name, fold := range map[string]func(*Hash){
+		"U64":  func(h *Hash) { h.U64(1) },
+		"U32":  func(h *Hash) { h.U32(1) },
+		"Int":  func(h *Hash) { h.Int(-1) },
+		"Bool": func(h *Hash) { h.Bool(true) },
+		"Str":  func(h *Hash) { h.Str("x") },
+	} {
+		h := New()
+		fold(h)
+		if h.Sum() == base {
+			t.Errorf("%s left the digest unchanged", name)
+		}
+	}
+	// U64 must be order-sensitive: (1,2) != (2,1).
+	a, b := New(), New()
+	a.U64(1)
+	a.U64(2)
+	b.U64(2)
+	b.U64(1)
+	if a.Sum() == b.Sum() {
+		t.Error("digest is order-insensitive")
+	}
+}

@@ -131,6 +131,115 @@ func EstimateProportion(hits, n int, conf float64) (Proportion, error) {
 	}, nil
 }
 
+// WilsonHalfWidth returns the half-width of the Wilson score interval
+// for hits successes out of n trials at normal quantile z. It is the
+// stopping statistic of the sequential campaign dispatcher: unlike the
+// Wald width it is well-behaved at p = 0 and p = 1, so a class that has
+// not been observed yet still reports an honest upper bound.
+func WilsonHalfWidth(hits, n int, z float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	p := float64(hits) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	return z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+}
+
+// WaldHalfWidth returns the half-width of the normal-approximation
+// (Wald) interval for hits out of n at quantile z. Reported alongside
+// the Wilson width because Leveugle's sample-size formula is Wald-based,
+// so the achieved Wald margin is directly comparable to the planned one.
+func WaldHalfWidth(hits, n int, z float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	p := float64(hits) / float64(n)
+	return z * math.Sqrt(p*(1-p)/float64(n))
+}
+
+// Sequential is the incremental multinomial estimator behind the
+// campaign engine's sequential statistical stopping: outcomes stream in
+// one at a time, and the campaign may stop sampling once every class
+// proportion's interval half-width is within the target error margin.
+// The class universe is fixed up front so classes never observed still
+// constrain stopping (their upper bound must shrink below the margin
+// too, exactly like the p = 0.5 worst case in Leveugle's formulation
+// relaxes as evidence accumulates).
+type Sequential struct {
+	z       float64
+	conf    float64
+	classes []int
+	counts  map[int]int
+	n       int
+}
+
+// NewSequential builds an estimator at the given confidence over the
+// given class universe.
+func NewSequential(conf float64, classes ...int) (*Sequential, error) {
+	z, err := ZForConfidence(conf)
+	if err != nil {
+		return nil, err
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("stats: sequential estimator needs a class universe")
+	}
+	return &Sequential{
+		z: z, conf: conf,
+		classes: append([]int(nil), classes...),
+		counts:  make(map[int]int, len(classes)),
+	}, nil
+}
+
+// Observe folds one outcome into the estimator. Outcomes outside the
+// declared universe are counted toward n only (they widen every class's
+// complement, never silently vanish).
+func (s *Sequential) Observe(class int) {
+	s.n++
+	s.counts[class]++
+}
+
+// N returns the number of observed outcomes.
+func (s *Sequential) N() int { return s.n }
+
+// Count returns the observations of one class.
+func (s *Sequential) Count(class int) int { return s.counts[class] }
+
+// WilsonMargin returns the widest Wilson half-width across the class
+// universe — the quantity compared against the target error margin.
+func (s *Sequential) WilsonMargin() float64 {
+	if s.n == 0 {
+		return 1
+	}
+	worst := 0.0
+	for _, c := range s.classes {
+		if w := WilsonHalfWidth(s.counts[c], s.n, s.z); w > worst {
+			worst = w
+		}
+	}
+	return worst
+}
+
+// WaldMargin returns the widest Wald half-width across the universe.
+func (s *Sequential) WaldMargin() float64 {
+	if s.n == 0 {
+		return 1
+	}
+	worst := 0.0
+	for _, c := range s.classes {
+		if w := WaldHalfWidth(s.counts[c], s.n, s.z); w > worst {
+			worst = w
+		}
+	}
+	return worst
+}
+
+// Converged reports whether every class proportion is estimated within
+// margin at the estimator's confidence, with at least minRuns samples.
+func (s *Sequential) Converged(margin float64, minRuns int) bool {
+	return s.n >= minRuns && s.WilsonMargin() <= margin
+}
+
 // Mean returns the arithmetic mean of xs (0 for an empty slice).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -146,3 +146,84 @@ func TestMean(t *testing.T) {
 		t.Error("Mean([1 2 3])")
 	}
 }
+
+// TestHalfWidths: the Wilson half-width must agree with the
+// EstimateProportion interval, stay finite at the p = 0 boundary, and
+// shrink with n; the Wald width must match its closed form.
+func TestHalfWidths(t *testing.T) {
+	z, err := ZForConfidence(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := EstimateProportion(30, 100, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := WilsonHalfWidth(30, 100, z)
+	if got := (p.Hi - p.Lo) / 2; math.Abs(got-half) > 1e-12 {
+		t.Errorf("Wilson half-width %.6f != interval half-span %.6f", half, got)
+	}
+	if w := WilsonHalfWidth(0, 200, z); w <= 0 || w >= 0.1 {
+		t.Errorf("Wilson half-width at p=0, n=200: %v", w)
+	}
+	if WilsonHalfWidth(30, 1000, z) >= WilsonHalfWidth(30, 100, z) {
+		t.Error("Wilson half-width did not shrink with n")
+	}
+	want := z * math.Sqrt(0.3*0.7/100)
+	if got := WaldHalfWidth(30, 100, z); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Wald half-width %.6f != %.6f", got, want)
+	}
+	if WilsonHalfWidth(1, 0, z) != 1 || WaldHalfWidth(1, 0, z) != 1 {
+		t.Error("empty-sample half-widths must saturate at 1")
+	}
+}
+
+// TestSequentialStopping: the estimator converges exactly when every
+// class of the declared universe is within the margin, and the implied
+// stopping index matches a direct recomputation.
+func TestSequential(t *testing.T) {
+	if _, err := NewSequential(0.99); err == nil {
+		t.Error("empty class universe accepted")
+	}
+	if _, err := NewSequential(1.5, 1); err == nil {
+		t.Error("confidence 1.5 accepted")
+	}
+	s, err := NewSequential(0.95, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.WilsonMargin() != 1 || s.WaldMargin() != 1 {
+		t.Error("empty estimator must report saturated margins")
+	}
+	// Stream a deterministic 1-in-4 pattern and find the first n within
+	// a 0.15 margin; verify against the closed-form width at that n.
+	z, _ := ZForConfidence(0.95)
+	stopped := 0
+	for i := 1; i <= 500; i++ {
+		class := 1
+		if i%4 == 0 {
+			class = 2
+		}
+		s.Observe(class)
+		if s.Converged(0.15, 10) {
+			stopped = i
+			break
+		}
+	}
+	if stopped == 0 {
+		t.Fatal("estimator never converged at a 0.15 margin in 500 samples")
+	}
+	worst := 0.0
+	for _, hits := range []int{s.Count(1), s.Count(2), s.Count(3)} {
+		if w := WilsonHalfWidth(hits, stopped, z); w > worst {
+			worst = w
+		}
+	}
+	if worst > 0.15 {
+		t.Errorf("converged at n=%d with margin %.4f > 0.15", stopped, worst)
+	}
+	if s.N() != stopped {
+		t.Errorf("N = %d after %d observations", s.N(), stopped)
+	}
+	t.Logf("converged at n=%d (margin %.4f)", stopped, worst)
+}

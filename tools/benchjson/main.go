@@ -1,0 +1,220 @@
+// Command benchjson emits the campaign-engine performance baseline as
+// machine-readable JSON (BENCH_campaign.json): differential-replay
+// throughput on both abstraction levels, full-sweep wall time for a
+// miniature matrix, and the adaptive engine's measured savings on a
+// run-to-end campaign (simulated-cycle reduction and estimate drift vs
+// the fixed plan). CI runs it on every push so future changes to the
+// hot path have a trajectory to compare against:
+//
+//	go run ./tools/benchjson -out BENCH_campaign.json
+//
+// This file is the canonical source of BENCH_campaign.json. The
+// benchmarks in bench_test.go cover the same paths in Go-benchmark
+// form (b.N loops, per-op metrics) at deliberately different sample
+// sizes; comparisons belong within one source, never across the two.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/bench"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// Baseline is the emitted document.
+type Baseline struct {
+	GeneratedBy string        `json:"generatedBy"`
+	Replay      []ReplayPoint `json:"replay"`
+	Sweep       SweepPoint    `json:"sweep"`
+	EarlyStop   EarlyStop     `json:"earlyStop"`
+}
+
+// ReplayPoint is the oneRun replay-throughput measurement for one model.
+type ReplayPoint struct {
+	Model        string  `json:"model"`
+	Replays      int     `json:"replays"`
+	ReplaysPerS  float64 `json:"replaysPerSec"`
+	MCyclesPerS  float64 `json:"mcyclesPerSec"`
+	GoldenCycles uint64  `json:"goldenCycles"`
+}
+
+// SweepPoint is the miniature full-sweep wall-time measurement.
+type SweepPoint struct {
+	Campaigns  int     `json:"campaigns"`
+	Injections int     `json:"injections"`
+	GoldenRuns int     `json:"goldenRuns"`
+	WallSec    float64 `json:"wallSec"`
+}
+
+// EarlyStop compares the fixed-plan and adaptive engines on the same
+// run-to-end campaign.
+type EarlyStop struct {
+	Workload        string  `json:"workload"`
+	Injections      int     `json:"injections"`
+	FixedMCycles    float64 `json:"fixedMcycles"`
+	AdaptiveMCycles float64 `json:"adaptiveMcycles"`
+	SavedFrac       float64 `json:"savedFrac"`
+	Converged       int     `json:"converged"`
+	RunsSaved       int     `json:"runsSaved"`
+	Drift           float64 `json:"unsafenessDrift"`
+	Margin          float64 `json:"achievedMargin"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_campaign.json", "output path")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	doc := Baseline{GeneratedBy: "tools/benchjson"}
+
+	for _, tc := range []struct {
+		model   core.Model
+		replays int
+	}{
+		{core.ModelMicroarch, 120},
+		{core.ModelRTL, 25},
+	} {
+		pt, err := measureReplay(tc.model, tc.replays)
+		if err != nil {
+			return err
+		}
+		doc.Replay = append(doc.Replay, pt)
+	}
+
+	sw, err := measureSweep()
+	if err != nil {
+		return err
+	}
+	doc.Sweep = sw
+
+	es, err := measureEarlyStop()
+	if err != nil {
+		return err
+	}
+	doc.EarlyStop = es
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(buf, '\n'), 0o644)
+}
+
+func measureReplay(m core.Model, n int) (ReplayPoint, error) {
+	prog, err := workload("qsort")
+	if err != nil {
+		return ReplayPoint{}, err
+	}
+	factory := core.Factory(m, prog, core.CampaignSetup())
+	g, err := campaign.PrepareGolden(factory, campaign.GoldenOptions{})
+	if err != nil {
+		return ReplayPoint{}, err
+	}
+	sim, err := factory()
+	if err != nil {
+		return ReplayPoint{}, err
+	}
+	cfg := campaign.Config{
+		Injections: 1, Seed: 1, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 500,
+	}
+	specs, err := fault.Plan(n, cfg.Target, sim.Bits(cfg.Target), g.Cycles,
+		fault.DistNormal, cfg.Fault, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return ReplayPoint{}, err
+	}
+	var cycles uint64
+	start := time.Now()
+	for _, s := range specs {
+		oc, err := g.ReplayOne(sim, s, cfg)
+		if err != nil {
+			return ReplayPoint{}, err
+		}
+		cycles += oc.EndCycle - s.Cycle
+	}
+	el := time.Since(start).Seconds()
+	return ReplayPoint{
+		Model: m.String(), Replays: n,
+		ReplaysPerS:  float64(n) / el,
+		MCyclesPerS:  float64(cycles) / el / 1e6,
+		GoldenCycles: g.Cycles,
+	}, nil
+}
+
+func measureSweep() (SweepPoint, error) {
+	prog, err := workload("qsort")
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	factory := core.Factory(core.ModelMicroarch, prog, core.CampaignSetup())
+	cfg := campaign.Config{
+		Injections: 40, Seed: 1, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 500,
+	}
+	l1d := cfg
+	l1d.Target = fault.TargetL1D
+	start := time.Now()
+	sr, err := campaign.Sweep([]campaign.SweepCampaign{
+		{Key: "rf", Group: "ma/qsort", Factory: factory, Config: cfg},
+		{Key: "l1d", Group: "ma/qsort", Factory: factory, Config: l1d},
+	}, campaign.SweepOptions{})
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{
+		Campaigns: 2, Injections: cfg.Injections * 2,
+		GoldenRuns: sr.GoldenRuns, WallSec: time.Since(start).Seconds(),
+	}, nil
+}
+
+func measureEarlyStop() (EarlyStop, error) {
+	const bench = "caes"
+	cfg := campaign.Config{
+		Injections: 80, Seed: 5, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout,
+	}
+	fixed, err := core.RunCampaign(bench, core.ModelMicroarch, core.CampaignSetup(), cfg)
+	if err != nil {
+		return EarlyStop{}, err
+	}
+	cfg.EarlyStop = true
+	adaptive, err := core.RunCampaign(bench, core.ModelMicroarch, core.CampaignSetup(), cfg)
+	if err != nil {
+		return EarlyStop{}, err
+	}
+	es := EarlyStop{
+		Workload: bench, Injections: cfg.Injections,
+		FixedMCycles:    float64(fixed.CyclesSimulated) / 1e6,
+		AdaptiveMCycles: float64(adaptive.CyclesSimulated) / 1e6,
+		Converged:       adaptive.ConvergedRuns,
+		RunsSaved:       adaptive.RunsSaved,
+		Drift:           math.Abs(adaptive.Unsafeness.P - fixed.Unsafeness.P),
+		Margin:          adaptive.AchievedMargin,
+	}
+	if fixed.CyclesSimulated > 0 {
+		es.SavedFrac = 1 - float64(adaptive.CyclesSimulated)/float64(fixed.CyclesSimulated)
+	}
+	return es, nil
+}
+
+func workload(name string) (*asm.Program, error) {
+	w, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return w.Program()
+}
