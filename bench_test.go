@@ -293,6 +293,7 @@ func BenchmarkSnapshotRestoreRTL(b *testing.B) {
 		sim.Step()
 	}
 	snap := sim.Snapshot()
+	b.ReportAllocs() // in-place restore: 0 allocs/op at steady state
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Restore(snap)
@@ -309,6 +310,7 @@ func BenchmarkCloneMicroarch(b *testing.B) {
 		sim.Step()
 	}
 	snap := sim.Snapshot()
+	b.ReportAllocs() // arena-pooled restore: 0 allocs/op at steady state
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Restore(snap)
@@ -374,6 +376,46 @@ func BenchmarkOneRunReplay_GeFIN_EarlyStop(b *testing.B) {
 	})
 }
 
+// BenchmarkOneRunReplayAllocs pins the allocation profile of the
+// engine's hottest path: with per-worker buffer reuse (pinout capture,
+// snapshot restore into existing storage, pooled uop arena) a
+// steady-state microarch replay must stay in the low hundreds of
+// allocations instead of re-cloning the whole CPU per run.
+func BenchmarkOneRunReplayAllocs(b *testing.B) {
+	p := workloadProgram(b, "qsort")
+	factory := core.Factory(core.ModelMicroarch, p, core.CampaignSetup())
+	g, err := campaign.PrepareGolden(factory, campaign.GoldenOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := factory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := campaign.Config{
+		Injections: 1, Seed: 1, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 500,
+	}
+	specs, err := fault.Plan(64, cfg.Target, sim.Bits(cfg.Target), g.Cycles,
+		fault.DistNormal, cfg.Fault, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the reusable buffers to steady state before measuring.
+	for _, s := range specs {
+		if _, err := g.ReplayOne(sim, s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.ReplayOne(sim, specs[i%len(specs)], cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSweepWall measures the full-sweep wall time of a miniature
 // two-campaign matrix sharing one golden run — the scheduler overhead
 // trajectory (dispatch, checkpointless streaming, aggregation) rather
@@ -425,3 +467,47 @@ func campaignCyclesBench(b *testing.B, early bool) {
 
 func BenchmarkCampaignRunToEnd_Fixed(b *testing.B)    { campaignCyclesBench(b, false) }
 func BenchmarkCampaignRunToEnd_Adaptive(b *testing.B) { campaignCyclesBench(b, true) }
+
+// goldenPhaseBench measures one golden-artifact phase; the Lifetime
+// variant quantifies the recording overhead of the pruning trace
+// (target: within ~10% of the plain golden run).
+func goldenPhaseBench(b *testing.B, life bool) {
+	p := workloadProgram(b, "qsort")
+	factory := core.Factory(core.ModelMicroarch, p, core.CampaignSetup())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.PrepareGolden(factory, campaign.GoldenOptions{Lifetime: life}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGoldenPlain(b *testing.B)        { goldenPhaseBench(b, false) }
+func BenchmarkGoldenWithLifetime(b *testing.B) { goldenPhaseBench(b, true) }
+
+// ------------------------------------------------- E11 + pruning paths
+
+// campaignPruneBench reports the simulated replay cycles of one
+// run-to-end L1D campaign under a pruning mode — the quantity
+// golden-trace pruning exists to cut (compare Full, Dead, Classes).
+func campaignPruneBench(b *testing.B, mode campaign.PruneMode) {
+	cfg := campaign.Config{
+		Injections: 40, Seed: 5, Target: fault.TargetL1D,
+		Obs: campaign.ObsPinout, Prune: mode,
+	}
+	b.ResetTimer()
+	var res *campaign.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunCampaign("caes", core.ModelMicroarch, core.CampaignSetup(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.CyclesSimulated)/1e6, "Mcycles/campaign")
+	b.ReportMetric(float64(res.PrunedRuns+res.ExtrapolatedRuns), "pruned")
+}
+
+func BenchmarkCampaignPrune_Full(b *testing.B)    { campaignPruneBench(b, campaign.PruneOff) }
+func BenchmarkCampaignPrune_Dead(b *testing.B)    { campaignPruneBench(b, campaign.PruneDead) }
+func BenchmarkCampaignPrune_Classes(b *testing.B) { campaignPruneBench(b, campaign.PruneClasses) }

@@ -5,6 +5,7 @@
 //	faultsim -bench sha -fault-model stuck-at-1 -obs combined -window 0
 //	faultsim -bench fft -fault-model burst -burst 4
 //	faultsim -bench caes -window 0 -early-stop -target-error 0.05
+//	faultsim -bench caes -target l1d -window 0 -prune classes
 //
 // -fault-model selects the injected fault model (transient, burst,
 // stuck-at, stuck-at-0, stuck-at-1, intermittent); -burst and -span set
@@ -12,6 +13,13 @@
 // -target-error enable the adaptive engine (convergence exits and
 // sequential statistical stopping); the report then carries the
 // converged/saved accounting.
+//
+// -prune enables golden-trace fault pruning: `dead` classifies
+// transients whose corrupted bits are overwritten before any read as
+// Masked with zero replay cycles (exact), `classes` additionally
+// replays one representative per first-consumer equivalence class and
+// extrapolates MeRLiN-style. -cpuprofile/-memprofile write pprof
+// profiles of the campaign.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
@@ -53,10 +62,22 @@ func run(args []string) error {
 		fullSize   = fs.Bool("paper-size", false, "use the paper's 4000-injection Leveugle sample")
 		earlyStop  = fs.Bool("early-stop", false, "adaptive engine: end a replay the moment its state reconverges with golden")
 		targetErr  = fs.Float64("target-error", 0, "adaptive engine: stop injecting once every class proportion is within this margin (0 = full plan)")
+		prune      = fs.String("prune", "off", "golden-trace fault pruning: off, dead (exact), classes (MeRLiN-style extrapolation)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "faultsim: profile:", perr)
+		}
+	}()
 
 	m, err := core.ParseModel(*model)
 	if err != nil {
@@ -82,6 +103,9 @@ func run(args []string) error {
 		AdvanceToUse: *advance,
 		EarlyStop:    *earlyStop,
 		TargetError:  *targetErr,
+	}
+	if cfg.Prune, err = campaign.ParsePruneMode(*prune); err != nil {
+		return err
 	}
 	if *fullSize {
 		cfg.Injections = 4000

@@ -10,9 +10,12 @@
 // costs and captures (snapshots, pinout transactions, output bytes).
 //
 // -inject N probes the workload with a tiny N-injection campaign and
-// prints each planned fault, its classification and its convergence
+// prints each planned fault, its golden-trace lifetime verdict (dead:
+// the corrupted bits are overwritten before any read, so the fault is
+// provably Masked without replay; live: the cycle the corruption is
+// first consumed), its replayed classification and its convergence
 // cycle — the instant the corrupted state reconverged with the golden
-// run ("never" if it stayed divergent), making masking behavior
+// run ("never" if it stayed divergent) — making masking behavior
 // inspectable from the CLI. -fault-model and -burst select the
 // injected fault model:
 //
@@ -132,21 +135,38 @@ func run(args []string) error {
 		}
 		fp.Burst = *burst
 		fp.Span = *span
-		// The probe always runs the adaptive engine so each fault's
-		// convergence cycle (the instant the corrupted state rejoins
-		// the golden run) is observable; the exit is exact, so the
-		// classes match a fixed-plan campaign's.
-		res, err := campaign.Run(core.Factory(m, prog, setup), campaign.Config{
+		// The probe replays each planned fault individually over one
+		// shared golden run recorded with state hashes (convergence
+		// cycles) AND the lifetime trace (pruning verdicts), so every
+		// fault prints both its injection-less verdict and the ground
+		// truth the replay produced. The convergence exit is exact, so
+		// the classes match a fixed-plan campaign's.
+		factory := core.Factory(m, prog, setup)
+		cfg := campaign.Config{
 			Injections: *inject, Seed: *seed, Target: tgt, Fault: fp,
 			Window: *window, Obs: campaign.ObsPinout, EarlyStop: true,
+		}
+		g, err := campaign.PrepareGolden(factory, campaign.GoldenOptions{
+			HashEvery: 64, Lifetime: true, MaxCycles: *maxCycles,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("model=%v setup=%s golden=%d cycles, %d injections (%v on %v)\n",
-			m, setup.Name, res.GoldenCycles, len(res.Outcomes), fp.Model, tgt)
-		for _, oc := range res.Outcomes {
-			s := oc.Spec
+		specs, err := g.Plan(cfg)
+		if err != nil {
+			return err
+		}
+		sim, err := factory()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model=%v setup=%s golden=%d cycles, %d injections (%v on %v), %d lifetime events\n",
+			m, setup.Name, g.Cycles, len(specs), fp.Model, tgt, g.LifetimeEvents())
+		for _, s := range specs {
+			oc, err := g.ReplayOne(sim, s, cfg)
+			if err != nil {
+				return err
+			}
 			extra := ""
 			switch s.Model {
 			case fault.ModelBurst:
@@ -160,8 +180,17 @@ func run(args []string) error {
 			if oc.Converged {
 				conv = fmt.Sprintf("@%d", oc.EndCycle)
 			}
-			fmt.Printf("  bit=%-6d cycle=%-8d%s -> %v (end cycle %d, converged %s)\n",
-				s.Bit, s.Cycle, extra, oc.Class, oc.EndCycle, conv)
+			verdict := "untracked target"
+			switch info := g.PruneVerdict(s, cfg); {
+			case s.Model.Persistent():
+				verdict = "n/a (persistent faults always replay)"
+			case info.Dead:
+				verdict = "dead (prunable: Masked with zero replay)"
+			case info.Tracked:
+				verdict = fmt.Sprintf("live (first consumed @%d)", info.ConsumeCycle)
+			}
+			fmt.Printf("  bit=%-6d cycle=%-8d%s -> %v (end cycle %d, converged %s, lifetime: %s)\n",
+				s.Bit, s.Cycle, extra, oc.Class, oc.EndCycle, conv, verdict)
 		}
 		return nil
 	}

@@ -14,6 +14,7 @@ package cache
 import (
 	"fmt"
 
+	"repro/internal/lifetime"
 	"repro/internal/mem"
 	"repro/internal/statehash"
 )
@@ -79,6 +80,13 @@ type Cache struct {
 	// uses it to build the access timeline that drives injection-time
 	// advancement (the RTL flow's optimisation in §IV.B).
 	AccessHook func(set, way int)
+
+	// lt, when non-nil, records the data array's access lifetime (reads,
+	// full overwrites) at line granularity during the golden run;
+	// ltCycle supplies the owning simulator's current cycle. Set via
+	// SetLifetime; pure observation, never perturbs the simulation.
+	lt      *lifetime.Space
+	ltCycle *uint64
 
 	// Statistics.
 	Accesses  uint64
@@ -171,6 +179,31 @@ func (c *Cache) victim(set int) int {
 	return oldest
 }
 
+// SetLifetime attaches (or, with a nil space, detaches) a lifetime trace
+// of the data array. Units are lines (set*ways+way, matching the flat
+// data-bit layout), cycle reads through the supplied pointer. The cache
+// records line-granular events itself (evictions read the whole line,
+// fills overwrite it); callers record the per-access byte ranges via the
+// Load/Store methods below.
+func (c *Cache) SetLifetime(sp *lifetime.Space, cycle *uint64) {
+	c.lt = sp
+	c.ltCycle = cycle
+}
+
+// ltRead records a lifetime read of bits [lo,hi) of line (set,way).
+func (c *Cache) ltRead(set, way, lo, hi int) {
+	if c.lt != nil {
+		c.lt.Read(*c.ltCycle, set*c.cfg.Ways+way, lo, hi)
+	}
+}
+
+// ltWrite records a lifetime overwrite of bits [lo,hi) of line (set,way).
+func (c *Cache) ltWrite(set, way, lo, hi int) {
+	if c.lt != nil {
+		c.lt.Write(*c.ltCycle, set*c.cfg.Ways+way, lo, hi)
+	}
+}
+
 // access ensures the line containing addr is resident and returns its way.
 func (c *Cache) access(addr uint32, res *Result) (set, way, off int, ok bool) {
 	c.Accesses++
@@ -197,6 +230,9 @@ func (c *Cache) access(addr uint32, res *Result) (set, way, off int, ok bool) {
 	if c.valid[i] && c.dirty[i] {
 		c.Evictions++
 		evAddr := c.tags[i]<<(c.offBits+c.setBits) | uint32(set)<<c.offBits
+		// The write-back reads the whole victim line: a corrupted bit
+		// leaves the core here (pin exposure), so it counts as consumed.
+		c.ltRead(set, way, 0, c.cfg.LineBytes*8)
 		copy(c.evictBuf, c.data[base:base+c.cfg.LineBytes])
 		c.backing.StoreBytes(evAddr, c.evictBuf)
 		res.Evicted = true
@@ -204,6 +240,7 @@ func (c *Cache) access(addr uint32, res *Result) (set, way, off int, ok bool) {
 		res.EvictData = c.evictBuf
 	}
 	fill, _ := c.backing.LoadBytes(fillAddr, uint32(c.cfg.LineBytes))
+	c.ltWrite(set, way, 0, c.cfg.LineBytes*8)
 	copy(c.data[base:], fill)
 	c.tags[i] = tag
 	c.valid[i] = true
@@ -226,6 +263,7 @@ func (c *Cache) LoadWord(addr uint32, res *Result) (uint32, bool) {
 	if !ok {
 		return 0, false
 	}
+	c.ltRead(set, way, off*8, off*8+32)
 	b := c.lineBase(set, way) + off
 	d := c.data
 	return uint32(d[b]) | uint32(d[b+1])<<8 | uint32(d[b+2])<<16 | uint32(d[b+3])<<24, true
@@ -237,6 +275,7 @@ func (c *Cache) LoadByte(addr uint32, res *Result) (byte, bool) {
 	if !ok {
 		return 0, false
 	}
+	c.ltRead(set, way, off*8, off*8+8)
 	return c.data[c.lineBase(set, way)+off], true
 }
 
@@ -250,6 +289,7 @@ func (c *Cache) StoreWord(addr, v uint32, res *Result) bool {
 	if !ok {
 		return false
 	}
+	c.ltWrite(set, way, off*8, off*8+32)
 	b := c.lineBase(set, way) + off
 	c.data[b] = byte(v)
 	c.data[b+1] = byte(v >> 8)
@@ -265,6 +305,7 @@ func (c *Cache) StoreByte(addr uint32, v byte, res *Result) bool {
 	if !ok {
 		return false
 	}
+	c.ltWrite(set, way, off*8, off*8+8)
 	c.data[c.lineBase(set, way)+off] = v
 	c.dirty[set*c.cfg.Ways+way] = true
 	return true
@@ -277,6 +318,7 @@ func (c *Cache) StoreByte(addr uint32, v byte, res *Result) bool {
 func (c *Cache) PeekByte(addr uint32) (byte, bool) {
 	set, tag, off := c.index(addr)
 	if way := c.lookup(set, tag); way >= 0 {
+		c.ltRead(set, way, off*8, off*8+8)
 		return c.data[c.lineBase(set, way)+off], true
 	}
 	return c.backing.LoadByte(addr)
@@ -365,6 +407,7 @@ func (c *Cache) WriteBackAll(fn func(addr uint32, data []byte)) {
 				continue
 			}
 			addr := c.tags[i]<<(c.offBits+c.setBits) | uint32(set)<<c.offBits
+			c.ltRead(set, way, 0, c.cfg.LineBytes*8)
 			base := c.lineBase(set, way)
 			line := c.data[base : base+c.cfg.LineBytes]
 			c.backing.StoreBytes(addr, line)
@@ -388,6 +431,24 @@ func (c *Cache) HashState(h *statehash.Hash) {
 		h.U64(uint64(c.age[i]))
 	}
 	h.Bytes(c.data)
+}
+
+// RestoreFrom overwrites this cache's state with src's, reusing the
+// existing arrays — the allocation-free analogue of Clone behind the
+// campaign engine's per-worker replay restores. The receiver keeps its
+// own hooks (access, lifetime) and is rebound to backing; geometries
+// must match (same factory).
+func (c *Cache) RestoreFrom(src *Cache, backing *mem.Memory) {
+	if c.cfg != src.cfg {
+		panic(fmt.Sprintf("cache %s: RestoreFrom across geometries", c.cfg.Name))
+	}
+	copy(c.tags, src.tags)
+	copy(c.valid, src.valid)
+	copy(c.dirty, src.dirty)
+	copy(c.age, src.age)
+	copy(c.data, src.data)
+	c.backing = backing
+	c.Accesses, c.Misses, c.Evictions = src.Accesses, src.Misses, src.Evictions
 }
 
 // Clone deep-copies the cache, rebinding it to the given backing memory

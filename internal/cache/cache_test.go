@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/lifetime"
 	"repro/internal/mem"
 	"repro/internal/statehash"
 )
@@ -274,5 +275,85 @@ func TestHashStateRoundTrip(t *testing.T) {
 	}
 	if digest(clone) == before && clone.cfg.Ways > 1 {
 		t.Error("LRU touch left the digest unchanged")
+	}
+}
+
+func TestLifetimeEvents(t *testing.T) {
+	c, m := testCache(t, 1024, 2, 32)
+	cycle := uint64(0)
+	lines := c.Config().Sets() * c.Config().Ways
+	sp := lifetime.NewSpace(lines, 32*8)
+	c.SetLifetime(sp, &cycle)
+
+	m.StoreWord(0x100, 0xAABBCCDD)
+	var r Result
+	cycle = 10
+	if _, ok := c.LoadWord(0x100, &r); !ok {
+		t.Fatal("load failed")
+	}
+	lineIdx := func(addr uint32) int {
+		s, tg, _ := c.index(addr)
+		w := c.lookup(s, tg)
+		if w < 0 {
+			t.Fatalf("line for %#x not resident", addr)
+		}
+		return s*c.Config().Ways + w
+	}
+	li := lineIdx(0x100)
+	off := int(0x100 & uint32(c.Config().LineBytes-1))
+	loadedBit := li*c.Config().LineBytes*8 + off*8
+	otherBit := li*c.Config().LineBytes*8 + ((off+8)%c.Config().LineBytes)*8
+
+	// A fault planted before the miss dies: the fill overwrites the
+	// whole victim line before the load reads anything from the array.
+	if v := sp.ClassifyBit(loadedBit, 9, 1<<40); v.Live {
+		t.Fatalf("pre-fill bit: %+v, want dead (fill overwrites the line)", v)
+	}
+	// A fault planted after the fill is consumed by a hit on the word.
+	cycle = 12
+	if _, ok := c.LoadWord(0x100, &r); !ok {
+		t.Fatal("hit load failed")
+	}
+	if v := sp.ClassifyBit(loadedBit, 10, 1<<40); !v.Live || v.Cycle != 12 {
+		t.Fatalf("resident loaded bit: %+v, want live @12", v)
+	}
+	if v := sp.ClassifyBit(otherBit, 10, 1<<40); v.Live {
+		t.Fatalf("unread line bit: %+v, want dead so far", v)
+	}
+
+	// A store overwrites its word: a pre-store fault in that word dies.
+	cycle = 20
+	if !c.StoreWord(0x104, 1, &r) {
+		t.Fatal("store failed")
+	}
+	storedBit := li*c.Config().LineBytes*8 + 4*8
+	if v := sp.ClassifyBit(storedBit, 15, 1<<40); v.Live {
+		t.Fatalf("stored-over bit: %+v, want dead", v)
+	}
+
+	// PeekByte (the syscall view) consumes resident bytes.
+	cycle = 30
+	if _, ok := c.PeekByte(0x104); !ok {
+		t.Fatal("peek failed")
+	}
+	if v := sp.ClassifyBit(storedBit, 25, 1<<40); !v.Live || v.Cycle != 30 {
+		t.Fatalf("peeked bit: %+v, want live @30", v)
+	}
+
+	// Eviction write-back reads the whole dirty line (pin exposure).
+	cycle = 40
+	evicted := false
+	for a := uint32(0x100); !evicted; a += 1024 {
+		var rr Result
+		if !c.StoreWord(a+0x400, 2, &rr) {
+			t.Fatal("conflict store failed")
+		}
+		evicted = evicted || rr.Evicted
+		if rr.Evicted {
+			break
+		}
+	}
+	if v := sp.ClassifyBit(otherBit, 35, 1<<40); !v.Live || v.Cycle != 40 {
+		t.Fatalf("evicted line bit: %+v, want live @40 (write-back consumed the line)", v)
 	}
 }

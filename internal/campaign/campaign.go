@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/lifetime"
 	"repro/internal/refsim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -69,6 +70,16 @@ type Simulator interface {
 	// support injection-time advancement.
 	SetL1DAccessHook(fn func(set, way int))
 	L1DLineOfBit(bit int) (set, way int)
+
+	// SetLifetime attaches (or detaches, with nil) a lifetime recorder
+	// capturing per-target access events — reads and full overwrites of
+	// registers, cache lines and array words — during the golden run.
+	// The model registers one lifetime.Space per fault.Target it can
+	// trace (keyed by int(target), geometry matching the flat bit space
+	// Bits/Flip use); untracked targets stay absent and the pruning
+	// pre-classifier falls back to full replay for them. Recording is
+	// pure observation and must never perturb the simulation.
+	SetLifetime(rec *lifetime.Recorder)
 }
 
 // Snapshot is an opaque state capture.
@@ -191,6 +202,18 @@ type Config struct {
 	// MinRuns floors the sample size before sequential stopping may
 	// trigger (0 selects 50). Requires TargetError.
 	MinRuns int
+
+	// Prune enables golden-trace fault pruning (see PruneMode): the
+	// golden run records per-target access lifetimes, and planned
+	// transient faults whose corrupted bits are overwritten before any
+	// read are classified Masked with zero replay cycles — exact by
+	// construction. PruneClasses additionally collapses surviving
+	// faults by first-consuming golden event and replays one
+	// representative per class (MeRLiN-style extrapolation,
+	// approximate). Persistent fault models always fall back to full
+	// replay. Off by default; the default path reproduces the
+	// non-pruning engine bit for bit.
+	Prune PruneMode
 }
 
 // defaultSnapshotEvery is the golden-run snapshot interval selected by
@@ -240,6 +263,23 @@ type RunOutcome struct {
 	// still active and an identical pinout prefix, so the run is
 	// Masked without simulating its remaining future.
 	Converged bool
+
+	// Pruned marks an injection-less classification: the golden
+	// lifetime trace proves the corrupted bits are overwritten before
+	// any read (or never read inside the observation horizon), so the
+	// fault is Masked with zero replay cycles. EndCycle is the
+	// injection instant.
+	Pruned bool
+
+	// Extrapolated marks a class member whose outcome was copied from
+	// its equivalence-class representative (PruneClasses mode) instead
+	// of replayed.
+	Extrapolated bool
+
+	// ClassSize is the number of faults this replay represents: 1 +
+	// the extrapolated members of its equivalence class, set on class
+	// representatives only (0 reads as 1).
+	ClassSize int
 }
 
 // Result aggregates a campaign.
@@ -274,6 +314,18 @@ type Result struct {
 	CyclesSaved     uint64
 	AchievedMargin  float64
 
+	// Golden-trace pruning accounting, non-zero only under
+	// Config.Prune. PrunedRuns counts injection-less (dead-interval)
+	// Masked classifications; ExtrapolatedRuns counts class members
+	// that inherited their representative's outcome; PruneClassCount
+	// counts the equivalence classes the dispatcher actually replayed
+	// (PruneClasses mode); PruneSavedCycles is the replay cycles those
+	// faults would have cost under the fixed plan.
+	PrunedRuns       int
+	ExtrapolatedRuns int
+	PruneClassCount  int
+	PruneSavedCycles uint64
+
 	Elapsed       time.Duration
 	AvgSecPerRun  float64
 	GoldenElapsed time.Duration
@@ -297,6 +349,9 @@ func (c *Config) validate() error {
 	}
 	if c.MinRuns > 0 && c.TargetError == 0 {
 		return fmt.Errorf("campaign: MinRuns set but sequential stopping is off (TargetError=0)")
+	}
+	if c.Prune < PruneOff || c.Prune > PruneClasses {
+		return fmt.Errorf("campaign: unknown prune mode %d", c.Prune)
 	}
 	return nil
 }
@@ -324,6 +379,13 @@ type GoldenOptions struct {
 	// pure observation, so a hash-enabled golden run serves campaigns
 	// without EarlyStop too.
 	HashEvery uint64
+
+	// Lifetime records per-target access lifetimes (reads and full
+	// overwrites of registers, cache lines and array words) during the
+	// golden run, required by configs with Prune enabled. Like the
+	// timeline and the hashes it is pure observation, so a
+	// lifetime-enabled golden run serves non-pruning campaigns too.
+	Lifetime bool
 }
 
 // Golden holds every artifact of one golden run: the snapshots, pinout
@@ -339,7 +401,8 @@ type Golden struct {
 	sim      Simulator // the stopped golden instance (bit spaces, L1D geometry)
 	pin      *trace.Pinout
 	snaps    []snapAt
-	hashes   []hashAt // golden state digests (convergence exit), cycle-ascending
+	hashes   []hashAt           // golden state digests (convergence exit), cycle-ascending
+	life     *lifetime.Recorder // per-target access lifetimes (fault pruning), nil unless recorded
 	timeline map[[2]int][]uint64
 	opts     GoldenOptions
 }
@@ -350,6 +413,16 @@ func (g *Golden) Snapshots() int { return len(g.snaps) }
 // Hashes reports how many golden state digests were recorded for the
 // convergence exit.
 func (g *Golden) Hashes() int { return len(g.hashes) }
+
+// LifetimeEvents reports how many lifetime events the golden run
+// recorded (0 without GoldenOptions.Lifetime) — the overhead metric of
+// the pruning trace.
+func (g *Golden) LifetimeEvents() int {
+	if g.life == nil {
+		return 0
+	}
+	return g.life.Events()
+}
 
 // fingerprint identifies the golden run's observable behavior (cycle
 // count, pinout volume, program output) so checkpoint resume can detect
@@ -384,6 +457,10 @@ func PrepareGolden(factory Factory, opts GoldenOptions) (*Golden, error) {
 			g.timeline[k] = append(g.timeline[k], sim.Cycles())
 		})
 	}
+	if opts.Lifetime {
+		g.life = lifetime.NewRecorder()
+		sim.SetLifetime(g.life)
+	}
 
 	start := time.Now()
 	snaps, hashes, err := goldenRunWithSnapshots(sim, opts.SnapshotEvery, opts.MaxCycles, opts.HashEvery)
@@ -394,6 +471,9 @@ func PrepareGolden(factory Factory, opts GoldenOptions) (*Golden, error) {
 	g.snaps = snaps
 	g.hashes = hashes
 	sim.SetL1DAccessHook(nil)
+	if opts.Lifetime {
+		sim.SetLifetime(nil)
+	}
 	stop := sim.StopReason()
 	if stop != refsim.StopExit && stop != refsim.StopHalt {
 		return nil, fmt.Errorf("campaign: golden run stopped with %v", stop)
@@ -464,6 +544,7 @@ func goldenOptionsFor(cfg Config) GoldenOptions {
 	opts := GoldenOptions{
 		SnapshotEvery: cfg.SnapshotEvery,
 		Timeline:      cfg.AdvanceToUse,
+		Lifetime:      cfg.Prune != PruneOff,
 	}
 	if cfg.EarlyStop {
 		opts.HashEvery = defaultHashEvery
@@ -491,23 +572,38 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	pr, err := newPruner(g, pl, cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	// --------------------------------------------- streaming replays
-	// The dispatch loop generates specs lazily and stops issuing as
-	// soon as the in-order estimator converges; workers stream every
-	// outcome back through seq.
+	// The dispatch loop generates specs lazily, resolves each against
+	// the pruning pre-classifier (dead faults deliver their synthetic
+	// Masked outcome without touching a worker; class members wait for
+	// their representative's fanout), and stops issuing as soon as the
+	// in-order estimator converges; workers stream every outcome back
+	// through seq.
 	type job struct {
 		idx  int
 		spec fault.Spec
 	}
 	nextIdx := 0
 	next := func() (job, bool) {
-		if nextIdx >= pl.n || seq.stopped() {
-			return job{}, false
+		for nextIdx < pl.n && !seq.stopped() {
+			i := nextIdx
+			nextIdx++
+			spec := pl.spec(i)
+			switch act, oc := pr.decide(i, spec); act {
+			case pruneSynthetic:
+				seq.deliver(i, oc)
+				continue
+			case pruneSkip:
+				continue
+			}
+			return job{idx: i, spec: spec}, true
 		}
-		j := job{idx: nextIdx, spec: pl.spec(nextIdx)}
-		nextIdx++
-		return j, true
+		return job{}, false
 	}
 	start := time.Now()
 	err = streamJobs(cfg.Workers, next, func(_ int, jobs <-chan job) error {
@@ -515,12 +611,13 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 		if err != nil {
 			return err
 		}
+		var buf replayBuf
 		for j := range jobs {
-			oc, err := oneRun(sim, g, j.spec, cfg)
+			oc, err := oneRunBuf(sim, g, j.spec, cfg, &buf)
 			if err != nil {
 				return err
 			}
-			seq.deliver(j.idx, oc)
+			deliverReplay(pr, seq, j.idx, oc)
 		}
 		return nil
 	})
@@ -529,7 +626,7 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 	}
 	elapsed := time.Since(start)
 
-	return aggregate(cfg, g, pl, seq, elapsed)
+	return aggregate(cfg, g, pl, seq, pr, elapsed)
 }
 
 // seqStop collects streamed replay outcomes and decides the sequential
@@ -585,7 +682,17 @@ func (s *seqStop) deliver(idx int, oc RunOutcome) {
 	s.have[idx] = true
 	for s.frontier < len(s.outcomes) && s.have[s.frontier] {
 		if s.est != nil && s.stopAt < 0 {
-			s.est.Observe(int(s.outcomes[s.frontier].Class))
+			// Extrapolated class members carry no independent evidence
+			// (their mass rides their representative's class weight),
+			// so the estimator sees representatives weighted by class
+			// size and skips the members.
+			if fr := s.outcomes[s.frontier]; !fr.Extrapolated {
+				w := fr.ClassSize
+				if w < 1 {
+					w = 1
+				}
+				s.est.ObserveWeighted(int(fr.Class), float64(w))
+			}
 			if s.est.Converged(s.target, s.minRuns) {
 				s.stopAt = s.frontier + 1
 			}
@@ -607,6 +714,17 @@ func (s *seqStop) done(idx int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.have[idx]
+}
+
+// get returns outcome idx if it has been delivered — the class-fanout
+// path for representatives restored from checkpoint shards.
+func (s *seqStop) get(idx int) (RunOutcome, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.have[idx] {
+		return RunOutcome{}, false
+	}
+	return s.outcomes[idx], true
 }
 
 // stopIndex returns the decided stopping index, or -1 if the campaign
@@ -714,8 +832,8 @@ func (g *Golden) fullReplayEnd(spec fault.Spec, cfg Config) uint64 {
 }
 
 // aggregate folds the counted replay outcomes into a campaign result,
-// including the adaptive engine's savings accounting.
-func aggregate(cfg Config, g *Golden, pl *lazyPlan, seq *seqStop, elapsed time.Duration) (*Result, error) {
+// including the adaptive engine's savings and the pruning accounting.
+func aggregate(cfg Config, g *Golden, pl *lazyPlan, seq *seqStop, pr *pruner, elapsed time.Duration) (*Result, error) {
 	outcomes := seq.cut()
 	res := &Result{
 		Config:        cfg,
@@ -735,12 +853,29 @@ func aggregate(cfg Config, g *Golden, pl *lazyPlan, seq *seqStop, elapsed time.D
 			unsafe++
 		}
 		base := nearestSnap(g.snaps, oc.Spec.Cycle).cycle
+		full := g.fullReplayEnd(oc.Spec, cfg)
+		switch {
+		case oc.Pruned:
+			// Classified from the golden trace alone: the whole
+			// fixed-plan replay is saved, nothing was simulated.
+			res.PrunedRuns++
+			if full > base {
+				res.PruneSavedCycles += full - base
+			}
+			continue
+		case oc.Extrapolated:
+			res.ExtrapolatedRuns++
+			if full > base {
+				res.PruneSavedCycles += full - base
+			}
+			continue
+		}
 		if oc.EndCycle > base {
 			res.CyclesSimulated += oc.EndCycle - base
 		}
 		if oc.Converged {
 			res.ConvergedRuns++
-			if full := g.fullReplayEnd(oc.Spec, cfg); full > oc.EndCycle {
+			if full > oc.EndCycle {
 				res.CyclesSaved += full - oc.EndCycle
 			}
 		}
@@ -759,12 +894,55 @@ func aggregate(cfg Config, g *Golden, pl *lazyPlan, seq *seqStop, elapsed time.D
 		}
 		res.CyclesSaved += prefixFull / uint64(len(outcomes)) * uint64(skipped)
 	}
-	var err error
-	res.Unsafeness, err = stats.EstimateProportion(unsafe, len(outcomes), cfg.Confidence)
+	z, err := stats.ZForConfidence(cfg.Confidence)
 	if err != nil {
 		return nil, err
 	}
-	z, err := stats.ZForConfidence(cfg.Confidence)
+	if pr != nil && pr.mode == PruneClasses {
+		// MeRLiN extrapolation: the estimate must judge exactly the
+		// evidence the sequential estimator saw over this prefix —
+		// each replayed representative carries its full class weight
+		// (members in or beyond the counted prefix alike), members
+		// carry none — so the stop decision and the reported interval
+		// agree. One replay standing for a whole class is one piece of
+		// independent evidence, not class-size many: the interval uses
+		// the Kish effective sample size over those weights.
+		var sumW, sumW2, unsafeW float64
+		wcounts := make(map[Class]float64, int(numClasses))
+		for i, oc := range outcomes {
+			if pr.isRep[i] {
+				res.PruneClassCount++
+			}
+			if oc.Extrapolated {
+				continue
+			}
+			w := float64(oc.ClassSize)
+			if w < 1 {
+				w = 1
+			}
+			sumW += w
+			sumW2 += w * w
+			wcounts[oc.Class] += w
+			if oc.Class != ClassMasked {
+				unsafeW += w
+			}
+		}
+		nEff := sumW
+		if sumW2 > 0 {
+			nEff = sumW * sumW / sumW2
+		}
+		res.Unsafeness, err = stats.EstimateWeightedProportion(unsafeW, sumW, nEff, cfg.Confidence)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range []Class{ClassMasked, ClassMismatch, ClassSDC, ClassCrash, ClassHang} {
+			if w := stats.WilsonHalfWidthP(wcounts[c]/sumW, nEff, z); w > res.AchievedMargin {
+				res.AchievedMargin = w
+			}
+		}
+		return res, nil
+	}
+	res.Unsafeness, err = stats.EstimateProportion(unsafe, len(outcomes), cfg.Confidence)
 	if err != nil {
 		return nil, err
 	}
@@ -852,13 +1030,29 @@ func (g *Golden) ReplayOne(sim Simulator, spec fault.Spec, cfg Config) (RunOutco
 	return oneRun(sim, g, spec, cfg)
 }
 
-// oneRun replays a single faulty simulation and classifies it.
+// replayBuf is per-worker scratch reused across replays: the faulty
+// pinout capture grows once to the longest replay's size and is reset
+// in place afterwards, keeping the hot loop allocation-free.
+type replayBuf struct {
+	pin trace.Pinout
+}
+
+// oneRun replays a single faulty simulation and classifies it with
+// private scratch (probe/benchmark path; campaign workers reuse a
+// per-worker buffer through oneRunBuf).
 func oneRun(sim Simulator, g *Golden, spec fault.Spec, cfg Config) (RunOutcome, error) {
+	var buf replayBuf
+	return oneRunBuf(sim, g, spec, cfg, &buf)
+}
+
+// oneRunBuf replays a single faulty simulation and classifies it.
+func oneRunBuf(sim Simulator, g *Golden, spec fault.Spec, cfg Config, buf *replayBuf) (RunOutcome, error) {
 	goldenPin, goldenOut, goldenCycles := g.pin, g.Output, g.Cycles
 	hangBudget := g.hangBudget()
 	base := nearestSnap(g.snaps, spec.Cycle)
 	sim.Restore(base.snap)
-	pin := &trace.Pinout{}
+	pin := &buf.pin
+	pin.Reset()
 	sim.SetPinout(pin)
 
 	// Replay up to the injection instant (identical to golden).
@@ -949,11 +1143,8 @@ func oneRun(sim Simulator, g *Golden, spec fault.Spec, cfg Config) (RunOutcome, 
 // per affected bit for the transient models (single or burst), a force
 // to the stuck value for the persistent ones.
 func applyFault(sim Simulator, spec fault.Spec) error {
-	width := spec.Width
-	if width < 1 {
-		width = 1
-	}
-	for b := spec.Bit; b < spec.Bit+width; b++ {
+	lo, hi := spec.BitSpan()
+	for b := lo; b < hi; b++ {
 		var err error
 		if spec.Model.Persistent() {
 			err = sim.Force(spec.Target, b, spec.Stuck)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/fault"
+	"repro/internal/lifetime"
 	"repro/internal/refsim"
 	"repro/internal/trace"
 )
@@ -19,6 +20,7 @@ type toySim struct {
 	cycles uint64
 	word   uint32
 	stop   refsim.StopReason
+	lt     *lifetime.Space
 }
 
 func (s *toySim) Step() bool {
@@ -27,9 +29,15 @@ func (s *toySim) Step() bool {
 	}
 	s.cycles++
 	if s.cycles == 60 {
+		if s.lt != nil {
+			s.lt.Write(s.cycles, 0, 0, 32)
+		}
 		s.word = 0 // the design overwrites the register
 	}
 	if s.cycles >= 100 {
+		if s.lt != nil {
+			s.lt.Read(s.cycles, 0, 0, 32) // the SOP reads the word out
+		}
 		s.stop = refsim.StopExit
 		return false
 	}
@@ -70,9 +78,18 @@ func (s *toySim) Snapshot() campaign.Snapshot { return *s }
 func (s *toySim) Restore(snap campaign.Snapshot) {
 	*s = snap.(toySim)
 	s.stop = refsim.StopNone
+	s.lt = nil // replay instances never record into the golden trace
 }
 func (s *toySim) SetL1DAccessHook(func(int, int)) {}
 func (s *toySim) L1DLineOfBit(int) (int, int)     { return 0, 0 }
+
+func (s *toySim) SetLifetime(rec *lifetime.Recorder) {
+	if rec == nil {
+		s.lt = nil
+		return
+	}
+	s.lt = rec.Space(int(fault.TargetRF), 1, 32)
+}
 
 func (s *toySim) StateHash() uint64 {
 	return uint64(s.word)<<32 | s.cycles
@@ -133,4 +150,26 @@ func ExampleSweep() {
 	// golden runs: 1 for 2 campaigns
 	// stuck-at-1: unsafeness 1.00
 	// transient: unsafeness 0.40
+}
+
+// ExampleRun_pruning enables golden-trace fault pruning on the same toy
+// campaign: the design overwrites the register at cycle 60 and the
+// software observation point reads it at 100, so every injection before
+// the overwrite is provably dead — classified Masked from the golden
+// lifetime trace alone, with zero replay cycles — while later ones
+// replay and surface as SDCs. Classes are identical to ExampleRun's.
+func ExampleRun_pruning() {
+	res, err := campaign.Run(toyFactory, campaign.Config{
+		Injections: 20, Seed: 7, Target: fault.TargetRF,
+		Obs: campaign.ObsSOP, Workers: 1, Prune: campaign.PruneDead,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("masked=%d sdc=%d unsafeness=%.2f\n",
+		res.Counts[campaign.ClassMasked], res.Counts[campaign.ClassSDC], res.Unsafeness.P)
+	fmt.Printf("pruned without replay: %d\n", res.PrunedRuns)
+	// Output:
+	// masked=11 sdc=9 unsafeness=0.45
+	// pruned without replay: 11
 }

@@ -1,0 +1,329 @@
+package campaign
+
+// Golden-trace fault pruning (MeRLiN-style, after Kaliorakis,
+// Chatzidimitriou & Gizopoulos, ISCA 2017). The golden run records the
+// access lifetime of every injectable storage unit; from that trace
+// alone a planned transient fault is pre-classified without replaying a
+// single cycle:
+//
+//   - dead: the golden run overwrites the corrupted bits before ever
+//     reading them (or never reads them inside the observation
+//     horizon). The faulty run provably retraces the golden run — no
+//     dataflow consumes the flip — so the fault is Masked, exactly the
+//     class a full replay would report.
+//   - live: some corrupted bit is consumed by a golden read. The fault
+//     must replay; the identity of the first consuming event is its
+//     MeRLiN equivalence key.
+//
+// PruneDead applies only the exact dead classification. PruneClasses
+// additionally collapses live faults that share a first consuming event
+// into one equivalence class, replays a single representative, and
+// extrapolates its outcome over the class — a large additional saving
+// that is approximate (members may differ in the consumed bit), which
+// is why it is a separate opt-in and why the sequential estimator
+// weights representatives by class size at the Kish effective sample
+// size instead of claiming every extrapolated outcome as independent
+// evidence. Persistent fault models (stuck-at, intermittent) re-assert
+// the fault over time, so golden-trace reasoning does not apply: they
+// always fall back to full replay, as do targets the simulator does not
+// trace (RTL pipeline latches).
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// PruneMode selects golden-trace fault pruning.
+type PruneMode int
+
+// Pruning modes.
+const (
+	// PruneOff replays every planned fault (the default; bit-identical
+	// to the engine without pruning).
+	PruneOff PruneMode = iota
+	// PruneDead classifies dead-interval transients Masked with zero
+	// replay cycles. Exact: classes equal full replay by construction.
+	PruneDead
+	// PruneClasses additionally replays one representative per
+	// first-consumer equivalence class and extrapolates, MeRLiN-style.
+	// Approximate; intervals widen to the effective sample size.
+	PruneClasses
+)
+
+func (m PruneMode) String() string {
+	switch m {
+	case PruneOff:
+		return "off"
+	case PruneDead:
+		return "dead"
+	case PruneClasses:
+		return "classes"
+	default:
+		return fmt.Sprintf("PruneMode(%d)", int(m))
+	}
+}
+
+// ParsePruneMode converts a CLI name to a PruneMode.
+func ParsePruneMode(s string) (PruneMode, error) {
+	switch s {
+	case "", "off":
+		return PruneOff, nil
+	case "dead":
+		return PruneDead, nil
+	case "classes", "merlin":
+		return PruneClasses, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown prune mode %q (off, dead, classes)", s)
+}
+
+// preKind is the internal pre-classification verdict.
+type preKind int
+
+const (
+	preReplay preKind = iota // no trace, persistent model, or untracked target
+	preDead                  // Masked with zero replay cycles, exact
+	preLive                  // consumed: replay (or group by classID)
+)
+
+// preVerdict is the injection-less verdict for one planned fault.
+type preVerdict struct {
+	kind    preKind
+	classID uint64 // first consuming golden event (preLive)
+	cycle   uint64 // its cycle (preLive)
+}
+
+// preclassify resolves a planned fault against the golden lifetime
+// trace. The observation horizon is the fault's windowed compare limit
+// (spec.Cycle+Window) or the golden end for run-to-end configs: a read
+// beyond it can never be observed by the classification, so the fault
+// is dead even if consumed later.
+func (g *Golden) preclassify(spec fault.Spec, cfg Config) preVerdict {
+	if g.life == nil || spec.Model.Persistent() {
+		return preVerdict{}
+	}
+	sp := g.life.Get(int(spec.Target))
+	if sp == nil {
+		return preVerdict{}
+	}
+	lo, hi := spec.BitSpan()
+	if hi > sp.Bits() {
+		return preVerdict{} // geometry mismatch: never prune blindly
+	}
+	horizon := g.Cycles
+	if cfg.Window > 0 {
+		horizon = spec.Cycle + cfg.Window
+	}
+	out := preVerdict{kind: preDead}
+	for b := lo; b < hi; b++ {
+		v := sp.ClassifyBit(b, spec.Cycle, horizon)
+		if !v.Live {
+			continue
+		}
+		if out.kind != preLive || v.Cycle < out.cycle ||
+			(v.Cycle == out.cycle && v.ID < out.classID) {
+			out = preVerdict{kind: preLive, classID: v.ID, cycle: v.Cycle}
+		}
+	}
+	return out
+}
+
+// PruneInfo is the public injection-less verdict of one planned fault,
+// surfaced by probe tooling (runsim -inject).
+type PruneInfo struct {
+	// Tracked reports whether the golden lifetime trace covers this
+	// fault (transient model on a traced target).
+	Tracked bool
+	// Dead reports a provably Masked fault needing zero replay cycles.
+	Dead bool
+	// ConsumeCycle is the first consuming golden event's cycle (live
+	// faults only).
+	ConsumeCycle uint64
+}
+
+// PruneVerdict pre-classifies one planned fault against this golden
+// run's lifetime trace (see GoldenOptions.Lifetime). Without a trace
+// every fault reports Tracked=false.
+func (g *Golden) PruneVerdict(spec fault.Spec, cfg Config) PruneInfo {
+	cfg.fillDefaults()
+	v := g.preclassify(spec, cfg)
+	switch v.kind {
+	case preDead:
+		return PruneInfo{Tracked: true, Dead: true}
+	case preLive:
+		return PruneInfo{Tracked: true, ConsumeCycle: v.cycle}
+	default:
+		return PruneInfo{}
+	}
+}
+
+// Plan materialises the campaign's planned injection stream against
+// this golden run — the same specs Run replays, exposed for probe
+// tooling and benchmarks.
+func (g *Golden) Plan(cfg Config) ([]fault.Spec, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pl, err := g.planner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]fault.Spec, pl.n)
+	for i := range out {
+		out[i] = pl.spec(i)
+	}
+	return out, nil
+}
+
+// pruneAction is the dispatcher's decision for one plan index.
+type pruneAction int
+
+const (
+	pruneDispatch  pruneAction = iota // replay the fault
+	pruneSynthetic                    // deliver the synthetic outcome, no replay
+	pruneSkip                         // a class member: its representative's fanout delivers it
+)
+
+// pruner holds one campaign's pruning state, shared by the Run and
+// Sweep dispatchers. A nil *pruner (PruneOff) is valid and inert.
+type pruner struct {
+	mode PruneMode
+	g    *Golden
+	cfg  Config
+	pl   *lazyPlan
+
+	// PruneClasses state, materialised up front (grouping needs the
+	// whole plan; this is MeRLiN's "prune before the campaign" shape).
+	dead    []bool
+	repOf   []int   // index -> its representative, -1 when it replays itself
+	members [][]int // representative -> member indices (excluding itself)
+	isRep   []bool
+	classes int // equivalence classes with a dispatched representative
+}
+
+// newPruner derives the campaign's pruning state from the golden
+// artifacts; nil when pruning is off.
+func newPruner(g *Golden, pl *lazyPlan, cfg Config) (*pruner, error) {
+	if cfg.Prune == PruneOff {
+		return nil, nil
+	}
+	// Unknown modes were already rejected by Config.validate, which
+	// both Run and Sweep apply before planning.
+	if g.life == nil {
+		return nil, fmt.Errorf("campaign: Prune=%v requires a golden run with GoldenOptions.Lifetime", cfg.Prune)
+	}
+	p := &pruner{mode: cfg.Prune, g: g, cfg: cfg, pl: pl}
+	if p.mode != PruneClasses {
+		return p, nil // dead mode classifies lazily at dispatch
+	}
+	p.dead = make([]bool, pl.n)
+	p.repOf = make([]int, pl.n)
+	p.members = make([][]int, pl.n)
+	p.isRep = make([]bool, pl.n)
+	repByClass := make(map[uint64]int)
+	for i := 0; i < pl.n; i++ {
+		p.repOf[i] = -1
+		v := g.preclassify(pl.spec(i), cfg)
+		switch v.kind {
+		case preDead:
+			p.dead[i] = true
+		case preLive:
+			if rep, ok := repByClass[v.classID]; ok {
+				p.repOf[i] = rep
+				p.members[rep] = append(p.members[rep], i)
+			} else {
+				repByClass[v.classID] = i
+				p.isRep[i] = true
+				p.classes++
+			}
+		}
+	}
+	return p, nil
+}
+
+// syntheticDead is the zero-replay outcome of a dead-interval fault.
+// EndCycle is the injection instant itself: not one cycle was
+// simulated, which the aggregation accounts as saved rather than spent.
+func syntheticDead(spec fault.Spec) RunOutcome {
+	return RunOutcome{Spec: spec, Class: ClassMasked, EndCycle: spec.Cycle, Pruned: true}
+}
+
+// decide returns the dispatcher's action for plan index i. Called only
+// from the (single-threaded) dispatch loop.
+func (p *pruner) decide(i int, spec fault.Spec) (pruneAction, RunOutcome) {
+	if p == nil {
+		return pruneDispatch, RunOutcome{}
+	}
+	if p.mode == PruneClasses {
+		switch {
+		case p.dead[i]:
+			return pruneSynthetic, syntheticDead(spec)
+		case p.repOf[i] >= 0:
+			return pruneSkip, RunOutcome{}
+		}
+		return pruneDispatch, RunOutcome{}
+	}
+	if p.g.preclassify(spec, p.cfg).kind == preDead {
+		return pruneSynthetic, syntheticDead(spec)
+	}
+	return pruneDispatch, RunOutcome{}
+}
+
+// afterReplay stamps a replayed representative's class size and returns
+// the member outcomes extrapolated from it. Safe from worker
+// goroutines: the classes-mode plan is fully materialised, so spec
+// lookups are read-only.
+func (p *pruner) afterReplay(i int, oc *RunOutcome) []idxOutcome {
+	if p == nil || p.mode != PruneClasses || len(p.members[i]) == 0 {
+		return nil
+	}
+	oc.ClassSize = 1 + len(p.members[i])
+	out := make([]idxOutcome, 0, len(p.members[i]))
+	for _, m := range p.members[i] {
+		spec := p.pl.spec(m)
+		out = append(out, idxOutcome{idx: m, oc: RunOutcome{
+			Spec: spec, Class: oc.Class, EndCycle: spec.Cycle, Extrapolated: true,
+		}})
+	}
+	return out
+}
+
+// idxOutcome pairs an outcome with its plan index for class fanout.
+type idxOutcome struct {
+	idx int
+	oc  RunOutcome
+}
+
+// resumedFanout re-delivers member outcomes for representatives that
+// were restored from checkpoint shards instead of replayed (shards
+// record representatives only; extrapolation is re-derived).
+func (p *pruner) resumedFanout(seq *seqStop) {
+	if p == nil || p.mode != PruneClasses {
+		return
+	}
+	for rep, mem := range p.members {
+		if len(mem) == 0 {
+			continue
+		}
+		oc, ok := seq.get(rep)
+		if !ok || oc.Pruned || oc.Extrapolated {
+			continue
+		}
+		for _, m := range mem {
+			spec := p.pl.spec(m)
+			seq.deliver(m, RunOutcome{
+				Spec: spec, Class: oc.Class, EndCycle: spec.Cycle, Extrapolated: true,
+			})
+		}
+	}
+}
+
+// deliverReplay routes a replayed outcome (plus any extrapolated class
+// members) through the collector.
+func deliverReplay(p *pruner, seq *seqStop, idx int, oc RunOutcome) {
+	members := p.afterReplay(idx, &oc)
+	seq.deliver(idx, oc)
+	for _, m := range members {
+		seq.deliver(m.idx, m.oc)
+	}
+}

@@ -162,6 +162,10 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 			// golden run serves the group's non-adaptive members too.
 			gr.opts.HashEvery = defaultHashEvery
 		}
+		if c.Config.Prune != PruneOff {
+			// Likewise for the lifetime trace behind fault pruning.
+			gr.opts.Lifetime = true
+		}
 		gr.members = append(gr.members, i)
 	}
 	// Groups are independent, so golden runs go through the pool too —
@@ -204,6 +208,7 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 	// streaming collector deciding its (deterministic) stopping index.
 	plans := make([]*lazyPlan, len(campaigns))
 	seqs := make([]*seqStop, len(campaigns))
+	pruners := make([]*pruner, len(campaigns))
 	campGroup := make([]*sweepGroup, len(campaigns))
 	goldenFp := make([]uint64, len(campaigns))
 	for i, c := range campaigns {
@@ -216,6 +221,9 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		}
 		plans[i] = pl
 		if seqs[i], err = newSeqStop(c.Config); err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Key, err)
+		}
+		if pruners[i], err = newPruner(gr.golden, pl, c.Config); err != nil {
 			return nil, fmt.Errorf("%s: %w", c.Key, err)
 		}
 	}
@@ -234,6 +242,11 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		resumed, err = loadCheckpoints(opt.CheckpointDir, campaigns, plans, goldenFp, seqs, stopHint)
 		if err != nil {
 			return nil, err
+		}
+		// Shards record class representatives only; re-derive the
+		// extrapolated member outcomes of every resumed representative.
+		for i := range campaigns {
+			pruners[i].resumedFanout(seqs[i])
 		}
 	}
 
@@ -265,7 +278,18 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 				if seqs[ci].done(i) {
 					continue
 				}
-				return job{camp: ci, idx: i, spec: plans[ci].spec(i)}, true
+				spec := plans[ci].spec(i)
+				// Golden-trace pruning: dead faults deliver their
+				// synthetic Masked outcome producer-side; class
+				// members wait for their representative's fanout.
+				switch act, oc := pruners[ci].decide(i, spec); act {
+				case pruneSynthetic:
+					seqs[ci].deliver(i, oc)
+					continue
+				case pruneSkip:
+					continue
+				}
+				return job{camp: ci, idx: i, spec: spec}, true
 			}
 			oi++
 			idx = 0
@@ -298,6 +322,7 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 				}
 			}()
 		}
+		var buf replayBuf
 		for j := range jobs {
 			c := &campaigns[j.camp]
 			gr := campGroup[j.camp]
@@ -310,13 +335,21 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 				cur = gr
 			}
 			t0 := time.Now()
-			oc, err := oneRun(sim, gr.golden, j.spec, c.Config)
+			oc, err := oneRunBuf(sim, gr.golden, j.spec, c.Config, &buf)
 			if err != nil {
 				return fmt.Errorf("%s: %w", c.Key, err)
 			}
 			atomic.AddInt64(&busy[j.camp], int64(time.Since(t0)))
 			atomic.AddInt64(&executed[j.camp], 1)
+			// Stamp the class weight before delivery, then fan the
+			// representative's outcome out over its extrapolated
+			// members. Only the representative reaches the shard;
+			// extrapolation is re-derived on resume.
+			members := pruners[j.camp].afterReplay(j.idx, &oc)
 			seqs[j.camp].deliver(j.idx, oc)
+			for _, m := range members {
+				seqs[j.camp].deliver(m.idx, m.oc)
+			}
 			if ckpt != nil {
 				if err := ckpt.write(c.Key, j.idx, oc, c.Config, goldenFp[j.camp]); err != nil {
 					return err
@@ -346,7 +379,7 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		Elapsed:    time.Since(start),
 	}
 	for i, c := range campaigns {
-		res, err := aggregate(c.Config, campGroup[i].golden, plans[i], seqs[i],
+		res, err := aggregate(c.Config, campGroup[i].golden, plans[i], seqs[i], pruners[i],
 			time.Duration(atomic.LoadInt64(&busy[i])))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.Key, err)
@@ -403,6 +436,15 @@ type ckptRecord struct {
 	TargetErr float64 `json:"terr,omitempty"`
 	MinRuns   int     `json:"minRuns,omitempty"`
 	Conf      float64 `json:"conf,omitempty"`
+
+	// Pruning fields: the campaign's prune mode (a mode change makes
+	// every shard stale — pruning alters which indices replay and how
+	// outcomes weigh) and, on class representatives, the represented
+	// class size so a resumed campaign re-weights its estimator
+	// identically. Only replayed outcomes reach shards; dead-pruned and
+	// extrapolated outcomes are re-derived from the golden trace.
+	Prune int `json:"prune,omitempty"`
+	CSize int `json:"csize,omitempty"`
 }
 
 // ckptKindStop marks a record carrying a campaign's sequential stopping
@@ -456,6 +498,7 @@ func (w *shardWriter) write(key string, idx int, oc RunOutcome, cfg Config, gold
 		Golden: golden,
 		Class:  int(oc.Class), EndCycle: oc.EndCycle,
 		EarlyStop: cfg.EarlyStop, Converged: oc.Converged,
+		Prune: int(cfg.Prune), CSize: oc.ClassSize,
 	})
 }
 
@@ -500,6 +543,7 @@ func writeStopRecords(dir string, campaigns []SweepCampaign, plans []*lazyPlan,
 			Window: cfg.Window, Obs: int(cfg.Obs), Compare: int(cfg.CompareMode),
 			Golden: goldenFp[i], EarlyStop: cfg.EarlyStop,
 			TargetErr: cfg.TargetError, MinRuns: cfg.MinRuns, Conf: cfg.Confidence,
+			Prune: int(cfg.Prune),
 		})
 		if err != nil {
 			return err
@@ -579,6 +623,9 @@ func loadCheckpoints(dir string, campaigns []SweepCampaign,
 			if r.EarlyStop != cfg.EarlyStop {
 				continue // convergence exits change EndCycle accounting
 			}
+			if r.Prune != int(cfg.Prune) {
+				continue // pruning changes which indices replay and their weights
+			}
 			if r.Kind == ckptKindStop {
 				if r.TargetErr != cfg.TargetError || r.MinRuns != cfg.MinRuns || r.Conf != cfg.Confidence {
 					continue // different stopping rule: re-derive the index
@@ -603,7 +650,8 @@ func loadCheckpoints(dir string, campaigns []SweepCampaign,
 				resumed++
 			}
 			seqs[ci].deliver(r.Index, RunOutcome{
-				Spec: spec, Class: Class(r.Class), EndCycle: r.EndCycle, Converged: r.Converged,
+				Spec: spec, Class: Class(r.Class), EndCycle: r.EndCycle,
+				Converged: r.Converged, ClassSize: r.CSize,
 			})
 		}
 		f.Close()

@@ -11,6 +11,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/lifetime"
 	"repro/internal/refsim"
 	"repro/internal/trace"
 )
@@ -56,6 +57,7 @@ func (s *mockSim) Flip(fault.Target, int) error       { return nil }
 func (s *mockSim) Force(fault.Target, int, int) error { return nil }
 func (s *mockSim) Snapshot() campaign.Snapshot        { return s.cycles }
 func (s *mockSim) SetL1DAccessHook(func(int, int))    {}
+func (s *mockSim) SetLifetime(*lifetime.Recorder)     {}
 func (s *mockSim) L1DLineOfBit(int) (int, int)        { return 0, 0 }
 func (s *mockSim) Restore(snap campaign.Snapshot)     { s.cycles = snap.(uint64); s.stop = 0 }
 func (s *mockSim) StateHash() uint64                  { return s.cycles }

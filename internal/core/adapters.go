@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/fault"
+	"repro/internal/lifetime"
 	"repro/internal/microarch"
 	"repro/internal/refsim"
 	"repro/internal/rtlcore"
@@ -30,6 +31,21 @@ func (s *maSim) SetPinout(p *trace.Pinout)              { s.cpu.Pinout = p }
 func (s *maSim) SetL1DAccessHook(fn func(set, way int)) { s.cpu.L1D.AccessHook = fn }
 func (s *maSim) L1DLineOfBit(bit int) (int, int)        { return s.cpu.L1D.LineOfDataBit(bit) }
 func (s *maSim) StateHash() uint64                      { return s.cpu.StateHash() }
+
+// SetLifetime registers the microarchitectural lifetime traces: the
+// physical register file at register granularity and the L1D data array
+// at line granularity, both matching the flat fault bit spaces.
+func (s *maSim) SetLifetime(rec *lifetime.Recorder) {
+	if rec == nil {
+		s.cpu.SetLifetime(nil, nil)
+		return
+	}
+	lineBits := s.cpu.L1D.Config().LineBytes * 8
+	s.cpu.SetLifetime(
+		rec.Space(int(fault.TargetRF), s.cpu.RFBits()/32, 32),
+		rec.Space(int(fault.TargetL1D), s.cpu.L1DBits()/lineBits, lineBits),
+	)
+}
 
 func (s *maSim) Bits(t fault.Target) int {
 	switch t {
@@ -71,7 +87,10 @@ func (s *maSim) Restore(snap campaign.Snapshot) {
 	if !ok {
 		panic("core: foreign snapshot passed to microarch simulator")
 	}
-	s.cpu = base.Clone()
+	// In-place restore: the worker's CPU reuses its own storage (cache
+	// arrays, page table, uop arena) instead of discarding itself for a
+	// fresh clone on every replay.
+	s.cpu.RestoreFrom(base)
 }
 
 // rtlSim adapts the RTL core. Snapshots restore in place (the kernel
@@ -92,6 +111,21 @@ func (s *rtlSim) SetPinout(p *trace.Pinout)              { s.core.Pinout = p }
 func (s *rtlSim) SetL1DAccessHook(fn func(set, way int)) { s.core.SetL1DAccessHook(fn) }
 func (s *rtlSim) L1DLineOfBit(bit int) (int, int)        { return s.core.L1DLineOfBit(bit) }
 func (s *rtlSim) StateHash() uint64                      { return s.core.StateHash() }
+
+// SetLifetime registers the RTL lifetime traces: the architectural
+// register file and the L1D data array, both word-granular through the
+// rtl kernel's memory ports. Pipeline latches stay untracked (latch
+// campaigns always replay).
+func (s *rtlSim) SetLifetime(rec *lifetime.Recorder) {
+	if rec == nil {
+		s.core.SetLifetime(nil, nil)
+		return
+	}
+	s.core.SetLifetime(
+		rec.Space(int(fault.TargetRF), s.core.RFBits()/32, 32),
+		rec.Space(int(fault.TargetL1D), s.core.L1DBits()/32, 32),
+	)
+}
 
 func (s *rtlSim) Bits(t fault.Target) int {
 	switch t {

@@ -46,6 +46,14 @@ type Params struct {
 	// once each class proportion is within this margin at the
 	// campaign confidence.
 	TargetError float64
+
+	// Prune enables golden-trace fault pruning in every figure's
+	// campaigns: dead-interval faults classify Masked with zero replay
+	// cycles (exact), and PruneClasses additionally replays one
+	// representative per first-consumer equivalence class
+	// (MeRLiN-style, approximate). The E11 ablation sweeps all three
+	// modes itself.
+	Prune campaign.PruneMode
 }
 
 // DefaultParams returns laptop-scale defaults; cmd/paper exposes flags to
@@ -255,7 +263,7 @@ func (p Params) figure1Plan() (figurePlan, error) {
 	base := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetRF,
 		Obs: campaign.ObsPinout, Workers: p.Workers, Fault: p.Fault,
-		EarlyStop: p.EarlyStop, TargetError: p.TargetError,
+		EarlyStop: p.EarlyStop, TargetError: p.TargetError, Prune: p.Prune,
 	}
 	windowed := base
 	windowed.Window = p.Window
@@ -288,7 +296,7 @@ func (p Params) figure2Plan() (figurePlan, error) {
 	base := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
 		Obs: campaign.ObsPinout, Workers: p.Workers, Fault: p.Fault,
-		EarlyStop: p.EarlyStop, TargetError: p.TargetError,
+		EarlyStop: p.EarlyStop, TargetError: p.TargetError, Prune: p.Prune,
 	}
 	ma := base
 	ma.Window = p.Window
@@ -325,7 +333,7 @@ func (p Params) figure3Plan() (figurePlan, error) {
 	cfg := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
 		Obs: campaign.ObsSOP, Workers: p.Workers, Fault: p.Fault,
-		EarlyStop: p.EarlyStop, TargetError: p.TargetError,
+		EarlyStop: p.EarlyStop, TargetError: p.TargetError, Prune: p.Prune,
 	}
 	return figurePlan{
 		name:    "fig3-l1d-avf-sop",
@@ -354,7 +362,7 @@ func (p Params) ablationLatchesPlan() (figurePlan, error) {
 	cfg := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetLatches,
 		Obs: campaign.ObsPinout, Window: p.Window, Workers: p.Workers, Fault: p.Fault,
-		EarlyStop: p.EarlyStop, TargetError: p.TargetError,
+		EarlyStop: p.EarlyStop, TargetError: p.TargetError, Prune: p.Prune,
 	}
 	return figurePlan{
 		name:    "ablation-rtl-latches",
@@ -382,7 +390,7 @@ func (p Params) ablationWindowPlan(windows []uint64) (figurePlan, error) {
 		cfg := campaign.Config{
 			Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
 			Obs: campaign.ObsPinout, Window: w, Workers: p.Workers, Fault: p.Fault,
-			EarlyStop: p.EarlyStop, TargetError: p.TargetError,
+			EarlyStop: p.EarlyStop, TargetError: p.TargetError, Prune: p.Prune,
 		}
 		label := fmt.Sprintf("window-%d", w)
 		if w == 0 {
@@ -432,7 +440,7 @@ func (p Params) ablationModelsPlan() (figurePlan, error) {
 			cfg := campaign.Config{
 				Injections: p.Injections, Seed: p.Seed, Target: fault.TargetRF,
 				Obs: campaign.ObsCombined, Workers: p.Workers, Fault: fm,
-				EarlyStop: p.EarlyStop, TargetError: p.TargetError,
+				EarlyStop: p.EarlyStop, TargetError: p.TargetError, Prune: p.Prune,
 			}
 			specs = append(specs, seriesSpec{
 				label: fmt.Sprintf("%v/%v", m, fm.Model),
@@ -542,6 +550,118 @@ func (p Params) AblationEarlyStop() (*EarlyStopResult, error) {
 			row.SavedFrac = 1 - float64(ar.CyclesSimulated)/float64(fr.CyclesSimulated)
 		}
 		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// PruningRow summarises one (level, benchmark) cell of the golden-trace
+// pruning ablation (E11): the simulated replay cycles and attributed
+// wall time of the full, dead-pruned and class-pruned engines, the
+// pruning volumes, and the estimate drift of each pruned variant
+// against the full plan. DriftDead must be zero — dead pruning is exact
+// by construction — and the row reports it so the claim stays visible.
+type PruningRow struct {
+	Bench string
+	Level string
+
+	FullMCycles    float64 // replay cycles simulated by the full plan (M)
+	DeadMCycles    float64
+	ClassesMCycles float64
+
+	FullWall    float64 // attributed replay wall time (s)
+	DeadWall    float64
+	ClassesWall float64
+
+	Pruned       int // dead-interval faults classified injection-lessly (dead mode)
+	Classes      int // equivalence classes replayed (classes mode)
+	Extrapolated int // members inheriting their representative's outcome
+
+	DriftDead    float64 // |unsafeness(dead) - unsafeness(full)|; zero by construction
+	DriftClasses float64
+}
+
+// PruningResult is the E11 deliverable: the figure plus the savings table.
+type PruningResult struct {
+	Fig  *FigureResult
+	Rows []PruningRow
+}
+
+// ablationPruningPlan is the golden-trace pruning ablation (E11): the
+// same windowed L1D campaign — the paper's primary pinout flow —
+// executed by the full engine, with exact dead-interval pruning, and
+// with MeRLiN-style class pruning, on both abstraction levels. The
+// windowed flow is where pruning pays most: a fault whose first
+// consumption lies beyond the observation window is provably Masked no
+// matter what happens later, so the timeout that the paper introduced
+// to cap replay cost ALSO caps the set of faults worth replaying at
+// all. All three engines on one level share that level's single golden
+// run.
+func (p Params) ablationPruningPlan() (figurePlan, error) {
+	if p.Benches == nil {
+		p.Benches = []string{"caes", "stringsearch"}
+	}
+	workloads, err := p.benchList()
+	if err != nil {
+		return figurePlan{}, err
+	}
+	base := campaign.Config{
+		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
+		Obs: campaign.ObsPinout, Window: p.Window, Workers: p.Workers, Fault: p.Fault,
+		EarlyStop: p.EarlyStop, TargetError: p.TargetError,
+	}
+	var specs []seriesSpec
+	for _, m := range []Model{ModelMicroarch, ModelRTL} {
+		for _, mode := range []campaign.PruneMode{campaign.PruneOff, campaign.PruneDead, campaign.PruneClasses} {
+			cfg := base
+			cfg.Prune = mode
+			specs = append(specs, seriesSpec{
+				label: fmt.Sprintf("%v/prune-%v", m, mode),
+				model: m,
+				cfg:   cfg,
+			})
+		}
+	}
+	return figurePlan{
+		name:    "ablation-pruning",
+		benches: workloads,
+		series:  specs,
+	}, nil
+}
+
+// AblationPruning runs the pruning ablation and folds the six series
+// into the per-(level, benchmark) savings table.
+func (p Params) AblationPruning() (*PruningResult, error) {
+	fig, err := p.runFigure(p.ablationPruningPlan())
+	if err != nil {
+		return nil, err
+	}
+	res := &PruningResult{Fig: fig}
+	byLabel := make(map[string]Series, len(fig.Series))
+	for _, s := range fig.Series {
+		byLabel[s.Label] = s
+	}
+	for _, m := range []Model{ModelMicroarch, ModelRTL} {
+		full := byLabel[fmt.Sprintf("%v/prune-off", m)]
+		dead := byLabel[fmt.Sprintf("%v/prune-dead", m)]
+		classes := byLabel[fmt.Sprintf("%v/prune-classes", m)]
+		for _, b := range fig.Benches {
+			fr, dr, cr := full.Results[b], dead.Results[b], classes.Results[b]
+			res.Rows = append(res.Rows, PruningRow{
+				Bench:          b,
+				Level:          m.String(),
+				FullMCycles:    float64(fr.CyclesSimulated) / 1e6,
+				DeadMCycles:    float64(dr.CyclesSimulated) / 1e6,
+				ClassesMCycles: float64(cr.CyclesSimulated) / 1e6,
+				FullWall:       fr.Elapsed.Seconds(),
+				DeadWall:       dr.Elapsed.Seconds(),
+				ClassesWall:    cr.Elapsed.Seconds(),
+				Pruned:         dr.PrunedRuns,
+				Classes:        cr.PruneClassCount,
+				Extrapolated:   cr.ExtrapolatedRuns,
+				DriftDead:      math.Abs(dr.Unsafeness.P - fr.Unsafeness.P),
+				DriftClasses:   math.Abs(cr.Unsafeness.P - fr.Unsafeness.P),
+			})
+		}
 	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/fault"
 )
 
@@ -91,6 +92,68 @@ func TestFigurePlansCarryFaultModel(t *testing.T) {
 			if s.cfg.Fault != p.Fault {
 				t.Errorf("%s/%s: fault params %+v not carried", name, s.label, s.cfg.Fault)
 			}
+		}
+	}
+}
+
+// TestFigurePlansCarryPrune: the -prune flag must reach every figure's
+// campaign configs (E11 sweeps the modes itself and is excluded).
+func TestFigurePlansCarryPrune(t *testing.T) {
+	p := DefaultParams()
+	p.Prune = campaign.PruneDead
+	for name, mk := range map[string]func() (figurePlan, error){
+		"fig1":    p.figure1Plan,
+		"fig2":    p.figure2Plan,
+		"fig3":    p.figure3Plan,
+		"latches": p.ablationLatchesPlan,
+	} {
+		plan, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range plan.series {
+			if s.cfg.Prune != p.Prune {
+				t.Errorf("%s/%s: prune mode %v not carried", name, s.label, s.cfg.Prune)
+			}
+		}
+	}
+}
+
+// TestAblationPruning is E11's acceptance test: full vs dead vs classes
+// on both levels over one shared golden run per level, exact drift on
+// the dead arm, and real savings in simulated cycles.
+func TestAblationPruning(t *testing.T) {
+	p := DefaultParams()
+	p.Injections = 24
+	p.Seed = 5
+	p.Benches = []string{"caes"}
+	res, err := p.AblationPruning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fig.Series) != 6 {
+		t.Fatalf("series = %d, want 3 prune modes x 2 levels", len(res.Fig.Series))
+	}
+	if res.Fig.GoldenRuns != 2 {
+		t.Errorf("E11 ran %d golden runs, want one per level", res.Fig.GoldenRuns)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per (level, benchmark)", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.DriftDead != 0 {
+			t.Errorf("%s/%s: dead pruning drifted %.4f (must be exact)", r.Level, r.Bench, r.DriftDead)
+		}
+		if r.Pruned == 0 {
+			t.Errorf("%s/%s: nothing pruned", r.Level, r.Bench)
+		}
+		if r.DeadMCycles >= r.FullMCycles {
+			t.Errorf("%s/%s: dead pruning saved nothing (%.3fM vs %.3fM)",
+				r.Level, r.Bench, r.DeadMCycles, r.FullMCycles)
+		}
+		if r.ClassesMCycles > r.DeadMCycles {
+			t.Errorf("%s/%s: classes mode simulated more than dead mode (%.3fM vs %.3fM)",
+				r.Level, r.Bench, r.ClassesMCycles, r.DeadMCycles)
 		}
 	}
 }

@@ -226,6 +226,18 @@ type Spec struct {
 	Span  uint64 // active cycles for ModelIntermittent
 }
 
+// BitSpan returns the half-open flat bit range [lo, hi) the spec
+// corrupts, normalising Width to at least one bit — the single place
+// the replay engine and the golden-trace pre-classifier agree on which
+// bits a fault touches.
+func (s Spec) BitSpan() (lo, hi int) {
+	width := s.Width
+	if width < 1 {
+		width = 1
+	}
+	return s.Bit, s.Bit + width
+}
+
 // ActiveAt reports whether a persistent fault must still be asserted at
 // the given cycle.
 func (s Spec) ActiveAt(cycle uint64) bool {

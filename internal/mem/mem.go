@@ -59,11 +59,31 @@ func (p *page) digest() uint64 {
 	return v
 }
 
+// AccessObserver observes one access at the memory's public ports: the
+// starting address, the byte count and the direction. It is the tracing
+// hook behind golden-run traffic accounting and a future main-memory
+// fault target's lifetime trace; observation never perturbs contents.
+type AccessObserver func(addr, n uint32, write bool)
+
 // Memory is a sparse byte-addressable physical memory of fixed size.
 // The zero value is not usable; call New.
 type Memory struct {
 	pages []*page
 	size  uint32
+
+	// obs, when non-nil, observes every public-port access exactly once
+	// (bulk transfers report one event, not one per byte). Fault
+	// injection via FlipBit deliberately bypasses it.
+	obs AccessObserver
+}
+
+// SetObserver attaches (or detaches, with nil) the access observer.
+func (m *Memory) SetObserver(fn AccessObserver) { m.obs = fn }
+
+func (m *Memory) observe(addr, n uint32, write bool) {
+	if m.obs != nil {
+		m.obs(addr, n, write)
+	}
 }
 
 // New returns a zeroed memory of the given size in bytes. Size is rounded
@@ -128,6 +148,14 @@ func (m *Memory) LoadByte(addr uint32) (b byte, ok bool) {
 	if addr >= m.size {
 		return 0, false
 	}
+	m.observe(addr, 1, false)
+	return m.loadByte(addr)
+}
+
+func (m *Memory) loadByte(addr uint32) (b byte, ok bool) {
+	if addr >= m.size {
+		return 0, false
+	}
 	p := m.pages[addr>>PageBits]
 	if p == nil {
 		return 0, true
@@ -137,6 +165,14 @@ func (m *Memory) LoadByte(addr uint32) (b byte, ok bool) {
 
 // StoreByte writes one byte. ok is false when addr is out of range.
 func (m *Memory) StoreByte(addr uint32, b byte) bool {
+	if addr >= m.size {
+		return false
+	}
+	m.observe(addr, 1, true)
+	return m.storeByte(addr, b)
+}
+
+func (m *Memory) storeByte(addr uint32, b byte) bool {
 	if addr >= m.size {
 		return false
 	}
@@ -150,6 +186,7 @@ func (m *Memory) LoadWord(addr uint32) (w uint32, ok bool) {
 	if !m.InRange(addr, 4) {
 		return 0, false
 	}
+	m.observe(addr, 4, false)
 	if addr&pageMask <= PageSize-4 {
 		p := m.pages[addr>>PageBits]
 		if p == nil {
@@ -160,7 +197,7 @@ func (m *Memory) LoadWord(addr uint32) (w uint32, ok bool) {
 			uint32(p.data[o+2])<<16 | uint32(p.data[o+3])<<24, true
 	}
 	for i := uint32(0); i < 4; i++ {
-		b, _ := m.LoadByte(addr + i)
+		b, _ := m.loadByte(addr + i)
 		w |= uint32(b) << (8 * i)
 	}
 	return w, true
@@ -172,6 +209,7 @@ func (m *Memory) StoreWord(addr, w uint32) bool {
 	if !m.InRange(addr, 4) {
 		return false
 	}
+	m.observe(addr, 4, true)
 	if addr&pageMask <= PageSize-4 {
 		p := m.writablePage(addr)
 		o := addr & pageMask
@@ -182,7 +220,7 @@ func (m *Memory) StoreWord(addr, w uint32) bool {
 		return true
 	}
 	for i := uint32(0); i < 4; i++ {
-		m.StoreByte(addr+i, byte(w>>(8*i)))
+		m.storeByte(addr+i, byte(w>>(8*i)))
 	}
 	return true
 }
@@ -193,9 +231,10 @@ func (m *Memory) LoadBytes(addr, n uint32) ([]byte, bool) {
 	if !m.InRange(addr, n) {
 		return nil, false
 	}
+	m.observe(addr, n, false)
 	out := make([]byte, n)
 	for i := uint32(0); i < n; i++ {
-		b, _ := m.LoadByte(addr + i)
+		b, _ := m.loadByte(addr + i)
 		out[i] = b
 	}
 	return out, true
@@ -207,8 +246,9 @@ func (m *Memory) StoreBytes(addr uint32, buf []byte) bool {
 	if !m.InRange(addr, uint32(len(buf))) {
 		return false
 	}
+	m.observe(addr, uint32(len(buf)), true)
 	for i, b := range buf {
-		m.StoreByte(addr+uint32(i), b)
+		m.storeByte(addr+uint32(i), b)
 	}
 	return true
 }
@@ -217,11 +257,11 @@ func (m *Memory) StoreBytes(addr uint32, buf []byte) bool {
 // It reports whether addr was in range. This is the memory-array fault
 // injection primitive.
 func (m *Memory) FlipBit(addr uint32, bit uint) bool {
-	b, ok := m.LoadByte(addr)
+	b, ok := m.loadByte(addr)
 	if !ok {
 		return false
 	}
-	return m.StoreByte(addr, b^(1<<(bit&7)))
+	return m.storeByte(addr, b^(1<<(bit&7)))
 }
 
 // Snapshot returns a copy-on-write snapshot of the memory. The snapshot
@@ -236,6 +276,28 @@ func (m *Memory) Snapshot() *Memory {
 		}
 	}
 	return s
+}
+
+// RestoreFrom rewinds this memory to src's contents as a copy-on-write
+// share, reusing the existing page table instead of allocating a fresh
+// Memory — the allocation-free analogue of src.Snapshot() used by the
+// campaign engine's per-worker replay restores. The receiver's previous
+// page references are released; src is untouched and both sides keep
+// cloning lazily on write. Sizes must match (same program image).
+func (m *Memory) RestoreFrom(src *Memory) {
+	if m.size != src.size {
+		panic("mem: RestoreFrom across different memory sizes")
+	}
+	for i, p := range m.pages {
+		if p != nil {
+			p.refs.Add(-1)
+		}
+		q := src.pages[i]
+		if q != nil {
+			q.refs.Add(1)
+		}
+		m.pages[i] = q
+	}
 }
 
 // Equal reports whether two memories have identical contents. Sizes must

@@ -229,3 +229,66 @@ func TestSizeRounding(t *testing.T) {
 		t.Error("InRange straddling end succeeded")
 	}
 }
+
+func TestAccessObserver(t *testing.T) {
+	m := New(1 << 14)
+	type ev struct {
+		addr, n uint32
+		write   bool
+	}
+	var got []ev
+	m.SetObserver(func(addr, n uint32, write bool) {
+		got = append(got, ev{addr, n, write})
+	})
+	m.StoreWord(16, 0xAABBCCDD)
+	m.LoadWord(16)
+	m.StoreBytes(100, []byte{1, 2, 3})
+	m.LoadBytes(100, 3)
+	m.LoadByte(101)
+	m.FlipBit(16, 0) // injection bypasses the observer
+
+	want := []ev{
+		{16, 4, true},
+		{16, 4, false},
+		{100, 3, true}, // ONE event per bulk transfer, not one per byte
+		{100, 3, false},
+		{101, 1, false},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("observed %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	m.SetObserver(nil)
+	m.StoreWord(16, 1)
+	if len(got) != len(want) {
+		t.Error("detached observer still fired")
+	}
+}
+
+func TestRestoreFrom(t *testing.T) {
+	src := New(1 << 14)
+	src.StoreWord(0x20, 0x11223344)
+	dst := New(1 << 14)
+	dst.StoreWord(0x20, 0xFFFFFFFF)
+	dst.StoreWord(0x1000, 7)
+
+	dst.RestoreFrom(src)
+	if v, _ := dst.LoadWord(0x20); v != 0x11223344 {
+		t.Fatalf("restored word = %#x", v)
+	}
+	if v, _ := dst.LoadWord(0x1000); v != 0 {
+		t.Fatalf("stale page survived: %#x", v)
+	}
+	// Copy-on-write isolation survives the in-place restore.
+	dst.StoreWord(0x20, 0xDEAD)
+	if v, _ := src.LoadWord(0x20); v != 0x11223344 {
+		t.Fatalf("write-through to src: %#x", v)
+	}
+	if !src.Equal(src.Snapshot()) {
+		t.Fatal("src no longer equals its own snapshot")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/lifetime"
 	"repro/internal/mem"
 	"repro/internal/refsim"
 	"repro/internal/trace"
@@ -109,6 +110,17 @@ type CPU struct {
 	bimodal []uint8
 	ras     []uint32
 	rasLen  int
+
+	// ltRF, when non-nil, records the physical register file's access
+	// lifetime during the golden run (see SetLifetime); nil on replay
+	// workers, so the hot path pays one nil check.
+	ltRF *lifetime.Space
+
+	// Per-worker restore scratch (see RestoreFrom): a reusable uop
+	// arena and clone memo so differential replays stop allocating a
+	// fresh instruction graph per restore. Never part of Clone state.
+	uopArena []*uop
+	uopMemo  map[*uop]*uop
 
 	// Functional unit occupancy.
 	lsuBusyUntil uint64
@@ -472,11 +484,11 @@ func (c *CPU) issue() {
 		}
 		if op.IsMem() {
 			// Compute the effective address first.
-			addr := c.prf[u.src1]
+			addr := c.readPRF(u.src1)
 			if op == isa.OpLDR || op == isa.OpSTR || op == isa.OpLDRB || op == isa.OpSTRB {
 				addr += uint32(u.inst.Imm)
 			} else {
-				addr += c.prf[u.src2]
+				addr += c.readPRF(u.src2)
 			}
 			u.addr = addr
 			if u.isLoad {
@@ -492,7 +504,7 @@ func (c *CPU) issue() {
 					u.execDone = c.Cycles + 1 // fault recorded
 				}
 			} else {
-				u.storeVal = c.prf[u.src3]
+				u.storeVal = c.readPRF(u.src3)
 				if u.size == 1 {
 					u.storeVal &= 0xFF
 				}
@@ -554,10 +566,10 @@ func (c *CPU) execALU(u *uop) {
 	op := in.Op
 	a, b := uint32(0), uint32(0)
 	if u.src1 >= 0 {
-		a = c.prf[u.src1]
+		a = c.readPRF(u.src1)
 	}
 	if u.src2 >= 0 {
-		b = c.prf[u.src2]
+		b = c.readPRF(u.src2)
 	}
 	lat := uint64(1)
 	switch {
@@ -629,6 +641,9 @@ func (c *CPU) writeback() {
 		u.executed = true
 		written++
 		if u.dst >= 0 {
+			if c.ltRF != nil {
+				c.ltRF.Write(c.Cycles, int(u.dst), 0, 32)
+			}
 			c.prf[u.dst] = u.result
 			c.prfReady[u.dst] = true
 		}
@@ -737,7 +752,7 @@ func (c *CPU) commit() {
 	}
 }
 
-func (c *CPU) archReg(r isa.Reg) uint32 { return c.prf[c.arat[r]] }
+func (c *CPU) archReg(r isa.Reg) uint32 { return c.readPRF(c.arat[r]) }
 
 // lsqRemove drops a committed memory operation from the LSQ. It is the
 // oldest entry in the common case.

@@ -49,6 +49,90 @@ func (c *CPU) Clone() *CPU {
 	return n
 }
 
+// RestoreFrom overwrites this CPU's state with a deep copy of base,
+// reusing the receiver's storage — slices, cache arrays, the page
+// table, and a pooled uop arena — instead of allocating a fresh CPU per
+// replay the way Clone does. It is the campaign engine's per-worker
+// restore fast path; base (typically a shared golden snapshot) is only
+// read and may be restored concurrently by other workers. Both CPUs
+// must come from the same factory.
+func (c *CPU) RestoreFrom(base *CPU) {
+	c.Mem.RestoreFrom(base.Mem)
+	c.L1I.RestoreFrom(base.L1I, c.Mem)
+	c.L1D.RestoreFrom(base.L1D, c.Mem)
+
+	copy(c.prf, base.prf)
+	copy(c.prfReady, base.prfReady)
+	c.rat = base.rat
+	c.arat = base.arat
+	c.freeList = append(c.freeList[:0], base.freeList...)
+	c.archFlags = base.archFlags
+
+	c.fetchPC = base.fetchPC
+	c.fetchStallUntil = base.fetchStallUntil
+	c.decq = append(c.decq[:0], base.decq...)
+
+	copy(c.bimodal, base.bimodal)
+	copy(c.ras, base.ras)
+	c.rasLen = base.rasLen
+
+	c.lsuBusyUntil = base.lsuBusyUntil
+	c.mulBusyUntil = base.mulBusyUntil
+
+	c.Cycles = base.Cycles
+	c.Insts = base.Insts
+	c.seq = base.seq
+	c.Output = append(c.Output[:0], base.Output...)
+	c.Stop = base.Stop
+	c.ExitCode = base.ExitCode
+	c.FaultDesc = base.FaultDesc
+	c.Pinout = nil // as after Clone: the engine attaches its own capture
+
+	// Rebuild the in-flight instruction graph through the arena.
+	if c.uopMemo == nil {
+		c.uopMemo = make(map[*uop]*uop, len(base.rob)+2)
+	} else {
+		clear(c.uopMemo)
+	}
+	used := 0
+	c.rob = restoreUopSlice(c.rob[:0], base.rob, c, &used)
+	c.iq = restoreUopSlice(c.iq[:0], base.iq, c, &used)
+	c.lsq = restoreUopSlice(c.lsq[:0], base.lsq, c, &used)
+	c.specFlagProducer = c.restoreUop(base.specFlagProducer, &used)
+}
+
+// restoreUopSlice appends deep copies of q into dst via the CPU's arena.
+func restoreUopSlice(dst, q []*uop, c *CPU, used *int) []*uop {
+	for _, u := range q {
+		dst = append(dst, c.restoreUop(u, used))
+	}
+	return dst
+}
+
+// restoreUop deep-copies one uop (preserving aliasing through the memo)
+// out of the reusable arena, growing it on demand.
+func (c *CPU) restoreUop(u *uop, used *int) *uop {
+	if u == nil {
+		return nil
+	}
+	if n, ok := c.uopMemo[u]; ok {
+		return n
+	}
+	var n *uop
+	if *used < len(c.uopArena) {
+		n = c.uopArena[*used]
+	} else {
+		n = &uop{}
+		c.uopArena = append(c.uopArena, n)
+	}
+	*used++
+	*n = *u
+	c.uopMemo[u] = n
+	n.flagProducer = c.restoreUop(u.flagProducer, used)
+	n.flagSnap = c.restoreUop(u.flagSnap, used)
+	return n
+}
+
 func cloneUopSlice(q []*uop, memo map[*uop]*uop) []*uop {
 	if q == nil {
 		return nil

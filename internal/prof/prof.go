@@ -1,0 +1,47 @@
+// Package prof wires the standard pprof profiles into the CLI
+// commands, so campaign hot-path work (replay loops, golden tracing,
+// pruning classification) is measurable with `go tool pprof` instead of
+// ad-hoc patching.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile at cpuPath (empty = none) and returns a
+// stop function that ends it and, when memPath is non-empty, dumps a
+// heap profile there. Call the stop function exactly once, after the
+// measured work.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the dump
+			return pprof.WriteHeapProfile(f)
+		}
+		return nil
+	}, nil
+}

@@ -234,6 +234,11 @@ func Campaign(name string, res *campaign.Result) string {
 			float64(res.CyclesSimulated)/1e6, float64(res.CyclesSaved)/1e6,
 			res.AchievedMargin)
 	}
+	if res.Config.Prune != campaign.PruneOff {
+		fmt.Fprintf(&sb, "  pruning (%v): %d dead-pruned, %d extrapolated over %d classes, %.2f Mcycles saved, %.2f Mcycles simulated\n",
+			res.Config.Prune, res.PrunedRuns, res.ExtrapolatedRuns, res.PruneClassCount,
+			float64(res.PruneSavedCycles)/1e6, float64(res.CyclesSimulated)/1e6)
+	}
 	fmt.Fprintf(&sb, "  campaign wall: %.2fs (%.4f s/injection)\n",
 		res.Elapsed.Seconds(), res.AvgSecPerRun)
 	return sb.String()
@@ -279,5 +284,52 @@ func EarlyStop(res *core.EarlyStopResult) string {
 // EarlyStopCSV renders the E10 savings table as CSV.
 func EarlyStopCSV(res *core.EarlyStopResult) string {
 	headers, rows := earlyStopRows(res, "%.4f", false)
+	return CSV(headers, rows)
+}
+
+// pruningRows renders the E11 savings table: simulated cycles and wall
+// time under the full, dead-pruned and class-pruned engines, pruning
+// volumes and estimate drift per (level, benchmark).
+func pruningRows(res *core.PruningResult, verb string, human bool) (headers []string, rows [][]string) {
+	headers = []string{
+		"benchmark", "level", "Mcycles full", "Mcycles dead", "Mcycles classes",
+		"wall full", "wall dead", "wall classes",
+		"pruned", "classes", "extrapolated", "drift dead", "drift classes",
+	}
+	wallVerb := "%.4f"
+	if human {
+		wallVerb = "%.2fs"
+	}
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			r.Bench, r.Level,
+			fmt.Sprintf(verb, r.FullMCycles),
+			fmt.Sprintf(verb, r.DeadMCycles),
+			fmt.Sprintf(verb, r.ClassesMCycles),
+			fmt.Sprintf(wallVerb, r.FullWall),
+			fmt.Sprintf(wallVerb, r.DeadWall),
+			fmt.Sprintf(wallVerb, r.ClassesWall),
+			fmt.Sprintf("%d", r.Pruned),
+			fmt.Sprintf("%d", r.Classes),
+			fmt.Sprintf("%d", r.Extrapolated),
+			fmt.Sprintf("%.4f", r.DriftDead),
+			fmt.Sprintf("%.4f", r.DriftClasses),
+		})
+	}
+	return headers, rows
+}
+
+// Pruning renders the golden-trace pruning ablation (E11): the
+// full-vs-dead-vs-classes unsafeness figure plus the per-(level,
+// benchmark) savings table.
+func Pruning(res *core.PruningResult) string {
+	headers, rows := pruningRows(res, "%.2f", true)
+	return Figure(res.Fig) +
+		fmt.Sprintf("\n== %s: savings ==\n\n%s", res.Fig.Name, Table(headers, rows))
+}
+
+// PruningCSV renders the E11 savings table as CSV.
+func PruningCSV(res *core.PruningResult) string {
+	headers, rows := pruningRows(res, "%.4f", false)
 	return CSV(headers, rows)
 }

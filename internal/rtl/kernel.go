@@ -24,6 +24,8 @@ package rtl
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/lifetime"
 )
 
 // maxDeltas bounds the settle loop; exceeding it indicates a
@@ -152,6 +154,11 @@ type Mem struct {
 	queue  []memWrite
 	reader *process // optional: processes reading the whole array re-run on writes
 	sim    *Simulator
+
+	// lt, when non-nil, records the array's access lifetime during the
+	// golden run (see SetLifetime); nil everywhere else, so the read and
+	// write ports pay one nil check.
+	lt *lifetime.Space
 }
 
 // Name returns the array's name.
@@ -163,12 +170,30 @@ func (m *Mem) Words() int { return len(m.data) }
 // Width returns the word width in bits.
 func (m *Mem) Width() int { return m.width }
 
+// SetLifetime attaches (or detaches, with nil) a golden-run lifetime
+// trace covering this array, one unit per word. Reads are recorded at
+// the read port (a combinational consumer really sees the stored — and
+// possibly corrupted — bits); writes are recorded at queue time but
+// stamped one cycle later, the clock edge at which the queued value
+// actually overwrites the array. The queued value is computed before
+// any later fault injection can touch the array, so the overwrite stamp
+// is exact for the dead-interval classification.
+func (m *Mem) SetLifetime(sp *lifetime.Space) { m.lt = sp }
+
 // Read returns the current value of word idx (asynchronous read port).
-func (m *Mem) Read(idx int) uint64 { return m.data[idx] }
+func (m *Mem) Read(idx int) uint64 {
+	if m.lt != nil {
+		m.lt.Read(m.sim.CycleCount, idx, 0, m.width)
+	}
+	return m.data[idx]
+}
 
 // Write queues a synchronous write of v to word idx, applied at the next
 // clock edge. Later writes to the same word in the same cycle win.
 func (m *Mem) Write(idx int, v uint64) {
+	if m.lt != nil {
+		m.lt.Write(m.sim.CycleCount+1, idx, 0, m.width)
+	}
 	m.queue = append(m.queue, memWrite{idx: idx, v: v & m.mask})
 }
 

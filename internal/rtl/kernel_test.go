@@ -3,6 +3,8 @@ package rtl
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/lifetime"
 )
 
 // TestCounter builds a 4-bit counter: reg <- reg + 1 every cycle.
@@ -220,5 +222,50 @@ func TestSignalBoolHelpers(t *testing.T) {
 	sim.Tick()
 	if !r.QBool() {
 		t.Error("register did not latch on second tick")
+	}
+}
+
+// TestMemLifetime checks the kernel-side lifetime recording semantics:
+// reads stamp the current cycle, queued writes stamp the edge at which
+// they actually overwrite the array (CycleCount+1).
+func TestMemLifetime(t *testing.T) {
+	sim := NewSimulator()
+	m := sim.Mem("rf", 4, 32)
+	sp := lifetime.NewSpace(4, 32)
+	m.SetLifetime(sp)
+
+	step := sim.Reg("step", 8, 0)
+	sim.Process("p", func() {
+		step.SetD(step.Q() + 1)
+		switch step.Q() {
+		case 2:
+			m.Write(1, 0xDEAD) // queued during eval 2, lands at edge 3
+		case 5:
+			_ = m.Read(1) // consumed during eval 5
+		}
+	})
+	if err := sim.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := sim.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bit := 1*32 + 3
+	// A fault injected after Tick 2 — while the write is still queued —
+	// is dead: the queued value (computed before the injection) lands
+	// at edge 3 and overwrites the flip before the read at 5.
+	if v := sp.ClassifyBit(bit, 2, 1<<40); v.Live {
+		t.Fatalf("pre-write fault: %+v, want dead", v)
+	}
+	// A fault injected after the write landed is consumed by the read.
+	if v := sp.ClassifyBit(bit, 3, 1<<40); !v.Live || v.Cycle != 5 {
+		t.Fatalf("post-write fault: %+v, want live @5", v)
+	}
+	// Untouched words stay dead.
+	if v := sp.ClassifyBit(2*32, 0, 1<<40); v.Live {
+		t.Fatalf("untouched word: %+v, want dead", v)
 	}
 }

@@ -3,6 +3,7 @@ package rtlcore
 import (
 	"fmt"
 
+	"repro/internal/lifetime"
 	"repro/internal/mem"
 	"repro/internal/refsim"
 	"repro/internal/rtl"
@@ -97,6 +98,19 @@ func (c *Core) latchRegs() []*rtl.Reg {
 	return c.sim.RegsByPrefix("")
 }
 
+// SetLifetime attaches (or detaches, with nils) the golden-run lifetime
+// traces of the campaign fault targets: rf covers the architectural
+// register file (16 units of 32 bits), l1d the L1D data array (one unit
+// per 32-bit array word) — both matching the flat fault bit spaces of
+// FlipRFBit and FlipL1DBit. Every design-side read and clock-edge write
+// of those arrays funnels through the rtl kernel's memory ports, where
+// the events are recorded; pipeline latches stay untracked, so latch
+// campaigns always fall back to full replay.
+func (c *Core) SetLifetime(rf, l1d *lifetime.Space) {
+	c.regfile.SetLifetime(rf)
+	c.l1d.data.SetLifetime(l1d)
+}
+
 // SetL1DAccessHook installs a testbench callback observing every D-cache
 // access (set, way), used to record the golden access timeline for
 // injection-time advancement. Pass nil to remove.
@@ -142,9 +156,11 @@ func (c *Core) Snapshot() *Snapshot {
 // the memory image).
 func (c *Core) Restore(s *Snapshot) {
 	c.sim.RestoreState(s.kernel)
-	c.backing = s.backing.Snapshot()
-	c.l1i.backing = c.backing
-	c.l1d.backing = c.backing
+	// Rewind the existing backing memory in place (copy-on-write share
+	// with the snapshot) instead of allocating a fresh Memory: the
+	// cache bindings stay valid and the replay restore stays
+	// allocation-free.
+	c.backing.RestoreFrom(s.backing)
 	c.Output = append(c.Output[:0], s.output...)
 	c.Stop = s.stop
 	c.ExitCode = s.exitCode

@@ -140,10 +140,46 @@ func WilsonHalfWidth(hits, n int, z float64) float64 {
 	if n <= 0 {
 		return 1
 	}
-	p := float64(hits) / float64(n)
-	nf := float64(n)
-	denom := 1 + z*z/nf
-	return z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	return WilsonHalfWidthP(float64(hits)/float64(n), float64(n), z)
+}
+
+// WilsonHalfWidthP is WilsonHalfWidth over a precomputed proportion and
+// a (possibly fractional) sample size — the form weighted estimates
+// use, with n the Kish effective sample size instead of a raw count.
+func WilsonHalfWidthP(p, n, z float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	denom := 1 + z*z/n
+	return z / denom * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
+}
+
+// EstimateWeightedProportion computes the point estimate and Wilson
+// interval for a weighted proportion: hitW of totalW represented mass,
+// judged at the Kish effective sample size nEff — the honest width for
+// extrapolated (MeRLiN-pruned) campaigns, where a class representative
+// carries its class's weight but contributes only one independent
+// observation.
+func EstimateWeightedProportion(hitW, totalW, nEff, conf float64) (Proportion, error) {
+	if totalW <= 0 || nEff <= 0 {
+		return Proportion{}, fmt.Errorf("stats: weighted proportion needs positive mass (total %v, nEff %v)", totalW, nEff)
+	}
+	if hitW < 0 || hitW > totalW {
+		return Proportion{}, fmt.Errorf("stats: hit mass %v out of [0,%v]", hitW, totalW)
+	}
+	z, err := ZForConfidence(conf)
+	if err != nil {
+		return Proportion{}, err
+	}
+	p := hitW / totalW
+	center := (p + z*z/(2*nEff)) / (1 + z*z/nEff)
+	half := WilsonHalfWidthP(p, nEff, z)
+	return Proportion{
+		Hits: int(math.Round(hitW)), N: int(math.Round(totalW)), P: p,
+		Lo: math.Max(0, center-half), Hi: math.Min(1, center+half),
+		Conf:  conf,
+		Sigma: math.Sqrt(p * (1 - p) / nEff),
+	}, nil
 }
 
 // WaldHalfWidth returns the half-width of the normal-approximation
@@ -170,8 +206,10 @@ type Sequential struct {
 	z       float64
 	conf    float64
 	classes []int
-	counts  map[int]int
-	n       int
+	counts  map[int]float64 // weighted class mass
+	n       int             // independent observations (Observe* calls)
+	sumW    float64         // total represented mass
+	sumW2   float64         // sum of squared weights (Kish effective n)
 }
 
 // NewSequential builds an estimator at the given confidence over the
@@ -187,33 +225,58 @@ func NewSequential(conf float64, classes ...int) (*Sequential, error) {
 	return &Sequential{
 		z: z, conf: conf,
 		classes: append([]int(nil), classes...),
-		counts:  make(map[int]int, len(classes)),
+		counts:  make(map[int]float64, len(classes)),
 	}, nil
 }
 
 // Observe folds one outcome into the estimator. Outcomes outside the
 // declared universe are counted toward n only (they widen every class's
 // complement, never silently vanish).
-func (s *Sequential) Observe(class int) {
+func (s *Sequential) Observe(class int) { s.ObserveWeighted(class, 1) }
+
+// ObserveWeighted folds one independent observation representing weight
+// w outcomes — the MeRLiN-style extrapolation path, where one replayed
+// class representative stands for its whole equivalence class. The
+// estimator tracks the represented mass per class and shrinks the
+// margin by the Kish effective sample size (sumW²/sumW²ᵢ), so a heavily
+// extrapolated campaign honestly reports less evidence than one that
+// replayed every fault. Non-positive weights are ignored.
+func (s *Sequential) ObserveWeighted(class int, w float64) {
+	if w <= 0 {
+		return
+	}
 	s.n++
-	s.counts[class]++
+	s.counts[class] += w
+	s.sumW += w
+	s.sumW2 += w * w
 }
 
-// N returns the number of observed outcomes.
+// N returns the number of independent observations.
 func (s *Sequential) N() int { return s.n }
 
-// Count returns the observations of one class.
-func (s *Sequential) Count(class int) int { return s.counts[class] }
+// Count returns the represented outcomes of one class, rounded.
+func (s *Sequential) Count(class int) int { return int(math.Round(s.counts[class])) }
+
+// EffectiveN returns the Kish effective sample size: n when every
+// weight is 1, smaller under extrapolation.
+func (s *Sequential) EffectiveN() float64 {
+	if s.sumW2 == 0 {
+		return 0
+	}
+	return s.sumW * s.sumW / s.sumW2
+}
 
 // WilsonMargin returns the widest Wilson half-width across the class
-// universe — the quantity compared against the target error margin.
+// universe — the quantity compared against the target error margin —
+// at the effective sample size.
 func (s *Sequential) WilsonMargin() float64 {
 	if s.n == 0 {
 		return 1
 	}
+	nEff := s.EffectiveN()
 	worst := 0.0
 	for _, c := range s.classes {
-		if w := WilsonHalfWidth(s.counts[c], s.n, s.z); w > worst {
+		if w := WilsonHalfWidthP(s.counts[c]/s.sumW, nEff, s.z); w > worst {
 			worst = w
 		}
 	}
@@ -225,9 +288,11 @@ func (s *Sequential) WaldMargin() float64 {
 	if s.n == 0 {
 		return 1
 	}
+	nEff := s.EffectiveN()
 	worst := 0.0
 	for _, c := range s.classes {
-		if w := WaldHalfWidth(s.counts[c], s.n, s.z); w > worst {
+		p := s.counts[c] / s.sumW
+		if w := s.z * math.Sqrt(p*(1-p)/nEff); w > worst {
 			worst = w
 		}
 	}

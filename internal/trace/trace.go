@@ -80,6 +80,14 @@ func (p *Pinout) Record(cycle uint64, addr uint32, kind Kind, data []byte) {
 	})
 }
 
+// Reset drops all captured transactions, keeping the backing storage —
+// the campaign engine reuses one Pinout per worker across replays so
+// the hot loop stays allocation-free once the capture has grown to the
+// longest replay's size.
+func (p *Pinout) Reset() {
+	p.Txns = p.Txns[:0]
+}
+
 // Len returns the number of captured transactions.
 func (p *Pinout) Len() int {
 	if p == nil {

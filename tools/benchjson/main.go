@@ -1,12 +1,27 @@
 // Command benchjson emits the campaign-engine performance baseline as
 // machine-readable JSON (BENCH_campaign.json): differential-replay
 // throughput on both abstraction levels, full-sweep wall time for a
-// miniature matrix, and the adaptive engine's measured savings on a
-// run-to-end campaign (simulated-cycle reduction and estimate drift vs
-// the fixed plan). CI runs it on every push so future changes to the
-// hot path have a trajectory to compare against:
+// miniature matrix, the adaptive engine's measured savings on a
+// run-to-end campaign (simulated-cycle reduction, sequential-stop runs
+// saved and estimate drift vs the fixed plan), and golden-trace
+// pruning's simulated-cycle reduction on both levels. CI runs it on
+// every push so future changes to the hot path have a trajectory to
+// compare against:
 //
 //	go run ./tools/benchjson -out BENCH_campaign.json
+//
+// With -baseline it additionally gates against a committed baseline:
+// the run fails when replay throughput (replaysPerSec, mcyclesPerSec)
+// regresses by more than -max-regression (default 25%) on any model —
+// the CI perf-regression gate:
+//
+//	go run ./tools/benchjson -out BENCH_campaign.new.json -baseline BENCH_campaign.json
+//
+// The baseline is absolute throughput, so it carries the hardware it
+// was measured on; the 25% default absorbs normal runner noise, but a
+// change of CI hardware class shows up as a gate failure — regenerate
+// and commit a fresh BENCH_campaign.json from the new reference
+// machine (or widen -max-regression) when that happens.
 //
 // This file is the canonical source of BENCH_campaign.json. The
 // benchmarks in bench_test.go cover the same paths in Go-benchmark
@@ -32,10 +47,11 @@ import (
 
 // Baseline is the emitted document.
 type Baseline struct {
-	GeneratedBy string        `json:"generatedBy"`
-	Replay      []ReplayPoint `json:"replay"`
-	Sweep       SweepPoint    `json:"sweep"`
-	EarlyStop   EarlyStop     `json:"earlyStop"`
+	GeneratedBy string         `json:"generatedBy"`
+	Replay      []ReplayPoint  `json:"replay"`
+	Sweep       SweepPoint     `json:"sweep"`
+	EarlyStop   EarlyStop      `json:"earlyStop"`
+	Pruning     []PruningPoint `json:"pruning"`
 }
 
 // ReplayPoint is the oneRun replay-throughput measurement for one model.
@@ -56,7 +72,10 @@ type SweepPoint struct {
 }
 
 // EarlyStop compares the fixed-plan and adaptive engines on the same
-// run-to-end campaign.
+// run-to-end campaign. The adaptive arm runs with sequential stopping
+// enabled (a margin loose enough to trigger at this sample size), so
+// runsSaved exercises — and reports — the statistical-stopping path,
+// not just the convergence exit.
 type EarlyStop struct {
 	Workload        string  `json:"workload"`
 	Injections      int     `json:"injections"`
@@ -69,16 +88,34 @@ type EarlyStop struct {
 	Margin          float64 `json:"achievedMargin"`
 }
 
+// PruningPoint compares the full engine against golden-trace pruning
+// (dead-interval classification + MeRLiN-style class extrapolation) on
+// one run-to-end campaign per abstraction level.
+type PruningPoint struct {
+	Model        string  `json:"model"`
+	Workload     string  `json:"workload"`
+	Injections   int     `json:"injections"`
+	FullMCycles  float64 `json:"fullMcycles"`
+	PruneMCycles float64 `json:"pruneMcycles"`
+	Speedup      float64 `json:"mcycleSpeedup"` // full/pruned simulated cycles
+	Pruned       int     `json:"pruned"`        // dead-classified, zero replay
+	Extrapolated int     `json:"extrapolated"`  // class members inheriting their rep
+	Classes      int     `json:"classes"`
+	Drift        float64 `json:"unsafenessDrift"`
+}
+
 func main() {
 	out := flag.String("out", "BENCH_campaign.json", "output path")
+	baseline := flag.String("baseline", "", "compare against this committed baseline and fail on regression")
+	maxReg := flag.Float64("max-regression", 0.25, "tolerated fractional throughput regression vs -baseline")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *baseline, *maxReg); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string) error {
+func run(out, baseline string, maxReg float64) error {
 	doc := Baseline{GeneratedBy: "tools/benchjson"}
 
 	for _, tc := range []struct {
@@ -107,11 +144,71 @@ func run(out string) error {
 	}
 	doc.EarlyStop = es
 
+	for _, m := range []core.Model{core.ModelMicroarch, core.ModelRTL} {
+		pp, err := measurePruning(m)
+		if err != nil {
+			return err
+		}
+		doc.Pruning = append(doc.Pruning, pp)
+	}
+
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(out, append(buf, '\n'), 0o644)
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	if baseline == "" {
+		return nil
+	}
+	return compareBaseline(doc, baseline, maxReg)
+}
+
+// compareBaseline is the CI perf-regression gate: replay throughput
+// (replays/s and simulated Mcycles/s) must stay within maxReg of the
+// committed baseline on every model.
+func compareBaseline(doc Baseline, path string, maxReg float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	byModel := make(map[string]ReplayPoint, len(base.Replay))
+	for _, pt := range base.Replay {
+		byModel[pt.Model] = pt
+	}
+	var failures []string
+	check := func(model, metric string, now, was float64) {
+		if was <= 0 {
+			return
+		}
+		if now < was*(1-maxReg) {
+			failures = append(failures,
+				fmt.Sprintf("%s %s regressed %.1f%% (%.2f -> %.2f, tolerance %.0f%%)",
+					model, metric, (1-now/was)*100, was, now, maxReg*100))
+		}
+	}
+	for _, pt := range doc.Replay {
+		was, ok := byModel[pt.Model]
+		if !ok {
+			continue
+		}
+		check(pt.Model, "replaysPerSec", pt.ReplaysPerS, was.ReplaysPerS)
+		check(pt.Model, "mcyclesPerSec", pt.MCyclesPerS, was.MCyclesPerS)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", f)
+		}
+		return fmt.Errorf("%d perf regression(s) beyond the %.0f%% gate vs %s",
+			len(failures), maxReg*100, path)
+	}
+	fmt.Printf("benchjson: within %.0f%% of baseline %s on every replay metric\n", maxReg*100, path)
+	return nil
 }
 
 func measureReplay(m core.Model, n int) (ReplayPoint, error) {
@@ -191,7 +288,15 @@ func measureEarlyStop() (EarlyStop, error) {
 	if err != nil {
 		return EarlyStop{}, err
 	}
+	// The adaptive arm enables BOTH engine features: the convergence
+	// exit (converged, cycle savings) and sequential stopping with a
+	// margin/confidence loose enough to trigger inside 80 injections,
+	// so the emitted runsSaved actually exercises the stopping path
+	// instead of reporting a structural zero.
 	cfg.EarlyStop = true
+	cfg.TargetError = 0.1
+	cfg.Confidence = 0.9
+	cfg.MinRuns = 30
 	adaptive, err := core.RunCampaign(bench, core.ModelMicroarch, core.CampaignSetup(), cfg)
 	if err != nil {
 		return EarlyStop{}, err
@@ -209,6 +314,44 @@ func measureEarlyStop() (EarlyStop, error) {
 		es.SavedFrac = 1 - float64(adaptive.CyclesSimulated)/float64(fixed.CyclesSimulated)
 	}
 	return es, nil
+}
+
+// measurePruning compares the full engine against golden-trace class
+// pruning on one windowed L1D campaign per abstraction level — the
+// paper's primary pinout flow, where a fault first consumed beyond the
+// observation window is provably Masked without replay.
+func measurePruning(m core.Model) (PruningPoint, error) {
+	const bench = "caes"
+	n := 60
+	if m == core.ModelRTL {
+		n = 24
+	}
+	cfg := campaign.Config{
+		Injections: n, Seed: 5, Target: fault.TargetL1D,
+		Obs: campaign.ObsPinout, Window: 500,
+	}
+	full, err := core.RunCampaign(bench, m, core.CampaignSetup(), cfg)
+	if err != nil {
+		return PruningPoint{}, err
+	}
+	cfg.Prune = campaign.PruneClasses
+	pruned, err := core.RunCampaign(bench, m, core.CampaignSetup(), cfg)
+	if err != nil {
+		return PruningPoint{}, err
+	}
+	pp := PruningPoint{
+		Model: m.String(), Workload: bench, Injections: n,
+		FullMCycles:  float64(full.CyclesSimulated) / 1e6,
+		PruneMCycles: float64(pruned.CyclesSimulated) / 1e6,
+		Pruned:       pruned.PrunedRuns,
+		Extrapolated: pruned.ExtrapolatedRuns,
+		Classes:      pruned.PruneClassCount,
+		Drift:        math.Abs(pruned.Unsafeness.P - full.Unsafeness.P),
+	}
+	if pruned.CyclesSimulated > 0 {
+		pp.Speedup = float64(full.CyclesSimulated) / float64(pruned.CyclesSimulated)
+	}
+	return pp, nil
 }
 
 func workload(name string) (*asm.Program, error) {
