@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/asm"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -27,9 +28,14 @@ func run(args []string) error {
 	var (
 		symbols = fs.Bool("symbols", false, "print the symbol table")
 		hex     = fs.Bool("hex", false, "print text as hex words")
+		version = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		cli.PrintVersion("asm32")
+		return nil
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: asm32 [-symbols|-hex] file.s")

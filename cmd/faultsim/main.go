@@ -20,15 +20,25 @@
 // replays one representative per first-consumer equivalence class and
 // extrapolates MeRLiN-style. -cpuprofile/-memprofile write pprof
 // profiles of the campaign.
+//
+// -checkpoint DIR streams per-run outcomes to JSONL shards; an
+// interrupted campaign (SIGINT/SIGTERM drains in-flight replays and
+// flushes the shards) resumes from them on the next run. -remote URL
+// submits the campaign to a faultsimd coordinator and waits for the
+// fleet's (byte-identical) result instead of simulating locally.
+// -json emits the result as machine-readable JSON.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/campaign"
+	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/distrib"
 	"repro/internal/fault"
 	"repro/internal/prof"
 	"repro/internal/report"
@@ -36,7 +46,12 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:])
+	switch {
+	case errors.Is(err, campaign.ErrInterrupted):
+		fmt.Fprintln(os.Stderr, "faultsim: interrupted; checkpoints flushed, re-run to resume")
+		os.Exit(130)
+	case err != nil:
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)
 	}
@@ -65,9 +80,17 @@ func run(args []string) error {
 		prune      = fs.String("prune", "off", "golden-trace fault pruning: off, dead (exact), classes (MeRLiN-style extrapolation)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
+		checkpoint = fs.String("checkpoint", "", "stream per-run outcomes to JSONL shards in this directory and resume from them")
+		remote     = fs.String("remote", "", "submit the campaign to a faultsimd coordinator at this base URL instead of simulating locally")
+		jsonOut    = fs.Bool("json", false, "emit the result as machine-readable JSON")
+		version    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		cli.PrintVersion("faultsim")
+		return nil
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -129,9 +152,45 @@ func run(args []string) error {
 		cfg.CompareMode = trace.CompareStrictCycle
 	}
 
-	res, err := core.RunCampaign(*benchName, m, core.CampaignSetup(), cfg)
-	if err != nil {
-		return err
+	var res *campaign.Result
+	switch {
+	case *remote != "":
+		// Remote execution: the coordinator's shard merge makes the
+		// fleet's result byte-identical to the local engine's.
+		client := distrib.NewClient(*remote)
+		id, err := client.Submit(distrib.CampaignSpec{
+			Workload: *benchName, Model: m.String(), Config: cfg,
+		})
+		if err != nil {
+			return err
+		}
+		if res, err = client.Wait(id, cli.StopOnSignal("faultsim")); err != nil {
+			return err
+		}
+	case *checkpoint != "":
+		// Checkpointed local execution goes through the sweep
+		// scheduler (bit-identical classifications): outcomes stream
+		// to JSONL shards and SIGINT/SIGTERM flushes them before exit.
+		res, err = core.RunCampaignOpts(*benchName, m, core.CampaignSetup(), cfg, campaign.SweepOptions{
+			CheckpointDir: *checkpoint,
+			Stop:          cli.StopOnSignal("faultsim"),
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		res, err = core.RunCampaign(*benchName, m, core.CampaignSetup(), cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		s, err := report.JSON(res)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+		return nil
 	}
 	fmt.Print(report.Campaign(fmt.Sprintf("%s/%s", *benchName, m), res))
 	return nil

@@ -1,0 +1,131 @@
+// Command faultsimd runs the distributed campaign service in either
+// role:
+//
+//	faultsimd -role coordinator -listen :9090 -checkpoint ckpt/
+//	faultsimd -role worker -coordinator http://host:9090
+//	faultsimd -role worker -coordinator http://host:9090 -workers 4
+//
+// The coordinator accepts campaign submissions over its JSON HTTP API
+// (POST /api/v1/campaigns), prepares the golden artifacts and fault
+// plan itself, splits the plan into shards of fault indices, and hands
+// shards to pull-based workers under leases that are re-issued when a
+// worker stops heartbeating. Outcome batches are merged in fault-index
+// order, so the final report — served at
+// GET /api/v1/campaigns/{id}/report — is byte-identical to the same
+// campaign run single-process with the same seed. With -checkpoint the
+// coordinator streams every merged outcome to JSONL shards and a
+// restarted coordinator resumes a resubmitted campaign from them.
+//
+// Workers are stateless pullers: each prepares (and caches) its own
+// golden run per campaign, refuses shards whose golden fingerprint
+// disagrees with its local run, replays its leased fault indices in
+// parallel and posts the classifications back.
+//
+// Submit campaigns with `faultsim -remote URL ...` or regenerate any
+// paper figure against the fleet with `paper -remote URL ...`.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/distrib"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("faultsimd", flag.ContinueOnError)
+	var (
+		role        = fs.String("role", "coordinator", "service role: coordinator or worker")
+		listen      = fs.String("listen", ":9090", "coordinator listen address")
+		coordinator = fs.String("coordinator", "", "coordinator base URL (worker role)")
+		checkpoint  = fs.String("checkpoint", "", "coordinator: stream merged outcomes to JSONL shards in this directory and resume resubmitted campaigns from them")
+		leaseTTL    = fs.Duration("lease-ttl", 0, "coordinator: shard lease TTL before a silent worker is presumed dead (default 15s)")
+		shardSize   = fs.Int("shard-size", 0, "coordinator: replay jobs per lease (default 64)")
+		workers     = fs.Int("workers", 0, "worker: parallel replays per shard (default GOMAXPROCS)")
+		poll        = fs.Duration("poll", 0, "worker: idle re-poll interval (default 500ms)")
+		id          = fs.String("id", "", "worker: worker ID in leases and logs (default host-pid)")
+		version     = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		cli.PrintVersion("faultsimd")
+		return nil
+	}
+
+	switch *role {
+	case "coordinator":
+		return runCoordinator(*listen, *checkpoint, *leaseTTL, *shardSize)
+	case "worker":
+		if *coordinator == "" {
+			return fmt.Errorf("worker role requires -coordinator URL")
+		}
+		return runWorker(*coordinator, *id, *workers, *poll)
+	default:
+		return fmt.Errorf("unknown role %q (coordinator, worker)", *role)
+	}
+}
+
+func runCoordinator(listen, checkpoint string, leaseTTL time.Duration, shardSize int) error {
+	c := distrib.NewCoordinator(distrib.CoordinatorOptions{
+		CheckpointDir: checkpoint,
+		LeaseTTL:      leaseTTL,
+		ShardSize:     shardSize,
+		Logf:          log.Printf,
+	})
+	srv := &http.Server{Addr: listen, Handler: c.Handler()}
+	stop := cli.StopOnSignal("faultsimd")
+	go func() {
+		<-stop
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("faultsimd: shutdown: %v", err)
+		}
+	}()
+	log.Printf("faultsimd: coordinator listening on %s (checkpoint %q)", listen, checkpoint)
+	err := srv.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		c.Close()
+		return err
+	}
+	// Flush every open campaign checkpoint before exiting so a restart
+	// resumes from durable state.
+	return c.Close()
+}
+
+func runWorker(coordinator, id string, workers int, poll time.Duration) error {
+	w := distrib.NewWorker(distrib.WorkerOptions{
+		Coordinator: coordinator,
+		ID:          id,
+		Workers:     workers,
+		Poll:        poll,
+		Logf:        log.Printf,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := cli.StopOnSignal("faultsimd")
+	go func() {
+		<-stop
+		cancel()
+	}()
+	log.Printf("faultsimd: worker pulling from %s", coordinator)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	return nil
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/bench"
 	"repro/internal/campaign"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/refsim"
@@ -64,9 +65,14 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "campaign RNG seed with -inject")
 		window    = fs.Uint64("window", 0, "cycles simulated after injection with -inject (0 = to program end)")
 		verbose   = fs.Bool("v", false, "print program output")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		cli.PrintVersion("runsim")
+		return nil
 	}
 	if *list {
 		for _, w := range bench.All() {

@@ -331,6 +331,12 @@ type Result struct {
 	GoldenElapsed time.Duration
 }
 
+// Validate normalises the config in place (filling defaults) and
+// rejects impossible combinations — the check a campaign service
+// applies at submission time, before any golden run is paid for. Run,
+// Sweep and PlanCampaign all apply the same rules internally.
+func (c *Config) Validate() error { return c.validate() }
+
 // validate normalises a config and rejects impossible combinations. It
 // is shared by Run and Sweep so both paths enforce identical rules.
 func (c *Config) validate() error {
@@ -564,46 +570,26 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl, err := g.planner(cfg)
-	if err != nil {
-		return nil, err
-	}
-	seq, err := newSeqStop(cfg)
-	if err != nil {
-		return nil, err
-	}
-	pr, err := newPruner(g, pl, cfg)
+	p, err := g.PlanCampaign(cfg)
 	if err != nil {
 		return nil, err
 	}
 
 	// --------------------------------------------- streaming replays
-	// The dispatch loop generates specs lazily, resolves each against
-	// the pruning pre-classifier (dead faults deliver their synthetic
-	// Masked outcome without touching a worker; class members wait for
-	// their representative's fanout), and stops issuing as soon as the
-	// in-order estimator converges; workers stream every outcome back
-	// through seq.
+	// The dispatch loop is Planned.NextReplay: specs are generated
+	// lazily, the pruning pre-classifier resolves dead faults and class
+	// members producer-side, and dispatch stops as soon as the in-order
+	// estimator converges; workers stream every outcome back through
+	// Deliver. A distributed coordinator drives this exact pair over
+	// HTTP instead of a channel, which is why sharded results are
+	// byte-identical to this loop's.
 	type job struct {
 		idx  int
 		spec fault.Spec
 	}
-	nextIdx := 0
 	next := func() (job, bool) {
-		for nextIdx < pl.n && !seq.stopped() {
-			i := nextIdx
-			nextIdx++
-			spec := pl.spec(i)
-			switch act, oc := pr.decide(i, spec); act {
-			case pruneSynthetic:
-				seq.deliver(i, oc)
-				continue
-			case pruneSkip:
-				continue
-			}
-			return job{idx: i, spec: spec}, true
-		}
-		return job{}, false
+		idx, spec, ok := p.NextReplay()
+		return job{idx: idx, spec: spec}, ok
 	}
 	start := time.Now()
 	err = streamJobs(cfg.Workers, next, func(_ int, jobs <-chan job) error {
@@ -617,16 +603,16 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 			if err != nil {
 				return err
 			}
-			deliverReplay(pr, seq, j.idx, oc)
+			if err := p.Deliver(j.idx, oc); err != nil {
+				return err
+			}
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
-
-	return aggregate(cfg, g, pl, seq, pr, elapsed)
+	return p.Result(time.Since(start))
 }
 
 // seqStop collects streamed replay outcomes and decides the sequential
@@ -637,14 +623,15 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 // to worker scheduling. With TargetError == 0 it degenerates to a plain
 // outcome collector that never stops.
 type seqStop struct {
-	mu       sync.Mutex
-	outcomes []RunOutcome
-	have     []bool
-	frontier int
-	stopAt   int // -1 until decided
-	est      *stats.Sequential
-	target   float64
-	minRuns  int
+	mu        sync.Mutex
+	outcomes  []RunOutcome
+	have      []bool
+	delivered int
+	frontier  int
+	stopAt    int // -1 until decided
+	est       *stats.Sequential
+	target    float64
+	minRuns   int
 }
 
 // newSeqStop builds the collector for one campaign.
@@ -680,6 +667,7 @@ func (s *seqStop) deliver(idx int, oc RunOutcome) {
 	}
 	s.outcomes[idx] = oc
 	s.have[idx] = true
+	s.delivered++
 	for s.frontier < len(s.outcomes) && s.have[s.frontier] {
 		if s.est != nil && s.stopAt < 0 {
 			// Extrapolated class members carry no independent evidence
@@ -699,6 +687,13 @@ func (s *seqStop) deliver(idx int, oc RunOutcome) {
 		}
 		s.frontier++
 	}
+}
+
+// count reports how many distinct outcomes have been delivered.
+func (s *seqStop) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered
 }
 
 // stopped reports whether the dispatcher should cease issuing jobs.

@@ -214,7 +214,15 @@ func newPruner(g *Golden, pl *lazyPlan, cfg Config) (*pruner, error) {
 	}
 	p := &pruner{mode: cfg.Prune, g: g, cfg: cfg, pl: pl}
 	if p.mode != PruneClasses {
-		return p, nil // dead mode classifies lazily at dispatch
+		// Dead mode classifies lazily at dispatch, but the lifetime
+		// index build behind the first classification is a hidden
+		// write; freeze it here, while planning is still
+		// single-threaded, so campaigns sharing this golden can
+		// dispatch concurrently (the distributed coordinator does).
+		if sp := g.life.Get(int(cfg.Target)); sp != nil {
+			sp.Freeze()
+		}
+		return p, nil
 	}
 	p.dead = make([]bool, pl.n)
 	p.repOf = make([]int, pl.n)
@@ -294,6 +302,20 @@ type idxOutcome struct {
 	oc  RunOutcome
 }
 
+// deliverReplay routes one replayed outcome through the collector:
+// class weight stamped, representative delivered, extrapolated members
+// fanned out. It returns the stamped outcome — the form checkpoint
+// records persist. Sweep's workers and Planned.Deliver share it so the
+// fanout invariant has exactly one owner.
+func deliverReplay(p *pruner, seq *seqStop, idx int, oc RunOutcome) RunOutcome {
+	members := p.afterReplay(idx, &oc)
+	seq.deliver(idx, oc)
+	for _, m := range members {
+		seq.deliver(m.idx, m.oc)
+	}
+	return oc
+}
+
 // resumedFanout re-delivers member outcomes for representatives that
 // were restored from checkpoint shards instead of replayed (shards
 // record representatives only; extrapolation is re-derived).
@@ -315,15 +337,5 @@ func (p *pruner) resumedFanout(seq *seqStop) {
 				Spec: spec, Class: oc.Class, EndCycle: spec.Cycle, Extrapolated: true,
 			})
 		}
-	}
-}
-
-// deliverReplay routes a replayed outcome (plus any extrapolated class
-// members) through the collector.
-func deliverReplay(p *pruner, seq *seqStop, idx int, oc RunOutcome) {
-	members := p.afterReplay(idx, &oc)
-	seq.deliver(idx, oc)
-	for _, m := range members {
-		seq.deliver(m.idx, m.oc)
 	}
 }

@@ -1,0 +1,229 @@
+package campaign
+
+// Shard execution: the engine state behind Run, exported so a
+// distributed coordinator (internal/distrib) can dispatch replays to
+// remote worker processes and merge their outcomes deterministically.
+//
+// A Planned campaign couples one golden run's artifacts with a
+// validated config, the lazy fault plan, the pruning pre-classifier and
+// the in-order outcome collector. NextReplay is the producer Run's
+// dispatch loop uses — it resolves pruning verdicts producer-side and
+// stops issuing once the sequential estimator converges — and Deliver
+// is the consumer path every replayed outcome flows through (class
+// fanout, sequential stopping, checkpoint streaming). Because the
+// coordinator drives exactly this producer/consumer pair and the merge
+// consumes outcomes strictly in fault-index order, a campaign sharded
+// over any number of worker processes produces classification counts,
+// outcome lists and report tables byte-identical to the same campaign
+// run single-process.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// GoldenOptionsFor derives the golden-artifact options one campaign
+// needs: the snapshot schedule, the L1D timeline under AdvanceToUse,
+// state hashes under EarlyStop and the lifetime trace under Prune. Both
+// Run and a distributed worker preparing its local golden copy use it,
+// so the two golden runs capture identical artifacts.
+func GoldenOptionsFor(cfg Config) GoldenOptions {
+	return goldenOptionsFor(cfg)
+}
+
+// Fingerprint identifies the golden run's observable behavior (cycle
+// count, pinout volume, program output). A distributed worker compares
+// it against the coordinator's before replaying a shard: a mismatch
+// means the two processes did not simulate the same golden run (version
+// or workload skew) and the shard must not execute.
+func (g *Golden) Fingerprint() uint64 { return g.fingerprint() }
+
+// Planned is one campaign planned against a golden run: the validated
+// config, lazy fault plan, pruning state and streaming outcome
+// collector. It is safe for concurrent use: NextReplay and Deliver may
+// be called from any goroutine (Run's worker pool, a coordinator's HTTP
+// handlers).
+type Planned struct {
+	mu  sync.Mutex
+	cfg Config
+	g   *Golden
+	pl  *lazyPlan
+	seq *seqStop
+	pr  *pruner
+
+	nextIdx  int
+	stopHint int // checkpointed stopping index, -1 when none
+
+	ckpt     *shardWriter
+	ckptKey  string
+	resumed  int
+	finished bool
+}
+
+// PlanCampaign validates cfg and plans it against this golden run,
+// returning the campaign's dispatchable state. The golden run must have
+// been prepared with (at least) GoldenOptionsFor(cfg)'s artifacts.
+func (g *Golden) PlanCampaign(cfg Config) (*Planned, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pl, err := g.planner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := newSeqStop(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := newPruner(g, pl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Planned{cfg: cfg, g: g, pl: pl, seq: seq, pr: pr, stopHint: -1}, nil
+}
+
+// Config returns the validated campaign config (defaults filled).
+func (p *Planned) Config() Config { return p.cfg }
+
+// Injections returns the planned sample size.
+func (p *Planned) Injections() int { return p.pl.n }
+
+// GoldenFingerprint returns the backing golden run's fingerprint — the
+// value a shard carries so remote workers can verify golden identity.
+func (p *Planned) GoldenFingerprint() uint64 { return p.g.fingerprint() }
+
+// Spec returns planned injection i — the coordinator's source of truth
+// when rebuilding a remote outcome for delivery.
+func (p *Planned) Spec(i int) fault.Spec {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pl.spec(i)
+}
+
+// NextReplay returns the next plan index that needs an actual replay,
+// advancing past indices the pruning pre-classifier resolves
+// injection-lessly (their synthetic outcomes are delivered internally)
+// and past indices already delivered (checkpoint resume). It returns
+// ok=false once the plan is exhausted, the sequential stop has
+// triggered, or a checkpointed stopping index is reached — terminally:
+// a false return never becomes true again.
+func (p *Planned) NextReplay() (idx int, spec fault.Spec, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	limit := p.pl.n
+	if p.stopHint >= 0 && p.stopHint < limit {
+		limit = p.stopHint
+	}
+	for p.nextIdx < limit && !p.seq.stopped() {
+		i := p.nextIdx
+		p.nextIdx++
+		if p.seq.done(i) {
+			continue
+		}
+		s := p.pl.spec(i)
+		switch act, oc := p.pr.decide(i, s); act {
+		case pruneSynthetic:
+			p.seq.deliver(i, oc)
+			continue
+		case pruneSkip:
+			continue
+		}
+		return i, s, true
+	}
+	return 0, fault.Spec{}, false
+}
+
+// Deliver records one replayed outcome: the pruning state fans the
+// representative's outcome over its equivalence class, the sequential
+// collector consumes everything in plan order, and — when a checkpoint
+// is attached — the replayed outcome is streamed to its shard exactly
+// as Sweep's workers stream theirs. Duplicate deliveries of one index
+// are ignored, so a re-issued lease whose original worker was merely
+// slow (not dead) stays harmless.
+func (p *Planned) Deliver(idx int, oc RunOutcome) error {
+	oc = deliverReplay(p.pr, p.seq, idx, oc)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ckpt != nil {
+		return p.ckpt.write(p.ckptKey, idx, oc, p.cfg, p.g.fingerprint())
+	}
+	return nil
+}
+
+// Done reports whether outcome idx has been delivered.
+func (p *Planned) Done(idx int) bool { return p.seq.done(idx) }
+
+// Delivered reports how many outcomes have been delivered so far —
+// synthetic, extrapolated and replayed alike — the campaign's live
+// progress numerator (Injections is the denominator; a sequential stop
+// may finish the campaign below it).
+func (p *Planned) Delivered() int { return p.seq.count() }
+
+// Stopped reports whether the sequential stop has triggered: no further
+// replays are needed beyond those already issued.
+func (p *Planned) Stopped() bool { return p.seq.stopped() }
+
+// Resumed reports how many replays were restored from checkpoint shards
+// by OpenCheckpoint instead of re-executed.
+func (p *Planned) Resumed() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.resumed
+}
+
+// Result aggregates the campaign once every needed outcome has been
+// delivered. elapsed is the replay phase's attributed wall time.
+func (p *Planned) Result(elapsed time.Duration) (*Result, error) {
+	return aggregate(p.cfg, p.g, p.pl, p.seq, p.pr, elapsed)
+}
+
+// OpenCheckpoint loads matching records for this campaign (keyed by
+// key) from dir's JSONL shards into the collector — validating each
+// against the freshly derived plan, config and golden fingerprint
+// exactly as Sweep's resume does — then attaches a streaming writer so
+// every subsequently delivered replay is durable. Call before
+// dispatching.
+func (p *Planned) OpenCheckpoint(dir, key string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ckpt != nil {
+		return fmt.Errorf("campaign: checkpoint already open")
+	}
+	n, err := loadCampaignCheckpoints(dir, key, p.cfg, p.pl, p.g.fingerprint(), p.seq, &p.stopHint)
+	if err != nil {
+		return err
+	}
+	p.resumed = n
+	p.pr.resumedFanout(p.seq)
+	w, err := newShardWriter(dir, sanitizeShardName(key))
+	if err != nil {
+		return err
+	}
+	p.ckpt = w
+	p.ckptKey = key
+	return nil
+}
+
+// CloseCheckpoint flushes the streaming writer and appends the
+// campaign's sequential stopping record (when one was decided this
+// run), so a coordinator restart resumes without re-deriving the
+// stopping index. Safe to call without an open checkpoint.
+func (p *Planned) CloseCheckpoint() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ckpt == nil {
+		return nil
+	}
+	w := p.ckpt
+	p.ckpt = nil
+	if s := p.seq.stopIndex(); s > 0 && s != p.stopHint {
+		if err := w.encode(stopRecord(p.ckptKey, s, p.cfg, p.pl.spec(s-1), p.g.fingerprint())); err != nil {
+			w.close()
+			return err
+		}
+	}
+	return w.close()
+}

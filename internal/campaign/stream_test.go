@@ -1,0 +1,161 @@
+package campaign
+
+// Worker-error-path coverage for the shared pool primitives: a worker
+// failing mid-stream must cancel dispatch, surface the first error and
+// leave no goroutine behind — including the historical all-workers-exit
+// case where the producer would otherwise block forever on the
+// unbuffered job channel.
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitNoLeak polls until the goroutine count returns to the baseline,
+// failing after a deadline — the goroutine-leak assertion of the pool
+// tests (counts settle asynchronously, so a single snapshot would
+// flake).
+func waitNoLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d live, baseline %d", runtime.NumGoroutine(), base)
+}
+
+// infiniteProducer returns a next func that never runs dry — if
+// dispatch cancellation is broken, the pool can only hang, which the
+// test deadline converts into a failure.
+func infiniteProducer() (func() (int, bool), *atomic.Int64) {
+	var n atomic.Int64
+	return func() (int, bool) {
+		return int(n.Add(1)), true
+	}, &n
+}
+
+func TestStreamJobsWorkerErrorCancelsDispatch(t *testing.T) {
+	base := runtime.NumGoroutine()
+	sentinel := errors.New("replay worker died")
+	next, produced := infiniteProducer()
+
+	err := streamJobs(4, next, func(id int, jobs <-chan int) error {
+		for range jobs {
+			if id == 0 {
+				return sentinel // die mid-stream with jobs still flowing
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("streamJobs error = %v, want the worker's %v", err, sentinel)
+	}
+	waitNoLeak(t, base)
+	// Dispatch must have stopped: with the pool gone the producer can
+	// never be driven again, so the count is final.
+	p := produced.Load()
+	time.Sleep(20 * time.Millisecond)
+	if got := produced.Load(); got != p {
+		t.Fatalf("producer still being driven after streamJobs returned: %d -> %d", p, got)
+	}
+}
+
+func TestStreamJobsAllWorkersDieNoDeadlock(t *testing.T) {
+	base := runtime.NumGoroutine()
+	sentinel := errors.New("boom")
+	next, _ := infiniteProducer()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- streamJobs(4, next, func(_ int, jobs <-chan int) error {
+			<-jobs // take exactly one job, then die
+			return sentinel
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("streamJobs error = %v, want %v", err, sentinel)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("streamJobs deadlocked with every worker dead (producer blocked on the job channel)")
+	}
+	waitNoLeak(t, base)
+}
+
+func TestStreamJobsFirstErrorWins(t *testing.T) {
+	base := runtime.NumGoroutine()
+	only := errors.New("the one real failure")
+	next, _ := infiniteProducer()
+
+	// One worker fails; the others drain cleanly. The returned error
+	// must be the failing worker's, never nil and never a synthetic
+	// pool error.
+	err := streamJobs(3, next, func(id int, jobs <-chan int) error {
+		if id == 1 {
+			<-jobs
+			return only
+		}
+		for range jobs {
+		}
+		return nil
+	})
+	if !errors.Is(err, only) {
+		t.Fatalf("streamJobs error = %v, want %v", err, only)
+	}
+	waitNoLeak(t, base)
+}
+
+func TestDispatchJobsWorkerErrorStopsEarly(t *testing.T) {
+	base := runtime.NumGoroutine()
+	sentinel := errors.New("mid-slice failure")
+	pending := make([]int, 10_000)
+	for i := range pending {
+		pending[i] = i
+	}
+	var consumed atomic.Int64
+	err := dispatchJobs(4, pending, func(id int, jobs <-chan int) error {
+		for range jobs {
+			if consumed.Add(1) == 5 {
+				return sentinel
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("dispatchJobs error = %v, want %v", err, sentinel)
+	}
+	if got := consumed.Load(); got >= int64(len(pending)) {
+		t.Fatalf("dispatch was not cancelled: all %d jobs consumed", got)
+	}
+	waitNoLeak(t, base)
+}
+
+func TestDispatchJobsDeliversEverythingOnce(t *testing.T) {
+	base := runtime.NumGoroutine()
+	pending := make([]int, 1000)
+	for i := range pending {
+		pending[i] = i
+	}
+	seen := make([]atomic.Int32, len(pending))
+	if err := dispatchJobs(8, pending, func(_ int, jobs <-chan int) error {
+		for j := range jobs {
+			seen[j].Add(1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("job %d delivered %d times", i, n)
+		}
+	}
+	waitNoLeak(t, base)
+}

@@ -3,6 +3,7 @@ package campaign
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,6 +14,12 @@ import (
 
 	"repro/internal/fault"
 )
+
+// ErrInterrupted is returned by Sweep when SweepOptions.Stop fires
+// before the matrix completes: in-flight replays drained, checkpoint
+// shards flushed and closed, results discarded. A later sweep over the
+// same matrix and checkpoint directory resumes from the flushed shards.
+var ErrInterrupted = errors.New("campaign: interrupted before completion")
 
 // SweepCampaign is one campaign of a sweep matrix.
 type SweepCampaign struct {
@@ -84,6 +91,14 @@ type SweepOptions struct {
 	// loading matching records instead of re-simulating. Empty
 	// disables checkpointing.
 	CheckpointDir string
+
+	// Stop, when non-nil, requests a graceful early exit: once the
+	// channel is closed the producer stops issuing replays, in-flight
+	// replays drain, checkpoint shards are flushed and closed, and
+	// Sweep returns ErrInterrupted. The cmd entry points wire
+	// SIGINT/SIGTERM to it so an interrupted local campaign resumes
+	// cleanly from its checkpoints.
+	Stop <-chan struct{}
 }
 
 // groupKey derives the internal golden-sharing key: the caller's Group
@@ -265,7 +280,16 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		campOrder = append(campOrder, groups[k].members...)
 	}
 	oi, idx := 0, 0
+	interrupted := false
 	next := func() (job, bool) {
+		if opt.Stop != nil {
+			select {
+			case <-opt.Stop:
+				interrupted = true
+				return job{}, false
+			default:
+			}
+		}
 		for oi < len(campOrder) {
 			ci := campOrder[oi]
 			limit := plans[ci].n
@@ -345,11 +369,7 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 			// representative's outcome out over its extrapolated
 			// members. Only the representative reaches the shard;
 			// extrapolation is re-derived on resume.
-			members := pruners[j.camp].afterReplay(j.idx, &oc)
-			seqs[j.camp].deliver(j.idx, oc)
-			for _, m := range members {
-				seqs[j.camp].deliver(m.idx, m.oc)
-			}
+			oc = deliverReplay(pruners[j.camp], seqs[j.camp], j.idx, oc)
 			if ckpt != nil {
 				if err := ckpt.write(c.Key, j.idx, oc, c.Config, goldenFp[j.camp]); err != nil {
 					return err
@@ -368,6 +388,11 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		if err := writeStopRecords(opt.CheckpointDir, campaigns, plans, seqs, goldenFp, stopHint); err != nil {
 			return nil, err
 		}
+	}
+	if interrupted {
+		// Every completed replay is durable in its (now closed) shard;
+		// partial results would be misleading, so none are returned.
+		return nil, ErrInterrupted
 	}
 
 	// ------------------------------------------------------ aggregation
@@ -529,27 +554,43 @@ func writeStopRecords(dir string, campaigns []SweepCampaign, plans []*lazyPlan,
 				return err
 			}
 		}
-		// The spec at the last counted index pins the fault-plan
-		// identity (seed, target, model parameters, distribution): a
-		// stop record from a different plan must not cap a resumed
-		// campaign, exactly as outcome records self-validate.
-		cfg := c.Config
-		last := plans[i].spec(s - 1)
-		err := w.encode(ckptRecord{
-			Kind: ckptKindStop, Campaign: c.Key, Index: s,
-			Target: int(last.Target), Bit: last.Bit, Cycle: last.Cycle,
-			Model: int(last.Model), Width: last.Width,
-			Stuck: last.Stuck, Span: last.Span,
-			Window: cfg.Window, Obs: int(cfg.Obs), Compare: int(cfg.CompareMode),
-			Golden: goldenFp[i], EarlyStop: cfg.EarlyStop,
-			TargetErr: cfg.TargetError, MinRuns: cfg.MinRuns, Conf: cfg.Confidence,
-			Prune: int(cfg.Prune),
-		})
-		if err != nil {
+		if err := w.encode(stopRecord(c.Key, s, c.Config, plans[i].spec(s-1), goldenFp[i])); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// stopRecord builds a campaign's sequential-stopping record. The spec
+// at the last counted index pins the fault-plan identity (seed, target,
+// model parameters, distribution): a stop record from a different plan
+// must not cap a resumed campaign, exactly as outcome records
+// self-validate.
+func stopRecord(key string, idx int, cfg Config, last fault.Spec, goldenFp uint64) ckptRecord {
+	return ckptRecord{
+		Kind: ckptKindStop, Campaign: key, Index: idx,
+		Target: int(last.Target), Bit: last.Bit, Cycle: last.Cycle,
+		Model: int(last.Model), Width: last.Width,
+		Stuck: last.Stuck, Span: last.Span,
+		Window: cfg.Window, Obs: int(cfg.Obs), Compare: int(cfg.CompareMode),
+		Golden: goldenFp, EarlyStop: cfg.EarlyStop,
+		TargetErr: cfg.TargetError, MinRuns: cfg.MinRuns, Conf: cfg.Confidence,
+		Prune: int(cfg.Prune),
+	}
+}
+
+// sanitizeShardName maps an arbitrary campaign key onto a filesystem-
+// safe shard name (the coordinator keys shards by campaign, not by
+// worker number as Sweep does).
+func sanitizeShardName(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '-'
+	}, key)
 }
 
 // close flushes and closes the shard; a failure here means completed
@@ -581,9 +622,47 @@ func loadCheckpoints(dir string, campaigns []SweepCampaign,
 	for i, c := range campaigns {
 		byKey[c.Key] = i
 	}
+	resumed := 0
+	err := forEachCkptRecord(dir, func(r ckptRecord) {
+		ci, ok := byKey[r.Campaign]
+		if !ok {
+			return
+		}
+		if applyCkptRecord(r, campaigns[ci].Config, plans[ci], goldenFp[ci], seqs[ci], &stopHint[ci]) {
+			resumed++
+		}
+	})
+	return resumed, err
+}
+
+// loadCampaignCheckpoints resumes one campaign (keyed by key) from
+// dir's shards — the single-campaign form behind Planned.OpenCheckpoint
+// a distributed coordinator uses after a restart.
+func loadCampaignCheckpoints(dir, key string, cfg Config, pl *lazyPlan,
+	goldenFp uint64, seq *seqStop, stopHint *int) (int, error) {
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("campaign: checkpoint dir: %w", err)
+	}
+	resumed := 0
+	err := forEachCkptRecord(dir, func(r ckptRecord) {
+		if r.Campaign != key {
+			return
+		}
+		if applyCkptRecord(r, cfg, pl, goldenFp, seq, stopHint) {
+			resumed++
+		}
+	})
+	return resumed, err
+}
+
+// forEachCkptRecord walks dir's JSONL shards in name order, decoding
+// every well-formed record (a torn final line of an interrupted run is
+// skipped silently).
+func forEachCkptRecord(dir string, fn func(ckptRecord)) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return 0, fmt.Errorf("campaign: checkpoint dir: %w", err)
+		return fmt.Errorf("campaign: checkpoint dir: %w", err)
 	}
 	var names []string
 	for _, e := range entries {
@@ -592,11 +671,10 @@ func loadCheckpoints(dir string, campaigns []SweepCampaign,
 		}
 	}
 	sort.Strings(names)
-	resumed := 0
 	for _, name := range names {
 		f, err := os.Open(filepath.Join(dir, name))
 		if err != nil {
-			return 0, fmt.Errorf("campaign: checkpoint shard: %w", err)
+			return fmt.Errorf("campaign: checkpoint shard: %w", err)
 		}
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -607,57 +685,63 @@ func loadCheckpoints(dir string, campaigns []SweepCampaign,
 			}
 			var r ckptRecord
 			if json.Unmarshal([]byte(line), &r) != nil {
-				continue // torn final line of an interrupted sweep
-			}
-			ci, ok := byKey[r.Campaign]
-			if !ok {
 				continue
 			}
-			cfg := campaigns[ci].Config
-			if r.Window != cfg.Window || r.Obs != int(cfg.Obs) || r.Compare != int(cfg.CompareMode) {
-				continue // same plan but a different classification config
-			}
-			if r.Golden != goldenFp[ci] {
-				continue // simulator or workload behavior changed under the plan
-			}
-			if r.EarlyStop != cfg.EarlyStop {
-				continue // convergence exits change EndCycle accounting
-			}
-			if r.Prune != int(cfg.Prune) {
-				continue // pruning changes which indices replay and their weights
-			}
-			if r.Kind == ckptKindStop {
-				if r.TargetErr != cfg.TargetError || r.MinRuns != cfg.MinRuns || r.Conf != cfg.Confidence {
-					continue // different stopping rule: re-derive the index
-				}
-				if r.Index <= 0 || r.Index > plans[ci].n {
-					continue
-				}
-				if plans[ci].spec(r.Index-1) != r.spec() {
-					continue // stop record from a different fault plan
-				}
-				stopHint[ci] = r.Index
-				continue
-			}
-			if r.Index < 0 || r.Index >= plans[ci].n {
-				continue
-			}
-			spec := plans[ci].spec(r.Index)
-			if spec != r.spec() {
-				continue // stale shard from a different plan or fault model
-			}
-			if !seqs[ci].done(r.Index) {
-				resumed++
-			}
-			seqs[ci].deliver(r.Index, RunOutcome{
-				Spec: spec, Class: Class(r.Class), EndCycle: r.EndCycle,
-				Converged: r.Converged, ClassSize: r.CSize,
-			})
+			fn(r)
 		}
 		f.Close()
 		if err := sc.Err(); err != nil {
-			return 0, fmt.Errorf("campaign: checkpoint shard %s: %w", name, err)
+			return fmt.Errorf("campaign: checkpoint shard %s: %w", name, err)
 		}
 	}
-	return resumed, nil
+	return nil
+}
+
+// applyCkptRecord validates one decoded record against a campaign's
+// freshly derived plan, classification config and golden fingerprint
+// and, when everything agrees, delivers it (outcome records) or pins
+// the stopping index (stop records). Mismatching records are skipped
+// silently — stale shards are harmless by construction. Reports whether
+// a not-yet-delivered outcome was resumed.
+func applyCkptRecord(r ckptRecord, cfg Config, pl *lazyPlan,
+	goldenFp uint64, seq *seqStop, stopHint *int) bool {
+
+	if r.Window != cfg.Window || r.Obs != int(cfg.Obs) || r.Compare != int(cfg.CompareMode) {
+		return false // same plan but a different classification config
+	}
+	if r.Golden != goldenFp {
+		return false // simulator or workload behavior changed under the plan
+	}
+	if r.EarlyStop != cfg.EarlyStop {
+		return false // convergence exits change EndCycle accounting
+	}
+	if r.Prune != int(cfg.Prune) {
+		return false // pruning changes which indices replay and their weights
+	}
+	if r.Kind == ckptKindStop {
+		if r.TargetErr != cfg.TargetError || r.MinRuns != cfg.MinRuns || r.Conf != cfg.Confidence {
+			return false // different stopping rule: re-derive the index
+		}
+		if r.Index <= 0 || r.Index > pl.n {
+			return false
+		}
+		if pl.spec(r.Index-1) != r.spec() {
+			return false // stop record from a different fault plan
+		}
+		*stopHint = r.Index
+		return false
+	}
+	if r.Index < 0 || r.Index >= pl.n {
+		return false
+	}
+	spec := pl.spec(r.Index)
+	if spec != r.spec() {
+		return false // stale shard from a different plan or fault model
+	}
+	fresh := !seq.done(r.Index)
+	seq.deliver(r.Index, RunOutcome{
+		Spec: spec, Class: Class(r.Class), EndCycle: r.EndCycle,
+		Converged: r.Converged, ClassSize: r.CSize,
+	})
+	return fresh
 }

@@ -72,6 +72,19 @@ func CampaignSetup() Setup {
 	return Setup{Name: "campaign", MA: ma, RTL: rtlFrom(ma)}
 }
 
+// ParseSetup resolves a named equivalent-configuration pair — the
+// wire-level setup identity a distributed campaign spec carries, since
+// a Setup value itself never crosses the wire. Names match Setup.Name.
+func ParseSetup(name string) (Setup, error) {
+	switch name {
+	case "", "campaign":
+		return CampaignSetup(), nil
+	case "tableI":
+		return DefaultSetup(), nil
+	}
+	return Setup{}, fmt.Errorf("core: unknown setup %q (campaign, tableI)", name)
+}
+
 // rtlFrom derives the RTL configuration from the microarchitectural one,
 // guaranteeing the two levels agree on every shared parameter.
 func rtlFrom(ma microarch.Config) rtlcore.Config {

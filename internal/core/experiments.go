@@ -54,7 +54,36 @@ type Params struct {
 	// (MeRLiN-style, approximate). The E11 ablation sweeps all three
 	// modes itself.
 	Prune campaign.PruneMode
+
+	// Runner, when non-nil, executes every planned campaign matrix in
+	// place of the local campaign.Sweep — cmd/paper -remote installs
+	// the distributed client's runner here, so any figure regenerates
+	// against a coordinator-fed worker fleet instead of this process.
+	Runner SweepRunner
+
+	// Stop, when non-nil, is forwarded to campaign.Sweep for graceful
+	// interruption: the cmd entry points close it on SIGINT/SIGTERM so
+	// checkpoint shards flush before exit.
+	Stop <-chan struct{}
 }
+
+// MatrixItem is one campaign of a planned figure matrix plus the
+// identity a remote runner needs to rebuild its simulator factory on
+// another machine (the Factory closure itself cannot cross the wire).
+type MatrixItem struct {
+	Campaign campaign.SweepCampaign
+	Workload string
+	Model    Model
+	Setup    string // Setup.Name, resolvable via ParseSetup
+}
+
+// SweepRunner executes a planned campaign matrix. The default (nil
+// Params.Runner) strips the items down to their campaigns and runs
+// campaign.Sweep locally; a distributed runner submits each item to a
+// coordinator and assembles the same SweepResult from the fleet's
+// merged outcomes — bit-identical by the shard-merge determinism
+// contract, so figure assembly cannot tell the difference.
+type SweepRunner func(items []MatrixItem, opt campaign.SweepOptions) (*campaign.SweepResult, error)
 
 // DefaultParams returns laptop-scale defaults; cmd/paper exposes flags to
 // raise Injections to the paper's 4000.
@@ -102,6 +131,37 @@ func RunCampaign(workload string, m Model, setup Setup, cfg campaign.Config) (*c
 	return campaign.Run(Factory(m, p, setup), cfg)
 }
 
+// RunCampaignOpts runs one standalone (workload, model) campaign
+// through the sweep scheduler instead of campaign.Run, which buys it
+// streaming JSONL checkpoints and graceful SweepOptions.Stop handling.
+// Classification results are bit-identical to RunCampaign by the
+// sweep's determinism contract; per-run timing is attributed busy time
+// rather than private-pool wall time.
+func RunCampaignOpts(workload string, m Model, setup Setup, cfg campaign.Config, opt campaign.SweepOptions) (*campaign.Result, error) {
+	w, err := bench.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := w.Program()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = cfg.Workers
+	}
+	key := fmt.Sprintf("%s/%v", workload, m)
+	sr, err := campaign.Sweep([]campaign.SweepCampaign{{
+		Key:     key,
+		Group:   sweepGroup(m, workload, setup),
+		Factory: Factory(m, prog, setup),
+		Config:  cfg,
+	}}, opt)
+	if err != nil {
+		return nil, err
+	}
+	return sr.Results[key], nil
+}
+
 // Series is one bar group of a figure: a vulnerability estimate per
 // benchmark for one (model, methodology) combination.
 type Series struct {
@@ -147,11 +207,11 @@ func sweepGroup(m Model, workload string, s Setup) string {
 	return fmt.Sprintf("%v/%s/%s", m, s.Name, workload)
 }
 
-// sweepBuilder accumulates figure plans into one campaign.Sweep matrix,
+// sweepBuilder accumulates figure plans into one campaign matrix,
 // reusing one factory (and one assembled program) per group.
 type sweepBuilder struct {
 	setup     Setup
-	campaigns []campaign.SweepCampaign
+	items     []MatrixItem
 	factories map[string]campaign.Factory
 }
 
@@ -176,15 +236,36 @@ func (b *sweepBuilder) add(plan figurePlan) error {
 				fac = Factory(sp.model, prog, b.setup)
 				b.factories[group] = fac
 			}
-			b.campaigns = append(b.campaigns, campaign.SweepCampaign{
-				Key:     campaignKey(plan.name, sp.label, w.Name),
-				Group:   group,
-				Factory: fac,
-				Config:  sp.cfg,
+			b.items = append(b.items, MatrixItem{
+				Campaign: campaign.SweepCampaign{
+					Key:     campaignKey(plan.name, sp.label, w.Name),
+					Group:   group,
+					Factory: fac,
+					Config:  sp.cfg,
+				},
+				Workload: w.Name,
+				Model:    sp.model,
+				Setup:    b.setup.Name,
 			})
 		}
 	}
 	return nil
+}
+
+// sweep executes an accumulated matrix through the configured runner
+// (local campaign.Sweep by default).
+func (p Params) sweep(items []MatrixItem) (*campaign.SweepResult, error) {
+	opt := campaign.SweepOptions{
+		Workers: p.Workers, CheckpointDir: p.Checkpoint, Stop: p.Stop,
+	}
+	if p.Runner != nil {
+		return p.Runner(items, opt)
+	}
+	camps := make([]campaign.SweepCampaign, len(items))
+	for i, it := range items {
+		camps[i] = it.Campaign
+	}
+	return campaign.Sweep(camps, opt)
 }
 
 // assembleFigure extracts one figure's results from a sweep.
@@ -242,9 +323,7 @@ func (p Params) runFigure(plan figurePlan, err error) (*FigureResult, error) {
 	if err := b.add(plan); err != nil {
 		return nil, err
 	}
-	sr, err := campaign.Sweep(b.campaigns, campaign.SweepOptions{
-		Workers: p.Workers, CheckpointDir: p.Checkpoint,
-	})
+	sr, err := p.sweep(b.items)
 	if err != nil {
 		return nil, err
 	}
@@ -796,9 +875,7 @@ func (p Params) RunAll(windows []uint64) (*AllResults, error) {
 			return nil, err
 		}
 	}
-	sr, err := campaign.Sweep(b.campaigns, campaign.SweepOptions{
-		Workers: p.Workers, CheckpointDir: p.Checkpoint,
-	})
+	sr, err := p.sweep(b.items)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,203 @@
+package distrib
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+// Client is the submission-side library: it talks to a coordinator's
+// API and exposes both single-campaign execution and a core.SweepRunner
+// so cmd/paper -remote can regenerate any figure against a fleet.
+type Client struct {
+	// Base is the coordinator's base URL.
+	Base string
+
+	// HTTP overrides the transport; nil uses a default client.
+	HTTP *http.Client
+
+	// Poll is the progress polling interval while waiting (0 selects
+	// 500ms).
+	Poll time.Duration
+}
+
+// NewClient builds a client for a coordinator base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: base}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 60 * time.Second}
+}
+
+func (c *Client) poll() time.Duration {
+	if c.Poll > 0 {
+		return c.Poll
+	}
+	return 500 * time.Millisecond
+}
+
+// Submit registers a campaign and returns its (deterministic) ID.
+func (c *Client) Submit(spec CampaignSpec) (string, error) {
+	var resp SubmitResponse
+	if err := c.do(http.MethodPost, "/api/v1/campaigns", spec, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Progress fetches one campaign's live state.
+func (c *Client) Progress(id string) (Progress, error) {
+	var p Progress
+	err := c.do(http.MethodGet, "/api/v1/campaigns/"+id, nil, &p)
+	return p, err
+}
+
+// Report fetches a finished campaign's full result.
+func (c *Client) Report(id string) (*campaign.Result, error) {
+	var res campaign.Result
+	if err := c.do(http.MethodGet, "/api/v1/campaigns/"+id+"/report", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Wait polls until the campaign finishes (or fails, or stop fires) and
+// returns its result.
+func (c *Client) Wait(id string, stop <-chan struct{}) (*campaign.Result, error) {
+	for {
+		p, err := c.Progress(id)
+		if err != nil {
+			return nil, err
+		}
+		switch p.Status {
+		case StatusDone:
+			return c.Report(id)
+		case StatusFailed:
+			return nil, fmt.Errorf("distrib: campaign %s failed: %s", id, p.Error)
+		}
+		select {
+		case <-stop:
+			return nil, campaign.ErrInterrupted
+		case <-time.After(c.poll()):
+		}
+	}
+}
+
+// RunCampaign submits a campaign and blocks until its result — the
+// remote drop-in for core.RunCampaign.
+func (c *Client) RunCampaign(spec CampaignSpec) (*campaign.Result, error) {
+	id, err := c.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(id, nil)
+}
+
+// SweepRunner returns a core.SweepRunner that executes a planned figure
+// matrix on the coordinator's fleet: every item is submitted up front
+// (so the fleet pipelines goldens and shards across campaigns), then
+// results are collected and folded into the same SweepResult shape the
+// local scheduler produces — bit-identical classifications by the
+// shard-merge determinism contract. Checkpointing is coordinator-side,
+// so opt.CheckpointDir is ignored here; opt.Stop aborts the wait.
+func (c *Client) SweepRunner() core.SweepRunner {
+	return func(items []core.MatrixItem, opt campaign.SweepOptions) (*campaign.SweepResult, error) {
+		start := time.Now()
+		ids := make([]string, len(items))
+		for i, it := range items {
+			spec := CampaignSpec{
+				Workload: it.Workload,
+				Model:    it.Model.String(),
+				Setup:    it.Setup,
+				Config:   it.Campaign.Config,
+			}
+			id, err := c.Submit(spec)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", it.Campaign.Key, err)
+			}
+			ids[i] = id
+		}
+		sr := &campaign.SweepResult{
+			Results: make(map[string]*campaign.Result, len(items)),
+			Goldens: make(map[string]campaign.GoldenInfo),
+		}
+		for i, it := range items {
+			res, err := c.Wait(ids[i], opt.Stop)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", it.Campaign.Key, err)
+			}
+			p, err := c.Progress(ids[i])
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", it.Campaign.Key, err)
+			}
+			sr.Resumed += p.Resumed
+			sr.Results[it.Campaign.Key] = res
+			if _, ok := sr.Goldens[it.Campaign.Group]; !ok {
+				// The coordinator's golden cost: enough for TABLE II
+				// reuse (snapshot counts stay coordinator-side).
+				sr.Goldens[it.Campaign.Group] = campaign.GoldenInfo{
+					Group:   it.Campaign.Group,
+					Cycles:  res.GoldenCycles,
+					Txns:    res.GoldenTxns,
+					Elapsed: res.GoldenElapsed,
+				}
+			}
+		}
+		sr.GoldenRuns = len(sr.Goldens)
+		sr.Elapsed = time.Since(start)
+		return sr, nil
+	}
+}
+
+// do issues one API call, decoding the JSON response into out (when
+// non-nil) and turning non-2xx responses into errors carrying the
+// server's error envelope.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb errorBody
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
+		if eb.Error == "" {
+			eb.Error = resp.Status
+		}
+		return apiError(method+" "+path, resp.StatusCode, eb.Error)
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(out); err != nil {
+			return fmt.Errorf("distrib: decode %s response: %w", path, err)
+		}
+	}
+	return nil
+}

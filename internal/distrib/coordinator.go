@@ -1,0 +1,597 @@
+package distrib
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Coordinator defaults.
+const (
+	defaultLeaseTTL      = 15 * time.Second
+	defaultShardSize     = 64
+	defaultMaxShardFails = 5
+	submitQueueDepth     = 256
+	maxGoldenCache       = 4
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrGone reports an unknown or expired lease: its shard was
+	// re-issued and the poster's outcomes are discarded (duplicates are
+	// harmless, but the coordinator no longer owes this worker
+	// anything).
+	ErrGone = errors.New("distrib: lease unknown or expired")
+	// ErrNotReady reports a report request against a campaign that has
+	// not finished.
+	ErrNotReady = errors.New("distrib: campaign not finished")
+	// ErrNotFound reports an unknown campaign ID.
+	ErrNotFound = errors.New("distrib: campaign not found")
+	// ErrBusy reports a full submission queue.
+	ErrBusy = errors.New("distrib: submission queue full")
+)
+
+// CoordinatorOptions parameterises a coordinator.
+type CoordinatorOptions struct {
+	// CheckpointDir enables durable outcome streaming: every replayed
+	// outcome is appended to a per-campaign JSONL shard, and a
+	// restarted coordinator that receives the same campaign submission
+	// resumes from the shards instead of re-dispatching finished work.
+	// Empty disables durability.
+	CheckpointDir string
+
+	// LeaseTTL is how long a worker may hold a shard without
+	// heartbeating before it is presumed dead and the shard re-issued
+	// (0 selects 15s).
+	LeaseTTL time.Duration
+
+	// ShardSize is the number of replay jobs per lease (0 selects 64).
+	ShardSize int
+
+	// MaxShardFails bounds how often one shard may be re-issued after
+	// worker failures before the campaign is failed (0 selects 5) — a
+	// shard that kills every worker it meets must surface, not loop.
+	MaxShardFails int
+
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// Coordinator owns the service side of a distributed campaign: it
+// accepts submissions, prepares golden artifacts and fault plans
+// (sequentially, in one background goroutine — golden artifacts are
+// shared across campaigns with identical golden needs), splits plans
+// into shards, leases shards to pulling workers, merges outcome batches
+// in fault-index order through the campaign engine's own collector, and
+// serves progress and final reports.
+type Coordinator struct {
+	opt  CoordinatorOptions
+	logf func(string, ...any)
+
+	mu        sync.Mutex
+	campaigns map[string]*campState
+	order     []string
+	leases    map[string]*activeLease
+	leaseSeq  int
+
+	prepCh  chan *campState
+	goldens map[goldenKey]*campaign.Golden // prep goroutine only
+	closed  chan struct{}
+	wg      sync.WaitGroup
+}
+
+// goldenKey identifies a shareable golden run: campaigns agreeing on
+// simulator identity and golden-artifact options replay against one
+// golden instance, exactly like a sweep group.
+type goldenKey struct {
+	workload, model, setup string
+	opts                   campaign.GoldenOptions
+}
+
+// shardEntry is a queued (or re-queued) shard with its failure count.
+type shardEntry struct {
+	jobs  []Job
+	fails int
+}
+
+// activeLease is one shard out with one worker.
+type activeLease struct {
+	id       string
+	campID   string
+	shard    shardEntry
+	worker   string
+	deadline time.Time
+}
+
+// campState is one campaign's coordinator-side lifecycle.
+type campState struct {
+	id     string
+	spec   CampaignSpec
+	status string
+	errMsg string
+
+	planned      *campaign.Planned
+	goldenFP     uint64
+	goldenCycles uint64
+
+	// Terminal snapshot of the engine state Progress reports, captured
+	// when planned is released at completion.
+	doneDelivered int
+	doneResumed   int
+	doneStopped   bool
+
+	queue    []shardEntry
+	leased   int
+	replayed int
+	result   *campaign.Result
+	start    time.Time
+	elapsed  time.Duration // frozen at completion
+}
+
+// NewCoordinator builds and starts a coordinator engine. Close releases
+// it.
+func NewCoordinator(opt CoordinatorOptions) *Coordinator {
+	if opt.LeaseTTL <= 0 {
+		opt.LeaseTTL = defaultLeaseTTL
+	}
+	if opt.ShardSize <= 0 {
+		opt.ShardSize = defaultShardSize
+	}
+	if opt.MaxShardFails <= 0 {
+		opt.MaxShardFails = defaultMaxShardFails
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c := &Coordinator{
+		opt:       opt,
+		logf:      logf,
+		campaigns: make(map[string]*campState),
+		leases:    make(map[string]*activeLease),
+		prepCh:    make(chan *campState, submitQueueDepth),
+		goldens:   make(map[goldenKey]*campaign.Golden),
+		closed:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.prepLoop()
+	return c
+}
+
+// Close stops the preparation loop and flushes every open campaign
+// checkpoint, so a restart resumes from durable state.
+func (c *Coordinator) Close() error {
+	close(c.closed)
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, cs := range c.campaigns {
+		if cs.planned == nil {
+			continue
+		}
+		if err := cs.planned.CloseCheckpoint(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// specID derives the deterministic campaign ID of a normalised spec:
+// identical campaigns — across submissions and coordinator restarts —
+// share an ID, which is what lets checkpoint resume work without any
+// client-side bookkeeping.
+func specID(spec CampaignSpec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		// CampaignSpec is marshalable by construction (plain values).
+		panic(fmt.Sprintf("distrib: spec marshal: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("c%016x", h.Sum64())
+}
+
+// Submit registers a campaign (idempotently: an identical spec returns
+// the existing campaign) and queues its golden/plan preparation.
+func (c *Coordinator) Submit(spec CampaignSpec) (SubmitResponse, error) {
+	if err := spec.normalize(); err != nil {
+		return SubmitResponse{}, err
+	}
+	if _, err := spec.factory(); err != nil {
+		return SubmitResponse{}, err
+	}
+	id := specID(spec)
+	c.mu.Lock()
+	if cs, ok := c.campaigns[id]; ok {
+		resp := SubmitResponse{ID: id, Status: cs.status}
+		c.mu.Unlock()
+		return resp, nil
+	}
+	// Register and enqueue atomically: the non-blocking send decides
+	// admission while the lock is still held, so a full queue never
+	// has to roll back state a concurrent submission may have built on.
+	cs := &campState{id: id, spec: spec, status: StatusPreparing}
+	select {
+	case c.prepCh <- cs:
+		c.campaigns[id] = cs
+		c.order = append(c.order, id)
+		c.mu.Unlock()
+	default:
+		c.mu.Unlock()
+		return SubmitResponse{}, ErrBusy
+	}
+	c.logf("distrib: campaign %s submitted (%s/%s, n=%d)", id, spec.Workload, spec.Model, spec.Config.Injections)
+	return SubmitResponse{ID: id, Status: StatusPreparing}, nil
+}
+
+// prepLoop prepares submitted campaigns one at a time: golden runs are
+// heavy and golden-artifact/lifetime-index construction must be
+// single-threaded before the artifacts are shared.
+func (c *Coordinator) prepLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case cs := <-c.prepCh:
+			c.prepare(cs)
+		}
+	}
+}
+
+// prepare executes one campaign's golden-artifact phase and planning.
+func (c *Coordinator) prepare(cs *campState) {
+	fail := func(err error) {
+		c.logf("distrib: campaign %s failed to prepare: %v", cs.id, err)
+		c.mu.Lock()
+		cs.status = StatusFailed
+		cs.errMsg = err.Error()
+		c.mu.Unlock()
+	}
+	factory, err := cs.spec.factory()
+	if err != nil {
+		fail(err)
+		return
+	}
+	key := goldenKey{
+		workload: cs.spec.Workload, model: cs.spec.Model, setup: cs.spec.Setup,
+		opts: campaign.GoldenOptionsFor(cs.spec.Config),
+	}
+	g, ok := c.goldens[key]
+	if !ok {
+		g, err = campaign.PrepareGolden(factory, key.opts)
+		if err != nil {
+			fail(err)
+			return
+		}
+		// Bound the cache: golden artifacts (snapshots, pinout and
+		// lifetime traces) are the coordinator's largest allocation,
+		// and a long-lived service must not accumulate one per
+		// distinct campaign shape forever. Running campaigns hold
+		// their own reference, so eviction never invalidates them.
+		for k := range c.goldens {
+			if len(c.goldens) < maxGoldenCache {
+				break
+			}
+			delete(c.goldens, k)
+		}
+		c.goldens[key] = g
+	}
+	planned, err := g.PlanCampaign(cs.spec.Config)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if c.opt.CheckpointDir != "" {
+		if err := planned.OpenCheckpoint(c.opt.CheckpointDir, cs.id); err != nil {
+			fail(err)
+			return
+		}
+	}
+	c.mu.Lock()
+	cs.planned = planned
+	cs.goldenFP = g.Fingerprint()
+	cs.goldenCycles = g.Cycles
+	cs.status = StatusRunning
+	cs.start = time.Now()
+	c.maybeFinishLocked(cs) // a fully checkpointed campaign needs no worker
+	c.mu.Unlock()
+	c.logf("distrib: campaign %s running (golden %d cycles, %d resumed)", cs.id, g.Cycles, planned.Resumed())
+}
+
+// Lease hands the next available shard to a pulling worker, or reports
+// none available. Expired leases are reclaimed first, so a dead
+// worker's shard goes to the next puller.
+func (c *Coordinator) Lease(req LeaseRequest) (*Lease, error) {
+	if req.API != 0 && req.API != APIVersion {
+		return nil, fmt.Errorf("distrib: worker API v%d, coordinator v%d", req.API, APIVersion)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(time.Now())
+	for _, id := range c.order {
+		cs := c.campaigns[id]
+		if cs.status != StatusRunning {
+			continue
+		}
+		var se shardEntry
+		if len(cs.queue) > 0 {
+			se = cs.queue[0]
+			cs.queue = cs.queue[1:]
+		} else {
+			jobs := c.fillShardLocked(cs)
+			if len(jobs) == 0 {
+				c.maybeFinishLocked(cs)
+				continue
+			}
+			se = shardEntry{jobs: jobs}
+		}
+		c.leaseSeq++
+		l := &activeLease{
+			id:       fmt.Sprintf("l%06d", c.leaseSeq),
+			campID:   cs.id,
+			shard:    se,
+			worker:   req.Worker,
+			deadline: time.Now().Add(c.opt.LeaseTTL),
+		}
+		c.leases[l.id] = l
+		cs.leased++
+		return &Lease{
+			API: APIVersion, ID: l.id, CampaignID: cs.id, Spec: cs.spec,
+			GoldenFP: cs.goldenFP, Jobs: se.jobs,
+			TTLMillis: c.opt.LeaseTTL.Milliseconds(),
+		}, nil
+	}
+	return nil, nil
+}
+
+// fillShardLocked pulls up to ShardSize replay jobs from the campaign's
+// producer. Pruning-resolved indices never become jobs — their
+// synthetic outcomes are delivered inside NextReplay, exactly as in the
+// single-process dispatch loop.
+func (c *Coordinator) fillShardLocked(cs *campState) []Job {
+	var jobs []Job
+	for len(jobs) < c.opt.ShardSize {
+		idx, spec, ok := cs.planned.NextReplay()
+		if !ok {
+			break
+		}
+		jobs = append(jobs, Job{Index: idx, Spec: spec})
+	}
+	return jobs
+}
+
+// Heartbeat extends a live lease.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(time.Now())
+	l, ok := c.leases[req.Lease]
+	if !ok {
+		return ErrGone
+	}
+	l.deadline = time.Now().Add(c.opt.LeaseTTL)
+	return nil
+}
+
+// Outcomes completes (or fails) a lease. Outcomes are merged through
+// the campaign collector in whatever order batches arrive; the
+// collector itself only ever consumes them in fault-index order, which
+// is what keeps sequential stopping and pruning extrapolation
+// byte-identical to single-process execution.
+func (c *Coordinator) Outcomes(batch OutcomeBatch) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(time.Now())
+	l, ok := c.leases[batch.Lease]
+	if !ok {
+		return ErrGone
+	}
+	delete(c.leases, batch.Lease)
+	cs := c.campaigns[l.campID]
+	cs.leased--
+	if cs.status != StatusRunning {
+		return nil // campaign already failed; drop silently
+	}
+	if batch.Error != "" {
+		c.logf("distrib: campaign %s: worker %s failed shard %s: %s", cs.id, l.worker, l.id, batch.Error)
+		c.requeueLocked(cs, l.shard, batch.Error)
+		return nil
+	}
+	byIdx := make(map[int]WireOutcome, len(batch.Outcomes))
+	for _, oc := range batch.Outcomes {
+		byIdx[oc.Index] = oc
+	}
+	for _, j := range l.shard.jobs {
+		oc, ok := byIdx[j.Index]
+		if !ok {
+			c.requeueLocked(cs, l.shard, fmt.Sprintf("shard %s: incomplete batch (missing index %d)", l.id, j.Index))
+			return nil
+		}
+		ro := campaign.RunOutcome{
+			Spec:      cs.planned.Spec(j.Index),
+			Class:     campaign.Class(oc.Class),
+			EndCycle:  oc.EndCycle,
+			Converged: oc.Converged,
+		}
+		if err := cs.planned.Deliver(j.Index, ro); err != nil {
+			// A checkpoint write failure breaks the durability the
+			// campaign was promised; surface it terminally.
+			c.failLocked(cs, err.Error())
+			return nil
+		}
+		cs.replayed++
+	}
+	c.maybeFinishLocked(cs)
+	return nil
+}
+
+// requeueLocked puts a failed shard back on its campaign's queue, or
+// fails the campaign once the shard has burned its retry budget.
+func (c *Coordinator) requeueLocked(cs *campState, se shardEntry, reason string) {
+	se.fails++
+	if se.fails >= c.opt.MaxShardFails {
+		c.failLocked(cs, fmt.Sprintf("shard failed %d times: %s", se.fails, reason))
+		return
+	}
+	cs.queue = append(cs.queue, se)
+}
+
+// failLocked terminates a campaign with an error.
+func (c *Coordinator) failLocked(cs *campState, msg string) {
+	cs.status = StatusFailed
+	cs.errMsg = msg
+	cs.queue = nil
+	if cs.planned != nil {
+		if err := cs.planned.CloseCheckpoint(); err != nil {
+			c.logf("distrib: campaign %s: checkpoint close: %v", cs.id, err)
+		}
+	}
+	releasePlanned(cs)
+	c.logf("distrib: campaign %s failed: %s", cs.id, msg)
+}
+
+// releasePlanned snapshots the engine state Progress reports and drops
+// the campaign's planning state (outcome arrays, pruner, golden
+// reference): finished campaigns keep only their Result, so a
+// long-lived coordinator's memory tracks live campaigns, not history.
+func releasePlanned(cs *campState) {
+	if cs.planned == nil {
+		return
+	}
+	cs.doneDelivered = cs.planned.Delivered()
+	cs.doneResumed = cs.planned.Resumed()
+	cs.doneStopped = cs.planned.Stopped()
+	cs.planned = nil
+}
+
+// maybeFinishLocked finalises a campaign once nothing is queued, leased
+// or producible: the merge is complete, so the result aggregates
+// exactly as campaign.Run would have aggregated it.
+func (c *Coordinator) maybeFinishLocked(cs *campState) {
+	if cs.status != StatusRunning || len(cs.queue) > 0 || cs.leased > 0 {
+		return
+	}
+	if jobs := c.fillShardLocked(cs); len(jobs) > 0 {
+		cs.queue = append(cs.queue, shardEntry{jobs: jobs})
+		return
+	}
+	cs.elapsed = time.Since(cs.start)
+	res, err := cs.planned.Result(cs.elapsed)
+	if err != nil {
+		c.failLocked(cs, err.Error())
+		return
+	}
+	if err := cs.planned.CloseCheckpoint(); err != nil {
+		c.failLocked(cs, err.Error())
+		return
+	}
+	cs.result = res
+	cs.status = StatusDone
+	releasePlanned(cs)
+	c.logf("distrib: campaign %s done (%d replayed by workers, %d resumed, wall %.1fs)",
+		cs.id, cs.replayed, cs.doneResumed, cs.elapsed.Seconds())
+}
+
+// expireLocked reclaims shards of leases whose worker stopped
+// heartbeating — the re-issue path behind worker-death recovery.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, l := range c.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		delete(c.leases, id)
+		cs := c.campaigns[l.campID]
+		cs.leased--
+		if cs.status != StatusRunning {
+			continue
+		}
+		c.logf("distrib: lease %s (worker %s) expired; re-issuing %d jobs", l.id, l.worker, len(l.shard.jobs))
+		c.requeueLocked(cs, l.shard, "lease expired (worker presumed dead)")
+	}
+}
+
+// Progress snapshots one campaign's live state.
+func (c *Coordinator) Progress(id string) (Progress, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(time.Now())
+	cs, ok := c.campaigns[id]
+	if !ok {
+		return Progress{}, ErrNotFound
+	}
+	if cs.status == StatusRunning {
+		c.maybeFinishLocked(cs)
+	}
+	return c.progressLocked(cs), nil
+}
+
+func (c *Coordinator) progressLocked(cs *campState) Progress {
+	p := Progress{
+		ID: cs.id, Status: cs.status,
+		Workload: cs.spec.Workload, Model: cs.spec.Model,
+		Injections: cs.spec.Config.Injections,
+		Queued:     len(cs.queue), Leased: cs.leased,
+		Replayed: cs.replayed, Error: cs.errMsg,
+		GoldenCycles: cs.goldenCycles,
+	}
+	if cs.planned != nil {
+		p.Delivered = cs.planned.Delivered()
+		p.Resumed = cs.planned.Resumed()
+		p.Stopped = cs.planned.Stopped()
+	} else {
+		p.Delivered = cs.doneDelivered
+		p.Resumed = cs.doneResumed
+		p.Stopped = cs.doneStopped
+	}
+	switch {
+	case cs.status == StatusDone || cs.status == StatusFailed:
+		p.ElapsedSecs = cs.elapsed.Seconds()
+	case !cs.start.IsZero():
+		p.ElapsedSecs = time.Since(cs.start).Seconds()
+	}
+	return p
+}
+
+// List snapshots every campaign in submission order.
+func (c *Coordinator) List() []Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(time.Now())
+	out := make([]Progress, 0, len(c.order))
+	for _, id := range c.order {
+		cs := c.campaigns[id]
+		if cs.status == StatusRunning {
+			c.maybeFinishLocked(cs)
+		}
+		out = append(out, c.progressLocked(cs))
+	}
+	return out
+}
+
+// Report returns a finished campaign's full result.
+func (c *Coordinator) Report(id string) (*campaign.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs, ok := c.campaigns[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if cs.status == StatusRunning {
+		c.maybeFinishLocked(cs)
+	}
+	switch cs.status {
+	case StatusDone:
+		return cs.result, nil
+	case StatusFailed:
+		return nil, fmt.Errorf("distrib: campaign %s failed: %s", id, cs.errMsg)
+	default:
+		return nil, ErrNotReady
+	}
+}

@@ -1,0 +1,384 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// maxWorkerGoldens bounds the worker's golden cache, like the
+// coordinator's: a long-lived worker serving many campaign shapes must
+// not accumulate golden artifacts forever.
+const maxWorkerGoldens = 4
+
+// goldenEntry caches one golden run together with the simulator
+// instances warmed against it. Simulators are reused across leases — a
+// 4000-injection campaign is ~60 leases, and rebuilding every
+// simulator per lease would pay the program-load cost hundreds of
+// times for nothing (ReplayOne's snapshot restore resets them anyway).
+type goldenEntry struct {
+	g    *campaign.Golden
+	sims []campaign.Simulator
+}
+
+// WorkerOptions parameterises a pull-based worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (e.g.
+	// "http://host:9090").
+	Coordinator string
+
+	// ID names this worker in leases and logs (default "host-pid").
+	ID string
+
+	// Workers bounds parallel replays within one shard (0 selects
+	// GOMAXPROCS).
+	Workers int
+
+	// Poll is the idle re-poll interval when the coordinator has no
+	// work (0 selects 500ms).
+	Poll time.Duration
+
+	// HTTP overrides the transport (tests); nil uses a default client.
+	HTTP *http.Client
+
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// Worker is the fleet side of a distributed campaign: it pulls shard
+// leases from the coordinator, prepares (and caches) the campaign's
+// golden artifacts locally, verifies the coordinator's golden
+// fingerprint — refusing to contribute outcomes from a skewed golden
+// run — replays the shard's planned injections, and posts the
+// classifications back while heartbeating the lease.
+type Worker struct {
+	opt  WorkerOptions
+	http *http.Client
+	logf func(string, ...any)
+
+	goldens map[goldenKey]*goldenEntry
+}
+
+// NewWorker builds a worker engine.
+func NewWorker(opt WorkerOptions) *Worker {
+	if opt.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		opt.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if opt.Poll <= 0 {
+		opt.Poll = 500 * time.Millisecond
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	hc := opt.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Worker{opt: opt, http: hc, logf: logf, goldens: make(map[goldenKey]*goldenEntry)}
+}
+
+// Run pulls and executes leases until ctx is cancelled. Transient
+// coordinator errors (connection refused during startup, restarts) are
+// retried at the poll interval rather than surfaced: a fleet must
+// outlive its coordinator's hiccups.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		worked, err := w.once(ctx)
+		if err != nil && ctx.Err() == nil {
+			w.logf("distrib worker %s: %v", w.opt.ID, err)
+		}
+		if worked && err == nil {
+			continue // drain available work without idling
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(w.opt.Poll):
+		}
+	}
+}
+
+// once performs one lease cycle, reporting whether a shard was
+// executed.
+func (w *Worker) once(ctx context.Context) (bool, error) {
+	lease, err := w.pullLease(ctx)
+	if err != nil || lease == nil {
+		return false, err
+	}
+	if lease.API != APIVersion {
+		return false, fmt.Errorf("lease API v%d, worker v%d", lease.API, APIVersion)
+	}
+
+	batch := OutcomeBatch{Lease: lease.ID, Worker: w.opt.ID}
+	outs, err := w.executeShard(ctx, lease)
+	if err != nil {
+		batch.Error = err.Error()
+	} else {
+		batch.Outcomes = outs
+	}
+	if err := w.postOutcomes(ctx, batch); err != nil {
+		return true, err
+	}
+	if batch.Error != "" {
+		return true, fmt.Errorf("shard %s: %s", lease.ID, batch.Error)
+	}
+	return true, nil
+}
+
+// executeShard prepares golden artifacts for the lease's campaign,
+// verifies golden identity, and replays every job, heartbeating the
+// lease while it works.
+func (w *Worker) executeShard(ctx context.Context, lease *Lease) ([]WireOutcome, error) {
+	entry, err := w.golden(lease.Spec)
+	if err != nil {
+		return nil, err
+	}
+	g := entry.g
+	if fp := g.Fingerprint(); fp != lease.GoldenFP {
+		return nil, fmt.Errorf("golden fingerprint mismatch (worker %016x, coordinator %016x): version or workload skew", fp, lease.GoldenFP)
+	}
+
+	// Heartbeat for as long as the replays run. The shard context also
+	// aborts when a heartbeat learns the lease is gone (expired and
+	// re-issued under us): finishing a disowned shard would burn
+	// simulation time on a batch the coordinator will drop anyway.
+	shardCtx, cancelShard := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		interval := time.Duration(lease.TTLMillis) * time.Millisecond / 3
+		if interval < 50*time.Millisecond {
+			interval = 50 * time.Millisecond
+		}
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-time.After(interval):
+				err := w.heartbeat(shardCtx, lease.ID)
+				switch {
+				case errors.Is(err, ErrGone):
+					w.logf("distrib worker %s: lease %s re-issued under us; aborting shard", w.opt.ID, lease.ID)
+					cancelShard()
+					return
+				case err != nil && shardCtx.Err() == nil:
+					w.logf("distrib worker %s: heartbeat %s: %v", w.opt.ID, lease.ID, err)
+				}
+			}
+		}
+	}()
+	defer func() {
+		cancelShard()
+		hbWG.Wait()
+	}()
+
+	cfg := lease.Spec.Config
+	jobs := lease.Jobs
+	out := make([]WireOutcome, len(jobs))
+	workers := w.opt.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	sims, err := entry.take(lease.Spec, workers)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	next.Store(-1)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(sim campaign.Simulator) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) || failed() || shardCtx.Err() != nil {
+					return
+				}
+				oc, err := g.ReplayOne(sim, jobs[i].Spec, cfg)
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = WireOutcome{
+					Index: jobs[i].Index, Class: int(oc.Class),
+					EndCycle: oc.EndCycle, Converged: oc.Converged,
+				}
+			}
+		}(sims[i])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if shardCtx.Err() != nil {
+		return nil, fmt.Errorf("lease %s expired under us; shard aborted", lease.ID)
+	}
+	return out, nil
+}
+
+// take returns n simulators warmed against this golden, building the
+// shortfall. executeShard runs one lease at a time, so no locking.
+func (e *goldenEntry) take(spec CampaignSpec, n int) ([]campaign.Simulator, error) {
+	for len(e.sims) < n {
+		factory, err := spec.factory()
+		if err != nil {
+			return nil, err
+		}
+		sim, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		e.sims = append(e.sims, sim)
+	}
+	return e.sims[:n], nil
+}
+
+// golden returns (preparing on first use) the local golden artifacts
+// for a campaign spec. Identical golden needs share one run, exactly as
+// the coordinator and the sweep scheduler share theirs; the cache is
+// bounded like the coordinator's.
+func (w *Worker) golden(spec CampaignSpec) (*goldenEntry, error) {
+	key := goldenKey{
+		workload: spec.Workload, model: spec.Model, setup: spec.Setup,
+		opts: campaign.GoldenOptionsFor(spec.Config),
+	}
+	if e, ok := w.goldens[key]; ok {
+		return e, nil
+	}
+	factory, err := spec.factory()
+	if err != nil {
+		return nil, err
+	}
+	w.logf("distrib worker %s: preparing golden %s/%s", w.opt.ID, spec.Workload, spec.Model)
+	g, err := campaign.PrepareGolden(factory, key.opts)
+	if err != nil {
+		return nil, err
+	}
+	for k := range w.goldens {
+		if len(w.goldens) < maxWorkerGoldens {
+			break
+		}
+		delete(w.goldens, k)
+	}
+	e := &goldenEntry{g: g}
+	w.goldens[key] = e
+	return e, nil
+}
+
+// ---------------------------------------------------------- transport
+
+func (w *Worker) pullLease(ctx context.Context) (*Lease, error) {
+	req := LeaseRequest{API: APIVersion, Worker: w.opt.ID}
+	var lease Lease
+	code, err := w.postJSON(ctx, "/api/v1/lease", req, &lease)
+	if err != nil {
+		return nil, err
+	}
+	if code == http.StatusNoContent {
+		return nil, nil
+	}
+	return &lease, nil
+}
+
+// heartbeat extends the lease, mapping the coordinator's 410 onto
+// ErrGone so the shard executor can abort disowned work.
+func (w *Worker) heartbeat(ctx context.Context, leaseID string) error {
+	code, err := w.postJSON(ctx, "/api/v1/heartbeat", HeartbeatRequest{Worker: w.opt.ID, Lease: leaseID}, nil)
+	if code == http.StatusGone {
+		return ErrGone
+	}
+	return err
+}
+
+// postOutcomes delivers a batch, tolerating a re-issued lease: a 410
+// means the coordinator presumed this worker dead and handed the shard
+// elsewhere, so the batch is redundant, not wrong.
+func (w *Worker) postOutcomes(ctx context.Context, batch OutcomeBatch) error {
+	code, err := w.postJSON(ctx, "/api/v1/outcomes", batch, nil)
+	if code == http.StatusGone {
+		w.logf("distrib worker %s: lease %s re-issued under us; dropping batch", w.opt.ID, batch.Lease)
+		return nil
+	}
+	return err
+}
+
+// postJSON posts a JSON body and decodes a JSON response (when out is
+// non-nil and the response has one). Non-2xx responses become errors
+// carrying the server's error envelope; the status code is returned for
+// callers that treat specific codes specially.
+func (w *Worker) postJSON(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opt.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb errorBody
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
+		if eb.Error == "" {
+			eb.Error = resp.Status
+		}
+		return resp.StatusCode, apiError("POST "+path, resp.StatusCode, eb.Error)
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("distrib: decode %s response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

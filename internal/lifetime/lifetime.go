@@ -177,6 +177,18 @@ func (s *Space) freeze() {
 	s.dirty = false
 }
 
+// Freeze eagerly builds the per-unit query index. Classification
+// otherwise builds it lazily on first use, which is a hidden write: a
+// campaign coordinator sharing one golden run's trace across
+// concurrently dispatched campaigns must freeze each space while still
+// single-threaded. Idempotent; after recording stops, a frozen space is
+// read-only and safe for concurrent classification.
+func (s *Space) Freeze() {
+	if s.dirty || s.idx == nil {
+		s.freeze()
+	}
+}
+
 // Verdict is the injection-less fate of one transient bit flip.
 type Verdict struct {
 	// Live reports that the golden run reads the bit inside the horizon

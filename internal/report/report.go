@@ -4,12 +4,38 @@ package report
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
 )
+
+// JSON renders one campaign result as indented JSON — the machine-
+// readable form faultsim -json emits and the distributed coordinator's
+// report endpoint serves. The full outcome list rides along, so
+// downstream tooling can re-derive any aggregate.
+func JSON(res *campaign.Result) (string, error) {
+	return JSONValue(res)
+}
+
+// FigureJSON renders a reproduced figure as indented JSON (paper
+// -json): every series' per-benchmark proportion with its interval,
+// plus the cross-series difference summary.
+func FigureJSON(fig *core.FigureResult) (string, error) {
+	return JSONValue(fig)
+}
+
+// JSONValue renders any result value as indented JSON with a trailing
+// newline — the shared implementation behind the -json flags.
+func JSONValue(v any) (string, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("report: marshal json: %w", err)
+	}
+	return string(b) + "\n", nil
+}
 
 // Table renders a fixed-width text table.
 func Table(headers []string, rows [][]string) string {

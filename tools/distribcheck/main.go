@@ -1,0 +1,197 @@
+// Command distribcheck is the CI integration check for the distributed
+// campaign service: it runs a tiny E2-style campaign (L1D transients at
+// the core pinout, windowed) single-process, then boots one faultsimd
+// coordinator and two faultsimd worker PROCESSES, submits the same
+// campaign through the HTTP API, SIGKILLs one worker mid-run — forcing
+// lease expiry and shard re-issue — and asserts the fleet's final
+// classification counts and rendered report are byte-identical to the
+// single-process run.
+//
+//	go build -o /tmp/faultsimd ./cmd/faultsimd
+//	go run ./tools/distribcheck -bin /tmp/faultsimd
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"reflect"
+	"time"
+
+	"flag"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/fault"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distribcheck: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("distribcheck: PASS")
+}
+
+func run() error {
+	var (
+		bin        = flag.String("bin", "", "path to the faultsimd binary")
+		benchName  = flag.String("bench", "qsort", "workload of the check campaign")
+		injections = flag.Int("n", 90, "injections of the check campaign")
+		killAfter  = flag.Int("kill-after", 8, "worker replays after which one worker is SIGKILLed")
+	)
+	flag.Parse()
+	if *bin == "" {
+		return fmt.Errorf("-bin is required (build it with: go build -o /tmp/faultsimd ./cmd/faultsimd)")
+	}
+
+	cfg := campaign.Config{
+		Injections: *injections, Seed: 21, Target: fault.TargetL1D,
+		Obs: campaign.ObsPinout, Window: 2_000,
+	}
+	fmt.Printf("distribcheck: single-process reference (%s, n=%d)\n", *benchName, cfg.Injections)
+	want, err := core.RunCampaign(*benchName, core.ModelMicroarch, core.CampaignSetup(), cfg)
+	if err != nil {
+		return err
+	}
+
+	// ------------------------------------------------ real fleet
+	port, err := freePort()
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("http://127.0.0.1:%d", port)
+	coord := exec.Command(*bin,
+		"-role", "coordinator",
+		"-listen", fmt.Sprintf("127.0.0.1:%d", port),
+		"-lease-ttl", "2s", "-shard-size", "8")
+	coord.Stdout, coord.Stderr = os.Stderr, os.Stderr
+	if err := coord.Start(); err != nil {
+		return fmt.Errorf("start coordinator: %w", err)
+	}
+	defer func() {
+		coord.Process.Kill()
+		coord.Wait()
+	}()
+	if err := waitHealthy(url, 15*time.Second); err != nil {
+		return err
+	}
+
+	workers := make([]*exec.Cmd, 2)
+	for i := range workers {
+		w := exec.Command(*bin,
+			"-role", "worker", "-coordinator", url,
+			"-id", fmt.Sprintf("ci-w%d", i),
+			"-workers", "2", "-poll", "100ms")
+		w.Stdout, w.Stderr = os.Stderr, os.Stderr
+		if err := w.Start(); err != nil {
+			return fmt.Errorf("start worker %d: %w", i, err)
+		}
+		workers[i] = w
+	}
+	defer func() {
+		for _, w := range workers {
+			if w.Process != nil {
+				w.Process.Kill()
+				w.Wait()
+			}
+		}
+	}()
+
+	client := distrib.NewClient(url)
+	client.Poll = 100 * time.Millisecond
+	id, err := client.Submit(distrib.CampaignSpec{
+		Workload: *benchName, Model: "microarch", Config: cfg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distribcheck: campaign %s submitted to %s\n", id, url)
+
+	// SIGKILL worker 0 once replays are flowing.
+	killed := false
+	deadline := time.Now().Add(10 * time.Minute)
+	for {
+		p, err := client.Progress(id)
+		if err != nil {
+			return err
+		}
+		if !killed && p.Replayed >= *killAfter {
+			fmt.Printf("distribcheck: SIGKILLing worker 0 at %d replays\n", p.Replayed)
+			if err := workers[0].Process.Kill(); err != nil {
+				return fmt.Errorf("kill worker 0: %w", err)
+			}
+			workers[0].Wait()
+			killed = true
+		}
+		if p.Status == distrib.StatusDone {
+			break
+		}
+		if p.Status == distrib.StatusFailed {
+			return fmt.Errorf("campaign failed: %s", p.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("campaign did not finish in time (status %s, %d/%d delivered)",
+				p.Status, p.Delivered, p.Injections)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !killed {
+		// The campaign finished before the kill threshold: the check
+		// would silently not exercise re-leasing, so fail loudly —
+		// lower -kill-after or raise -n instead.
+		return fmt.Errorf("campaign finished before any worker was killed; raise -n or lower -kill-after")
+	}
+	got, err := client.Report(id)
+	if err != nil {
+		return err
+	}
+
+	// -------------------------------------------------- comparison
+	for _, r := range []*campaign.Result{want, got} {
+		r.Elapsed, r.AvgSecPerRun, r.GoldenElapsed = 0, 0, 0
+		r.Config.Workers = 0
+	}
+	if !reflect.DeepEqual(want.Counts, got.Counts) {
+		return fmt.Errorf("classification counts diverged:\n got %v\nwant %v", got.Counts, want.Counts)
+	}
+	if !reflect.DeepEqual(want, got) {
+		return fmt.Errorf("distributed result diverged from single-process:\n got %+v\nwant %+v", got, want)
+	}
+	gr := report.Campaign("check", got)
+	wr := report.Campaign("check", want)
+	if gr != wr {
+		return fmt.Errorf("report tables diverged:\n got:\n%s\nwant:\n%s", gr, wr)
+	}
+	fmt.Printf("distribcheck: fleet result byte-identical across %d outcomes (counts %v)\n",
+		len(got.Outcomes), got.Counts)
+	return nil
+}
+
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+func waitHealthy(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/api/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("coordinator at %s never became healthy", url)
+}
