@@ -78,6 +78,7 @@ func run(args []string) error {
 		earlyStop  = fs.Bool("early-stop", false, "adaptive engine: end a replay the moment its state reconverges with golden")
 		targetErr  = fs.Float64("target-error", 0, "adaptive engine: stop injecting once every class proportion is within this margin (0 = full plan)")
 		prune      = fs.String("prune", "off", "golden-trace fault pruning: off, dead (exact), classes (MeRLiN-style extrapolation)")
+		lanes      = fs.Int("lanes", 64, "bit-parallel lockstep replay width on the RTL model, 1-64 (1 = scalar engine; byte-identical results at any width)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
 		checkpoint = fs.String("checkpoint", "", "stream per-run outcomes to JSONL shards in this directory and resume from them")
@@ -126,6 +127,7 @@ func run(args []string) error {
 		AdvanceToUse: *advance,
 		EarlyStop:    *earlyStop,
 		TargetError:  *targetErr,
+		Lanes:        *lanes,
 	}
 	if cfg.Prune, err = campaign.ParsePruneMode(*prune); err != nil {
 		return err

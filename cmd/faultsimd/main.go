@@ -56,6 +56,7 @@ func run(args []string) error {
 		leaseTTL    = fs.Duration("lease-ttl", 0, "coordinator: shard lease TTL before a silent worker is presumed dead (default 15s)")
 		shardSize   = fs.Int("shard-size", 0, "coordinator: replay jobs per lease (default 64)")
 		workers     = fs.Int("workers", 0, "worker: parallel replays per shard (default GOMAXPROCS)")
+		lanes       = fs.Int("lanes", 0, "worker: cap bit-parallel replay lanes per shard (0 = honor campaign config, 1 = force scalar)")
 		poll        = fs.Duration("poll", 0, "worker: idle re-poll interval (default 500ms)")
 		id          = fs.String("id", "", "worker: worker ID in leases and logs (default host-pid)")
 		version     = fs.Bool("version", false, "print version and exit")
@@ -75,7 +76,7 @@ func run(args []string) error {
 		if *coordinator == "" {
 			return fmt.Errorf("worker role requires -coordinator URL")
 		}
-		return runWorker(*coordinator, *id, *workers, *poll)
+		return runWorker(*coordinator, *id, *workers, *lanes, *poll)
 	default:
 		return fmt.Errorf("unknown role %q (coordinator, worker)", *role)
 	}
@@ -109,11 +110,12 @@ func runCoordinator(listen, checkpoint string, leaseTTL time.Duration, shardSize
 	return c.Close()
 }
 
-func runWorker(coordinator, id string, workers int, poll time.Duration) error {
+func runWorker(coordinator, id string, workers, lanes int, poll time.Duration) error {
 	w := distrib.NewWorker(distrib.WorkerOptions{
 		Coordinator: coordinator,
 		ID:          id,
 		Workers:     workers,
+		MaxLanes:    lanes,
 		Poll:        poll,
 		Logf:        log.Printf,
 	})

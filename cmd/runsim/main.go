@@ -64,6 +64,7 @@ func run(args []string) error {
 		target    = fs.String("target", "rf", "injection target with -inject: rf, l1d or latches (rtl only)")
 		seed      = fs.Int64("seed", 1, "campaign RNG seed with -inject")
 		window    = fs.Uint64("window", 0, "cycles simulated after injection with -inject (0 = to program end)")
+		lanes     = fs.Int("lanes", 1, "bit-parallel replay lanes with -inject on the RTL model, 1-64 (1 = scalar probe)")
 		verbose   = fs.Bool("v", false, "print program output")
 		version   = fs.Bool("version", false, "print version and exit")
 	)
@@ -168,10 +169,55 @@ func run(args []string) error {
 		}
 		fmt.Printf("model=%v setup=%s golden=%d cycles, %d injections (%v on %v), %d lifetime events\n",
 			m, setup.Name, g.Cycles, len(specs), fp.Model, tgt, g.LifetimeEvents())
-		for _, s := range specs {
-			oc, err := g.ReplayOne(sim, s, cfg)
+		// With -lanes > 1 the probe replays through the bit-parallel
+		// lockstep engine instead of one scalar replay per fault — same
+		// classifications (the batch path is byte-identical), printed
+		// with a packing summary.
+		if *lanes < 1 || *lanes > campaign.MaxLanes {
+			return fmt.Errorf("-lanes %d out of range [1,%d]", *lanes, campaign.MaxLanes)
+		}
+		outs := make([]campaign.RunOutcome, len(specs))
+		batched := false
+		if *lanes > 1 {
+			gold, err := factory()
 			if err != nil {
 				return err
+			}
+			bcfg := cfg
+			bcfg.Lanes = *lanes
+			if br := campaign.NewBatchReplayer(g, bcfg, gold, sim); br != nil {
+				i := 0
+				err := br.Replay(func() (int, fault.Spec, bool) {
+					if i >= len(specs) {
+						return 0, fault.Spec{}, false
+					}
+					i++
+					return i - 1, specs[i-1], true
+				}, func(idx int, oc campaign.RunOutcome) error {
+					outs[idx] = oc
+					return nil
+				})
+				br.Close()
+				if err != nil {
+					return err
+				}
+				batched = true
+				occ := 0.0
+				if br.Groups > 0 {
+					occ = float64(br.LaneSum) / float64(br.Groups)
+				}
+				fmt.Printf("bit-parallel replay: %d lanes, %d retired in lockstep, %d peeled to scalar, %.1f mean lane occupancy\n",
+					*lanes, br.Batched, br.Peeled, occ)
+			} else {
+				fmt.Printf("bit-parallel replay unavailable on %v/%v; scalar probe\n", m, tgt)
+			}
+		}
+		for i, s := range specs {
+			oc := outs[i]
+			if !batched {
+				if oc, err = g.ReplayOne(sim, s, cfg); err != nil {
+					return err
+				}
 			}
 			extra := ""
 			switch s.Model {

@@ -1,0 +1,409 @@
+package campaign
+
+// Bit-parallel lockstep replay: up to MaxLanes faulty machines ride one
+// golden evaluation, each represented only by its sparse state diff
+// against the golden machine (see internal/rtl's BatchMem). While no
+// diffed word has been consumed by the design, a faulty machine's entire
+// behavior — every signal, register write, bus transaction and output
+// byte — is the golden machine's, so one golden tick advances every lane
+// at once. The moment the design reads a word a lane has corrupted, that
+// lane's future genuinely diverges: it is peeled out of the batch and
+// finished on a scalar simulator rebuilt at the pre-tick cycle from a
+// ring snapshot plus the lane's reconstructed diff, then classified by
+// the exact finishRun tail the scalar engine uses. Lanes that never peel
+// can only ever be Masked — they retire at their convergence point,
+// observation-window limit or the golden program end without a single
+// private simulation cycle.
+//
+// Groups are cycle-clustered: the replayer pulls several batches' worth
+// of specs, sorts them by injection instant and packs adjacent instants
+// into one group, so the golden span a group replays stays a small slice
+// of the run instead of the whole program. Classifications are
+// byte-identical to the scalar path at any lane width; batching changes
+// only throughput.
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/fault"
+)
+
+// MaxLanes is the lane capacity of one replay batch — the 64 bits of the
+// uint64 per-word lane masks the diff tracker keys on.
+const MaxLanes = 64
+
+// batchRingEvery is the in-group golden snapshot stride: a peeled lane's
+// scalar rebuild replays at most this many golden catch-up cycles.
+const batchRingEvery = 64
+
+// batchPull is how many groups' worth of specs one Replay pull drains
+// from the plan before cycle-sorting: larger pulls cluster injection
+// instants more tightly (smaller golden span per group) at the cost of
+// coarser work distribution across workers.
+const batchPull = 8
+
+// LaneSet is one injection target's per-lane diff tracker, attached to a
+// batch-capable simulator's faultable structure. Lane indices are dense
+// [0, MaxLanes); bit indices are the same flat space Simulator.Flip
+// uses for the target.
+type LaneSet interface {
+	// Activate marks a lane live; Retire deactivates it and discards
+	// its diffs. Clean reports whether the lane currently has none (its
+	// machine state is bit-identical to golden).
+	Activate(lane int)
+	Retire(lane int)
+	Clean(lane int) bool
+
+	// Flip toggles one bit of a lane's machine; Force sets it to v —
+	// the per-lane forms of Simulator.Flip and Simulator.Force.
+	Flip(lane, bit int) error
+	Force(lane, bit, v int) error
+
+	// BeginTick starts a clock cycle's peel accounting; Peeled returns
+	// the lanes deactivated by design reads since then (bit k = lane
+	// k). A peeled lane's pre-tick diff stays reconstructable until the
+	// next BeginTick, even across golden writes that cleared it.
+	BeginTick()
+	Peeled() uint64
+
+	// ApplyPeelDiff replays a peeled lane's pre-tick diff onto a scalar
+	// simulator positioned at the pre-tick cycle, turning golden state
+	// into the lane's machine state.
+	ApplyPeelDiff(lane int, sim Simulator) error
+
+	// Detach disconnects the tracker from the simulator.
+	Detach()
+}
+
+// BatchCapable is implemented by simulators that can expose a LaneSet
+// over an injection target (the RTL model's register file and L1D data
+// array; the microarchitectural model has no batch surface).
+type BatchCapable interface {
+	// BatchLanes attaches and returns a lane tracker for target t, or
+	// ok=false when the target has no batch surface.
+	BatchLanes(t fault.Target) (LaneSet, bool)
+}
+
+// laneState is one in-flight replay occupying a batch lane.
+type laneState struct {
+	idx      int // plan index
+	spec     fault.Spec
+	limit    uint64 // observation-window limit (hang budget when run-to-end)
+	hi       int    // next golden hash index (convergence exit)
+	injected bool
+	done     bool
+}
+
+// BatchReplayer drives bit-parallel lockstep replay for one worker: a
+// golden instance carrying the lane diffs, and a scalar instance that
+// finishes peeled lanes. Both must come from the campaign's factory. It
+// is single-goroutine; run one replayer per worker.
+type BatchReplayer struct {
+	g      *Golden
+	cfg    Config
+	gold   Simulator
+	scalar Simulator
+	lanes  LaneSet
+	buf    replayBuf
+
+	states []laneState
+	pull   []pulledSpec
+
+	ringCycle uint64
+	ringSnap  Snapshot
+
+	// Accounting, summed into Result by the caller: Batched counts
+	// replays retired entirely in lockstep, Peeled those finished on
+	// the scalar tail; LaneSum/Groups yield mean lane occupancy.
+	Batched int
+	Peeled  int
+	Groups  int
+	LaneSum int
+}
+
+// pulledSpec is one plan entry drained for cycle clustering.
+type pulledSpec struct {
+	idx  int
+	spec fault.Spec
+}
+
+// NewBatchReplayer builds a replayer over one worker's simulator pair,
+// or returns nil when batching does not apply: lanes disabled
+// (cfg.Lanes <= 1), a simulator without a batch surface, or a target it
+// cannot track (pipeline latches are read combinationally every cycle,
+// so a latch fault would peel on its first tick). Callers fall back to
+// the scalar path on nil.
+func NewBatchReplayer(g *Golden, cfg Config, gold, scalar Simulator) *BatchReplayer {
+	if cfg.Lanes <= 1 {
+		return nil
+	}
+	bc, ok := gold.(BatchCapable)
+	if !ok {
+		return nil
+	}
+	lanes, ok := bc.BatchLanes(cfg.Target)
+	if !ok {
+		return nil
+	}
+	gold.SetPinout(nil)
+	return &BatchReplayer{
+		g: g, cfg: cfg, gold: gold, scalar: scalar, lanes: lanes,
+		states: make([]laneState, 0, cfg.Lanes),
+		pull:   make([]pulledSpec, 0, cfg.Lanes*batchPull),
+	}
+}
+
+// Close detaches the lane tracker from the golden instance.
+func (r *BatchReplayer) Close() { r.lanes.Detach() }
+
+// Replay drains the plan through the batch engine: it pulls up to
+// Lanes*batchPull specs from next, sorts them by injection instant,
+// packs adjacent instants into groups of at most Lanes and replays each
+// group in lockstep, delivering every outcome through deliver (in
+// whatever order lanes finish — the collector is order-agnostic).
+func (r *BatchReplayer) Replay(next func() (idx int, spec fault.Spec, ok bool), deliver func(idx int, oc RunOutcome) error) error {
+	for {
+		r.pull = r.pull[:0]
+		for len(r.pull) < r.cfg.Lanes*batchPull {
+			idx, spec, ok := next()
+			if !ok {
+				break
+			}
+			r.pull = append(r.pull, pulledSpec{idx: idx, spec: spec})
+		}
+		if len(r.pull) == 0 {
+			return nil
+		}
+		sort.Slice(r.pull, func(i, j int) bool {
+			if r.pull[i].spec.Cycle != r.pull[j].spec.Cycle {
+				return r.pull[i].spec.Cycle < r.pull[j].spec.Cycle
+			}
+			return r.pull[i].idx < r.pull[j].idx
+		})
+		for off := 0; off < len(r.pull); off += r.cfg.Lanes {
+			end := off + r.cfg.Lanes
+			if end > len(r.pull) {
+				end = len(r.pull)
+			}
+			if err := r.replayGroup(r.pull[off:end], deliver); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// replayGroup runs one lane group to completion: golden catch-up to the
+// earliest injection, then a lockstep loop that injects lanes at their
+// instants, re-asserts persistent faults, retires lanes at their
+// convergence point / window limit / golden end, and peels lanes whose
+// corruption the design consumed. group must be cycle-sorted.
+func (r *BatchReplayer) replayGroup(group []pulledSpec, deliver func(int, RunOutcome) error) error {
+	g, cfg := r.g, r.cfg
+	first := group[0].spec.Cycle
+	base := nearestSnap(g.snaps, first)
+	r.gold.Restore(base.snap)
+	for r.gold.Cycles() < first {
+		if !r.gold.Step() {
+			return fmt.Errorf("campaign: replay stopped at %d before injection at %d (%v)",
+				r.gold.Cycles(), first, r.gold.StopReason())
+		}
+	}
+
+	earlyStop := cfg.EarlyStop && len(g.hashes) > 0
+	r.states = r.states[:0]
+	for _, ps := range group {
+		limit := g.hangBudget()
+		if cfg.Window > 0 {
+			limit = ps.spec.Cycle + cfg.Window
+		}
+		st := laneState{idx: ps.idx, spec: ps.spec, limit: limit}
+		if earlyStop {
+			// First hash point strictly after the injection instant,
+			// exactly as runConvergent seeds its scan.
+			st.hi = sort.Search(len(g.hashes), func(i int) bool { return g.hashes[i].cycle > ps.spec.Cycle })
+		}
+		r.states = append(r.states, st)
+	}
+	r.Groups++
+	r.LaneSum += len(group)
+
+	remaining := len(r.states)
+	nextRing := r.gold.Cycles()
+	for remaining > 0 {
+		c := r.gold.Cycles()
+		if c >= nextRing {
+			r.ringCycle, r.ringSnap = c, r.gold.Snapshot()
+			nextRing = c + batchRingEvery
+		}
+		for k := range r.states {
+			st := &r.states[k]
+			if st.done {
+				continue
+			}
+			if !st.injected {
+				if st.spec.Cycle == c {
+					r.lanes.Activate(k)
+					if err := r.applyLaneFault(k, st.spec); err != nil {
+						return err
+					}
+					st.injected = true
+				}
+				continue
+			}
+			// Re-assert a still-active persistent fault before the
+			// edge — the mirror of the scalar loop's post-Step
+			// applyFault (design writes must not heal the bit).
+			if st.spec.Model.Persistent() && st.spec.ActiveAt(c) {
+				if err := r.applyLaneFault(k, st.spec); err != nil {
+					return err
+				}
+			}
+			// Convergence retire: at a golden hash point with the
+			// fault inactive, an empty diff means the lane's state IS
+			// golden (and its pinout prefix trivially matches), which
+			// is the scalar convergence exit's double match. Checked
+			// before the limit, as runConvergent reaches the hash at
+			// the limit cycle before its loop condition does.
+			if earlyStop {
+				for st.hi < len(g.hashes) && g.hashes[st.hi].cycle < c {
+					st.hi++
+				}
+				if st.hi < len(g.hashes) && g.hashes[st.hi].cycle == c {
+					if !st.spec.ActiveAt(c) && r.lanes.Clean(k) {
+						if err := r.retire(k, RunOutcome{Spec: st.spec, Class: ClassMasked, EndCycle: c, Converged: true}, deliver, &remaining); err != nil {
+							return err
+						}
+						continue
+					}
+					st.hi++
+				}
+			}
+			// Window-limit retire: an unpeeled lane reaching its limit
+			// deviated nowhere inside the observation window — Masked,
+			// as the scalar window compare would conclude.
+			if c >= st.limit {
+				if err := r.retire(k, RunOutcome{Spec: st.spec, Class: ClassMasked, EndCycle: st.limit}, deliver, &remaining); err != nil {
+					return err
+				}
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		r.lanes.BeginTick()
+		stepped := r.gold.Step()
+		if peeled := r.lanes.Peeled(); peeled != 0 {
+			if err := r.peelLanes(peeled, c, deliver, &remaining); err != nil {
+				return err
+			}
+		}
+		if !stepped {
+			// Golden program end: every still-batched lane retraced
+			// the fault-free run to its stop — Masked at either
+			// observation point, ending where golden ends.
+			endCycle := r.gold.Cycles()
+			for k := range r.states {
+				st := &r.states[k]
+				if st.done {
+					continue
+				}
+				if !st.injected {
+					return fmt.Errorf("campaign: replay stopped at %d before injection at %d (%v)",
+						endCycle, st.spec.Cycle, r.gold.StopReason())
+				}
+				if err := r.retire(k, RunOutcome{Spec: st.spec, Class: ClassMasked, EndCycle: endCycle}, deliver, &remaining); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// retire finishes a lane that never peeled, delivering its (always
+// Masked) outcome and recycling the lane slot's diffs.
+func (r *BatchReplayer) retire(k int, oc RunOutcome, deliver func(int, RunOutcome) error, remaining *int) error {
+	st := &r.states[k]
+	r.lanes.Retire(k)
+	st.done = true
+	*remaining--
+	r.Batched++
+	return deliver(st.idx, oc)
+}
+
+// peelLanes finishes every lane the just-stepped tick peeled: each is
+// rebuilt on the scalar simulator at the pre-tick cycle and classified
+// by the exact scalar tail.
+func (r *BatchReplayer) peelLanes(peeled uint64, preTick uint64, deliver func(int, RunOutcome) error, remaining *int) error {
+	for m := peeled; m != 0; {
+		k := bits.TrailingZeros64(m)
+		m &^= 1 << uint(k)
+		st := &r.states[k]
+		oc, err := r.peelOne(k, st, preTick)
+		if err != nil {
+			return err
+		}
+		r.lanes.Retire(k)
+		st.done = true
+		*remaining--
+		r.Peeled++
+		if err := deliver(st.idx, oc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// peelOne rebuilds one peeled lane's machine on the scalar simulator —
+// ring snapshot, golden catch-up to the pre-tick cycle, lane diff — and
+// hands it to finishRun with the golden transaction prefix the lane
+// emitted while batched, so the classification is the one the scalar
+// engine would have produced from injection onward.
+func (r *BatchReplayer) peelOne(lane int, st *laneState, preTick uint64) (RunOutcome, error) {
+	g, s := r.g, r.scalar
+	s.SetPinout(nil)
+	s.Restore(r.ringSnap)
+	for s.Cycles() < preTick {
+		if !s.Step() {
+			return RunOutcome{}, fmt.Errorf("campaign: peel catch-up stopped at %d before %d (%v)",
+				s.Cycles(), preTick, s.StopReason())
+		}
+	}
+	if err := r.lanes.ApplyPeelDiff(lane, s); err != nil {
+		return RunOutcome{}, err
+	}
+	// The lane's pinout while batched was golden's: replay records
+	// transactions from the snapshot nearest the injection (exclusive),
+	// so seed the faulty capture with that golden slice up to the
+	// pre-tick cycle. Transactions are cycle-nondecreasing and stamped
+	// strictly after the cycle a tick left, so the scalar tail appends
+	// from preTick+1 with no overlap.
+	base := nearestSnap(g.snaps, st.spec.Cycle)
+	pin := &r.buf.pin
+	pin.Reset()
+	txns := g.pin.Txns
+	lo := sort.Search(len(txns), func(i int) bool { return txns[i].Cycle > base.cycle })
+	hi := sort.Search(len(txns), func(i int) bool { return txns[i].Cycle > preTick })
+	pin.Txns = append(pin.Txns, txns[lo:hi]...)
+	s.SetPinout(pin)
+	return finishRun(s, g, st.spec, r.cfg, base.cycle, pin)
+}
+
+// applyLaneFault is applyFault's per-lane form.
+func (r *BatchReplayer) applyLaneFault(lane int, spec fault.Spec) error {
+	lo, hi := spec.BitSpan()
+	for b := lo; b < hi; b++ {
+		var err error
+		if spec.Model.Persistent() {
+			err = r.lanes.Force(lane, b, spec.Stuck)
+		} else {
+			err = r.lanes.Flip(lane, b)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

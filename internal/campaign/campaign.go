@@ -203,6 +203,16 @@ type Config struct {
 	// trigger (0 selects 50). Requires TargetError.
 	MinRuns int
 
+	// Lanes bounds the width of bit-parallel lockstep replay on
+	// batch-capable (RTL) simulators: up to Lanes faulty machines ride
+	// one golden evaluation as sparse state diffs, each peeling out to
+	// a scalar replay the moment the design first consumes its
+	// corruption. 0 selects the default of 64 (the lane capacity of a
+	// uint64 mask); 1 forces the scalar path. Models without a batch
+	// surface ignore the setting. Classifications are byte-identical at
+	// any width — batching changes only throughput.
+	Lanes int
+
 	// Prune enables golden-trace fault pruning (see PruneMode): the
 	// golden run records per-target access lifetimes, and planned
 	// transient faults whose corrupted bits are overwritten before any
@@ -249,6 +259,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Obs == 0 {
 		c.Obs = ObsPinout
+	}
+	if c.Lanes == 0 {
+		c.Lanes = MaxLanes
 	}
 }
 
@@ -326,6 +339,17 @@ type Result struct {
 	PruneClassCount  int
 	PruneSavedCycles uint64
 
+	// Bit-parallel replay accounting, non-zero only when a
+	// batch-capable simulator ran with Config.Lanes > 1. BatchedRuns
+	// counts replays finished entirely in lockstep (the fault died,
+	// reconverged or stayed unconsumed to its window end); PeeledRuns
+	// counts replays whose corruption was consumed by the design and
+	// that finished on the scalar tail; LaneOccupancy is the mean
+	// number of occupied lanes per batch group (capacity Config.Lanes).
+	BatchedRuns   int
+	PeeledRuns    int
+	LaneOccupancy float64
+
 	Elapsed       time.Duration
 	AvgSecPerRun  float64
 	GoldenElapsed time.Duration
@@ -358,6 +382,9 @@ func (c *Config) validate() error {
 	}
 	if c.Prune < PruneOff || c.Prune > PruneClasses {
 		return fmt.Errorf("campaign: unknown prune mode %d", c.Prune)
+	}
+	if c.Lanes < 1 || c.Lanes > MaxLanes {
+		return fmt.Errorf("campaign: Lanes %d out of [1,%d]", c.Lanes, MaxLanes)
 	}
 	return nil
 }
@@ -592,6 +619,12 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 		return job{idx: idx, spec: spec}, ok
 	}
 	start := time.Now()
+	if batchApplies(g, cfg) {
+		if err := runBatched(factory, g, p, cfg); err != nil {
+			return nil, err
+		}
+		return p.Result(time.Since(start))
+	}
 	err = streamJobs(cfg.Workers, next, func(_ int, jobs <-chan job) error {
 		sim, err := factory()
 		if err != nil {
@@ -613,6 +646,73 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return p.Result(time.Since(start))
+}
+
+// batchApplies reports whether the bit-parallel replay path can serve
+// this campaign: lanes enabled and the model exposes a lane tracker for
+// the target (probed on the golden instance, detached immediately).
+func batchApplies(g *Golden, cfg Config) bool {
+	if cfg.Lanes <= 1 {
+		return false
+	}
+	bc, ok := g.sim.(BatchCapable)
+	if !ok {
+		return false
+	}
+	ls, ok := bc.BatchLanes(cfg.Target)
+	if !ok {
+		return false
+	}
+	ls.Detach()
+	return true
+}
+
+// runBatched executes the replay phase through per-worker batch
+// replayers, each pulling cycle-clustered lane groups straight from the
+// plan. Outcomes flow through the same Planned collector as the scalar
+// pool — order-agnostic delivery, identical classification — so the
+// result is byte-identical to the scalar path; only throughput changes.
+func runBatched(factory Factory, g *Golden, p *Planned, cfg Config) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := func() error {
+				gold, err := factory()
+				if err != nil {
+					return err
+				}
+				scalar, err := factory()
+				if err != nil {
+					return err
+				}
+				br := NewBatchReplayer(g, cfg, gold, scalar)
+				if br == nil {
+					return fmt.Errorf("campaign: batch replay unavailable on a worker instance")
+				}
+				defer br.Close()
+				if err := br.Replay(p.NextReplay, p.Deliver); err != nil {
+					return err
+				}
+				p.noteBatch(br.Batched, br.Peeled, br.Groups, br.LaneSum)
+				return nil
+			}()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // seqStop collects streamed replay outcomes and decides the sequential
@@ -1042,8 +1142,6 @@ func oneRun(sim Simulator, g *Golden, spec fault.Spec, cfg Config) (RunOutcome, 
 
 // oneRunBuf replays a single faulty simulation and classifies it.
 func oneRunBuf(sim Simulator, g *Golden, spec fault.Spec, cfg Config, buf *replayBuf) (RunOutcome, error) {
-	goldenPin, goldenOut, goldenCycles := g.pin, g.Output, g.Cycles
-	hangBudget := g.hangBudget()
 	base := nearestSnap(g.snaps, spec.Cycle)
 	sim.Restore(base.snap)
 	pin := &buf.pin
@@ -1060,12 +1158,26 @@ func oneRunBuf(sim Simulator, g *Golden, spec fault.Spec, cfg Config, buf *repla
 	if err := applyFault(sim, spec); err != nil {
 		return RunOutcome{}, err
 	}
+	return finishRun(sim, g, spec, cfg, base.cycle, pin)
+}
+
+// finishRun simulates the remaining observation window of a faulty
+// replay and classifies it. The simulator must already sit at or past
+// the injection instant with the fault's state applied and pin attached
+// holding the transactions emitted since baseCycle — either because
+// oneRunBuf just injected it, or because a lane peeled out of a
+// lockstep batch was rebuilt there (golden snapshot + lane diff + the
+// golden transaction prefix the unpeeled lane shared). Both callers
+// run the identical tail, which is what keeps batched classifications
+// byte-identical to the scalar path.
+func finishRun(sim Simulator, g *Golden, spec fault.Spec, cfg Config, baseCycle uint64, pin *trace.Pinout) (RunOutcome, error) {
+	goldenPin, goldenOut, goldenCycles := g.pin, g.Output, g.Cycles
 
 	// Simulate the observation window, re-asserting persistent faults.
 	// With EarlyStop and a hash-recording golden run, the convergence
 	// exit classifies the replay as Masked the moment its state digest
 	// matches golden; otherwise the seed engine's fixed window runs.
-	limit := hangBudget
+	limit := g.hangBudget()
 	if cfg.Window > 0 {
 		limit = spec.Cycle + cfg.Window
 	}
@@ -1073,7 +1185,7 @@ func oneRunBuf(sim Simulator, g *Golden, spec fault.Spec, cfg Config, buf *repla
 	var err error
 	converged := false
 	if cfg.EarlyStop && len(g.hashes) > 0 {
-		stop, converged, err = runConvergent(sim, g, spec, cfg, base.cycle, pin, limit)
+		stop, converged, err = runConvergent(sim, g, spec, cfg, baseCycle, pin, limit)
 	} else {
 		stop, err = runWindow(sim, spec, limit)
 	}
@@ -1101,7 +1213,7 @@ func oneRunBuf(sim Simulator, g *Golden, spec fault.Spec, cfg Config, buf *repla
 		// pinout over the full observation window either way — the
 		// golden core keeps emitting transactions after a premature
 		// exit, and their absence is a mismatch on real pins too.
-		d := trace.CompareWindow(goldenPin, pin, base.cycle, limit, cfg.CompareMode)
+		d := trace.CompareWindow(goldenPin, pin, baseCycle, limit, cfg.CompareMode)
 		if !d.Match {
 			oc.Class = ClassMismatch
 		} else {
@@ -1124,7 +1236,7 @@ func oneRunBuf(sim Simulator, g *Golden, spec fault.Spec, cfg Config, buf *repla
 		if goldenCycles > end {
 			end = goldenCycles
 		}
-		d := trace.CompareWindow(goldenPin, pin, base.cycle, end, cfg.CompareMode)
+		d := trace.CompareWindow(goldenPin, pin, baseCycle, end, cfg.CompareMode)
 		if !d.Match {
 			oc.Class = ClassMismatch
 		} else {

@@ -57,6 +57,10 @@ type Planned struct {
 	nextIdx  int
 	stopHint int // checkpointed stopping index, -1 when none
 
+	// Bit-parallel replay accounting, summed over every worker's
+	// BatchReplayer via noteBatch.
+	batched, peeled, groups, laneSum int
+
 	ckpt     *shardWriter
 	ckptKey  string
 	resumed  int
@@ -174,10 +178,33 @@ func (p *Planned) Resumed() int {
 	return p.resumed
 }
 
+// noteBatch folds one worker's bit-parallel replay accounting into the
+// campaign: batched lockstep retirements, scalar peels, and the group
+// count/lane sum behind the mean occupancy Result reports.
+func (p *Planned) noteBatch(batched, peeled, groups, laneSum int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.batched += batched
+	p.peeled += peeled
+	p.groups += groups
+	p.laneSum += laneSum
+}
+
 // Result aggregates the campaign once every needed outcome has been
 // delivered. elapsed is the replay phase's attributed wall time.
 func (p *Planned) Result(elapsed time.Duration) (*Result, error) {
-	return aggregate(p.cfg, p.g, p.pl, p.seq, p.pr, elapsed)
+	res, err := aggregate(p.cfg, p.g, p.pl, p.seq, p.pr, elapsed)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	res.BatchedRuns = p.batched
+	res.PeeledRuns = p.peeled
+	if p.groups > 0 {
+		res.LaneOccupancy = float64(p.laneSum) / float64(p.groups)
+	}
+	p.mu.Unlock()
+	return res, nil
 }
 
 // OpenCheckpoint loads matching records for this campaign (keyed by

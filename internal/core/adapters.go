@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/campaign"
 	"repro/internal/fault"
 	"repro/internal/lifetime"
 	"repro/internal/microarch"
 	"repro/internal/refsim"
+	"repro/internal/rtl"
 	"repro/internal/rtlcore"
 	"repro/internal/trace"
 )
@@ -174,4 +176,59 @@ func (s *rtlSim) Restore(snap campaign.Snapshot) {
 		panic("core: foreign snapshot passed to RTL simulator")
 	}
 	s.core.Restore(st)
+}
+
+// BatchLanes exposes the RTL model's bit-parallel replay surface: a
+// per-lane diff tracker over the register file or L1D data array, the
+// two targets whose state lives in rtl kernel memory arrays. Pipeline
+// latches are read combinationally every cycle, so a latch fault would
+// peel immediately and lockstep batching could never win — latch
+// campaigns stay scalar.
+func (s *rtlSim) BatchLanes(t fault.Target) (campaign.LaneSet, bool) {
+	switch t {
+	case fault.TargetRF:
+		return &rtlLanes{bm: s.core.AttachRFBatch(), target: t}, true
+	case fault.TargetL1D:
+		return &rtlLanes{bm: s.core.AttachL1DBatch(), target: t}, true
+	default:
+		return nil, false
+	}
+}
+
+// rtlLanes adapts an rtl.BatchMem to the campaign's LaneSet. The flat
+// bit space is the target's Simulator.Flip space: bit i lives in array
+// word i/width, local bit i%width — the same split rtl.Mem.FlipBit
+// applies, so lane injections and peel-diff replays can never disagree
+// with scalar injections on targeting.
+type rtlLanes struct {
+	bm     *rtl.BatchMem
+	target fault.Target
+}
+
+var _ campaign.LaneSet = (*rtlLanes)(nil)
+
+func (l *rtlLanes) Activate(lane int)   { l.bm.Activate(lane) }
+func (l *rtlLanes) Retire(lane int)     { l.bm.Retire(lane) }
+func (l *rtlLanes) Clean(lane int) bool { return l.bm.Clean(lane) }
+func (l *rtlLanes) BeginTick()          { l.bm.BeginTick() }
+func (l *rtlLanes) Peeled() uint64      { return l.bm.Peeled() }
+func (l *rtlLanes) Detach()             { l.bm.Detach() }
+
+func (l *rtlLanes) Flip(lane, bit int) error     { return l.bm.FlipBit(lane, bit) }
+func (l *rtlLanes) Force(lane, bit, v int) error { return l.bm.ForceBit(lane, bit, v) }
+
+// ApplyPeelDiff replays the lane's pre-tick diff onto a scalar
+// simulator through the campaign flip primitive, so the rebuilt machine
+// state equals golden XOR diff exactly.
+func (l *rtlLanes) ApplyPeelDiff(lane int, sim campaign.Simulator) error {
+	width := l.bm.Width()
+	var applyErr error
+	l.bm.LaneDiff(lane, func(word int, diff uint64) {
+		for d := diff; d != 0 && applyErr == nil; {
+			b := bits.TrailingZeros64(d)
+			d &^= 1 << uint(b)
+			applyErr = sim.Flip(l.target, word*width+b)
+		}
+	})
+	return applyErr
 }

@@ -47,6 +47,12 @@ type Params struct {
 	// campaign confidence.
 	TargetError float64
 
+	// Lanes bounds bit-parallel lockstep replay width on batch-capable
+	// (RTL) simulators in every figure's campaigns: 0 selects the
+	// default of 64, 1 forces the scalar engine. Classifications are
+	// byte-identical at any width; see campaign.Config.Lanes.
+	Lanes int
+
 	// Prune enables golden-trace fault pruning in every figure's
 	// campaigns: dead-interval faults classify Masked with zero replay
 	// cycles (exact), and PruneClasses additionally replays one
@@ -343,6 +349,7 @@ func (p Params) figure1Plan() (figurePlan, error) {
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetRF,
 		Obs: campaign.ObsPinout, Workers: p.Workers, Fault: p.Fault,
 		EarlyStop: p.EarlyStop, TargetError: p.TargetError, Prune: p.Prune,
+		Lanes: p.Lanes,
 	}
 	windowed := base
 	windowed.Window = p.Window
@@ -376,6 +383,7 @@ func (p Params) figure2Plan() (figurePlan, error) {
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
 		Obs: campaign.ObsPinout, Workers: p.Workers, Fault: p.Fault,
 		EarlyStop: p.EarlyStop, TargetError: p.TargetError, Prune: p.Prune,
+		Lanes: p.Lanes,
 	}
 	ma := base
 	ma.Window = p.Window
@@ -413,6 +421,7 @@ func (p Params) figure3Plan() (figurePlan, error) {
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
 		Obs: campaign.ObsSOP, Workers: p.Workers, Fault: p.Fault,
 		EarlyStop: p.EarlyStop, TargetError: p.TargetError, Prune: p.Prune,
+		Lanes: p.Lanes,
 	}
 	return figurePlan{
 		name:    "fig3-l1d-avf-sop",
@@ -442,6 +451,7 @@ func (p Params) ablationLatchesPlan() (figurePlan, error) {
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetLatches,
 		Obs: campaign.ObsPinout, Window: p.Window, Workers: p.Workers, Fault: p.Fault,
 		EarlyStop: p.EarlyStop, TargetError: p.TargetError, Prune: p.Prune,
+		Lanes: p.Lanes,
 	}
 	return figurePlan{
 		name:    "ablation-rtl-latches",
@@ -470,6 +480,7 @@ func (p Params) ablationWindowPlan(windows []uint64) (figurePlan, error) {
 			Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
 			Obs: campaign.ObsPinout, Window: w, Workers: p.Workers, Fault: p.Fault,
 			EarlyStop: p.EarlyStop, TargetError: p.TargetError, Prune: p.Prune,
+			Lanes: p.Lanes,
 		}
 		label := fmt.Sprintf("window-%d", w)
 		if w == 0 {
@@ -520,6 +531,7 @@ func (p Params) ablationModelsPlan() (figurePlan, error) {
 				Injections: p.Injections, Seed: p.Seed, Target: fault.TargetRF,
 				Obs: campaign.ObsCombined, Workers: p.Workers, Fault: fm,
 				EarlyStop: p.EarlyStop, TargetError: p.TargetError, Prune: p.Prune,
+				Lanes: p.Lanes,
 			}
 			specs = append(specs, seriesSpec{
 				label: fmt.Sprintf("%v/%v", m, fm.Model),
@@ -586,7 +598,7 @@ func (p Params) ablationEarlyStopPlan() (figurePlan, error) {
 	fixed := campaign.Config{
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetRF,
 		Obs: campaign.ObsPinout, Workers: p.Workers, Fault: p.Fault,
-		Confidence: 0.95,
+		Confidence: 0.95, Lanes: p.Lanes,
 	}
 	adaptive := fixed
 	adaptive.EarlyStop = true
@@ -687,6 +699,7 @@ func (p Params) ablationPruningPlan() (figurePlan, error) {
 		Injections: p.Injections, Seed: p.Seed, Target: fault.TargetL1D,
 		Obs: campaign.ObsPinout, Window: p.Window, Workers: p.Workers, Fault: p.Fault,
 		EarlyStop: p.EarlyStop, TargetError: p.TargetError,
+		Lanes: p.Lanes,
 	}
 	var specs []seriesSpec
 	for _, m := range []Model{ModelMicroarch, ModelRTL} {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/fault"
 )
 
 // maxWorkerGoldens bounds the worker's golden cache, like the
@@ -48,6 +49,12 @@ type WorkerOptions struct {
 	// Poll is the idle re-poll interval when the coordinator has no
 	// work (0 selects 500ms).
 	Poll time.Duration
+
+	// MaxLanes caps the bit-parallel replay width this worker uses per
+	// shard, regardless of the campaign's configured lanes (0 honors
+	// the campaign config; 1 forces the scalar pool). Classifications
+	// are byte-identical at any width, so a mixed fleet stays exact.
+	MaxLanes int
 
 	// HTTP overrides the transport (tests); nil uses a default client.
 	HTTP *http.Client
@@ -202,6 +209,17 @@ func (w *Worker) executeShard(ctx context.Context, lease *Lease) ([]WireOutcome,
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	if batched, err := w.executeShardBatched(shardCtx, entry, lease, out, workers); err != nil {
+		return nil, err
+	} else if batched {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if shardCtx.Err() != nil {
+			return nil, fmt.Errorf("lease %s expired under us; shard aborted", lease.ID)
+		}
+		return out, nil
+	}
 	sims, err := entry.take(lease.Spec, workers)
 	if err != nil {
 		return nil, err
@@ -257,6 +275,91 @@ func (w *Worker) executeShard(ctx context.Context, lease *Lease) ([]WireOutcome,
 		return nil, fmt.Errorf("lease %s expired under us; shard aborted", lease.ID)
 	}
 	return out, nil
+}
+
+// executeShardBatched replays a shard through per-goroutine bit-parallel
+// batch replayers when the lease's campaign has lanes enabled and the
+// model exposes a batch surface (the RTL register file and L1D data
+// array). Outcomes land in out at each job's shard slot, exactly as the
+// scalar pool fills them, so the coordinator's merge is unchanged.
+// Returns batched=false — with out untouched — when batching does not
+// apply and the caller should run the scalar pool.
+func (w *Worker) executeShardBatched(ctx context.Context, entry *goldenEntry, lease *Lease, out []WireOutcome, workers int) (bool, error) {
+	cfg := lease.Spec.Config
+	if w.opt.MaxLanes > 0 && cfg.Lanes > w.opt.MaxLanes {
+		cfg.Lanes = w.opt.MaxLanes
+	}
+	if cfg.Lanes <= 1 {
+		return false, nil
+	}
+	jobs := lease.Jobs
+	// A batch replayer needs a simulator pair per goroutine: the golden
+	// instance carrying the lane diffs and the scalar instance that
+	// finishes peeled lanes.
+	sims, err := entry.take(lease.Spec, workers*2)
+	if err != nil {
+		return false, err
+	}
+	brs := make([]*campaign.BatchReplayer, workers)
+	for i := range brs {
+		br := campaign.NewBatchReplayer(entry.g, cfg, sims[2*i], sims[2*i+1])
+		if br == nil {
+			for _, b := range brs[:i] {
+				b.Close()
+			}
+			return false, nil
+		}
+		brs[i] = br
+	}
+	slot := make(map[int]int, len(jobs))
+	for i, j := range jobs {
+		slot[j.Index] = i
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	next.Store(-1)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(br *campaign.BatchReplayer) {
+			defer wg.Done()
+			defer br.Close()
+			nextJob := func() (int, fault.Spec, bool) {
+				i := int(next.Add(1))
+				if i >= len(jobs) || failed() || ctx.Err() != nil {
+					return 0, fault.Spec{}, false
+				}
+				return jobs[i].Index, jobs[i].Spec, true
+			}
+			deliver := func(idx int, oc campaign.RunOutcome) error {
+				out[slot[idx]] = WireOutcome{
+					Index: idx, Class: int(oc.Class),
+					EndCycle: oc.EndCycle, Converged: oc.Converged,
+				}
+				return nil
+			}
+			if err := br.Replay(nextJob, deliver); err != nil {
+				fail(err)
+			}
+		}(brs[i])
+	}
+	wg.Wait()
+	return true, firstErr
 }
 
 // take returns n simulators warmed against this golden, building the

@@ -1,0 +1,232 @@
+// Bit-parallel lane tracking — the PROOFS-style batching primitive of
+// the campaign engine's lockstep RTL replay.
+//
+// Classic gate-level fault simulators pack 64 faulty machines into the
+// 64 bits of a machine word and evaluate them in parallel. A behavioral
+// RTL kernel cannot bit-slice its combinational processes, but it can
+// exploit the same observation the classic technique rests on: a faulty
+// machine whose corrupted state has not yet been *consumed* is, in
+// every other respect, the golden machine. BatchMem therefore never
+// duplicates the design at all — it rides one golden simulation and
+// represents each of up to 64 faulty machines ("lanes") as a sparse XOR
+// diff over the words of the fault-target array:
+//
+//   - lane k's value of word w  =  golden word w  XOR  diff(k, w);
+//   - a clock-edge write overwrites the full word with a value computed
+//     from state the lane shares with golden, so it erases every lane's
+//     diff on that word (the fault "dies");
+//   - a combinational *read* of a word with a live diff is the first
+//     moment lane k's behavior can depart from golden's — the lane is
+//     "peeled" out of the batch and finished on a scalar simulator.
+//
+// The exactness invariant: while no diffed word has been read, every
+// signal, register, write value and bus transaction of lane k is
+// bit-identical to golden's, so the peeled machine is reconstructed
+// exactly by restoring a golden snapshot and XOR-ing the lane's diff
+// back in. An empty diff is full state equality — the lane has
+// reconverged with golden, the batched analogue of the scalar engine's
+// state-digest convergence exit.
+package rtl
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxLanes is the lane capacity of a BatchMem: one faulty machine per
+// bit of its uint64 lane masks.
+const MaxLanes = 64
+
+// BatchMem tracks up to 64 faulty machines as sparse per-word diffs
+// against one storage array of a running design. Attach with
+// Mem.AttachBatch; detach before using the simulator for anything else.
+type BatchMem struct {
+	mem   *Mem
+	width int
+
+	// laneMask[w] bit k is set iff lane k's view of word w differs from
+	// the golden contents; diffs[w*MaxLanes+k] is the XOR difference.
+	laneMask []uint64
+	diffs    []uint64
+
+	// laneWords[k] counts words whose lane-k diff is nonzero, making
+	// the reconvergence check (diff empty <=> lane state == golden) O(1).
+	laneWords [MaxLanes]int32
+
+	active uint64 // lanes tracked in lockstep
+	peeled uint64 // lanes that diverged during the current tick
+
+	// undo records diffs erased by clock-edge writes during the current
+	// tick. Within one Tick every write applies before any read settles,
+	// so a lane peeled by a read later in the same tick reconstructs its
+	// pre-tick diff from here.
+	undo     []batchUndo
+	undoVals []uint64
+}
+
+type batchUndo struct {
+	word int
+	mask uint64 // laneMask[word] before the clear
+	off  int    // offset in undoVals of the saved diffs, in lane order
+}
+
+// AttachBatch attaches a fresh lane tracker to the array. At most one
+// tracker may be attached at a time; call Detach when done.
+func (m *Mem) AttachBatch() *BatchMem {
+	b := &BatchMem{
+		mem:      m,
+		width:    m.width,
+		laneMask: make([]uint64, len(m.data)),
+		diffs:    make([]uint64, len(m.data)*MaxLanes),
+	}
+	m.batch = b
+	return b
+}
+
+// Detach removes the tracker from its array; the simulator's read and
+// write ports go back to a single nil check.
+func (b *BatchMem) Detach() { b.mem.batch = nil }
+
+// Width returns the tracked array's word width in bits.
+func (b *BatchMem) Width() int { return b.width }
+
+// Bits returns the tracked array's total storage bits — the flat fault
+// bit space shared with Mem.FlipBit and Mem.ForceBit.
+func (b *BatchMem) Bits() int { return b.mem.Bits() }
+
+// Activate begins tracking lane k with an empty diff (identical to
+// golden).
+func (b *BatchMem) Activate(lane int) { b.active |= 1 << uint(lane) }
+
+// Retire stops tracking lane k and drops its diffs.
+func (b *BatchMem) Retire(lane int) {
+	bit := uint64(1) << uint(lane)
+	b.active &^= bit
+	b.peeled &^= bit
+	if b.laneWords[lane] == 0 {
+		return
+	}
+	for w := range b.laneMask {
+		if b.laneMask[w]&bit != 0 {
+			b.laneMask[w] &^= bit
+			b.diffs[w*MaxLanes+lane] = 0
+		}
+	}
+	b.laneWords[lane] = 0
+}
+
+// Clean reports whether lane k's state is currently bit-identical to
+// golden (its diff is empty).
+func (b *BatchMem) Clean(lane int) bool { return b.laneWords[lane] == 0 }
+
+// FlipBit XORs bit fb (flat index word*width+bit, as in Mem.FlipBit)
+// of lane k's view of the array.
+func (b *BatchMem) FlipBit(lane, fb int) error {
+	if fb < 0 || fb >= b.mem.Bits() {
+		return fmt.Errorf("rtl: %s lane %d bit %d out of range [0,%d)", b.mem.name, lane, fb, b.mem.Bits())
+	}
+	w := fb / b.width
+	b.setDiff(lane, w, b.diffs[w*MaxLanes+lane]^(1<<uint(fb%b.width)))
+	return nil
+}
+
+// ForceBit sets bit fb of lane k's view to v (0 or 1). Idempotent; the
+// persistent fault models re-assert it after every clock edge, exactly
+// as the scalar engine re-asserts Mem.ForceBit.
+func (b *BatchMem) ForceBit(lane, fb, v int) error {
+	if fb < 0 || fb >= b.mem.Bits() {
+		return fmt.Errorf("rtl: %s lane %d bit %d out of range [0,%d)", b.mem.name, lane, fb, b.mem.Bits())
+	}
+	w, bit := fb/b.width, uint(fb%b.width)
+	d := b.diffs[w*MaxLanes+lane]
+	cur := (b.mem.data[w] ^ d) >> bit & 1
+	if cur != uint64(v&1) {
+		b.setDiff(lane, w, d^(1<<bit))
+	}
+	return nil
+}
+
+func (b *BatchMem) setDiff(lane, w int, d uint64) {
+	i := w*MaxLanes + lane
+	old := b.diffs[i]
+	if old == d {
+		return
+	}
+	bit := uint64(1) << uint(lane)
+	if old == 0 {
+		b.laneMask[w] |= bit
+		b.laneWords[lane]++
+	} else if d == 0 {
+		b.laneMask[w] &^= bit
+		b.laneWords[lane]--
+	}
+	b.diffs[i] = d
+}
+
+// BeginTick resets the per-tick peel and undo state; call it
+// immediately before every clock edge (Simulator.Tick) while lanes are
+// active.
+func (b *BatchMem) BeginTick() {
+	b.peeled = 0
+	b.undo = b.undo[:0]
+	b.undoVals = b.undoVals[:0]
+}
+
+// Peeled returns the lanes that diverged during the last tick: the
+// design read a word on which the lane carried a live diff, so from
+// this tick on the lane's behavior is no longer golden's.
+func (b *BatchMem) Peeled() uint64 { return b.peeled }
+
+// onRead is the read-port hook: a combinational read of a word some
+// lanes have corrupted is the first consumption of their faults.
+func (b *BatchMem) onRead(idx int) {
+	if hit := b.laneMask[idx] & b.active; hit != 0 {
+		b.peeled |= hit
+		b.active &^= hit
+	}
+}
+
+// onApply is the clock-edge hook: queued writes overwrite full words,
+// erasing every lane's diff there. The erased diffs are logged so lanes
+// peeled later in the same tick can reconstruct their pre-tick state.
+func (b *BatchMem) onApply(queue []memWrite) {
+	for _, wr := range queue {
+		mask := b.laneMask[wr.idx]
+		if mask == 0 {
+			continue
+		}
+		b.undo = append(b.undo, batchUndo{word: wr.idx, mask: mask, off: len(b.undoVals)})
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			i := wr.idx*MaxLanes + lane
+			b.undoVals = append(b.undoVals, b.diffs[i])
+			b.diffs[i] = 0
+			b.laneWords[lane]--
+		}
+		b.laneMask[wr.idx] = 0
+	}
+}
+
+// LaneDiff visits every nonzero word diff of lane k as it stood at the
+// START of the last tick — before that tick's clock-edge writes — which
+// is exactly the state a peeled machine must be rebuilt from (clock-edge
+// writes apply before any combinational read can detect the peel).
+func (b *BatchMem) LaneDiff(lane int, visit func(word int, diff uint64)) {
+	bit := uint64(1) << uint(lane)
+	if b.laneWords[lane] != 0 {
+		for w := range b.laneMask {
+			if b.laneMask[w]&bit != 0 {
+				visit(w, b.diffs[w*MaxLanes+lane])
+			}
+		}
+	}
+	for _, u := range b.undo {
+		if u.mask&bit == 0 {
+			continue
+		}
+		off := u.off + bits.OnesCount64(u.mask&(bit-1))
+		if v := b.undoVals[off]; v != 0 {
+			visit(u.word, v)
+		}
+	}
+}

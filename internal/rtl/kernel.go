@@ -159,6 +159,11 @@ type Mem struct {
 	// golden run (see SetLifetime); nil everywhere else, so the read and
 	// write ports pay one nil check.
 	lt *lifetime.Space
+
+	// batch, when non-nil, tracks up to 64 faulty machines as sparse
+	// per-word diffs against this array (see AttachBatch); nil outside
+	// bit-parallel replay, so the ports pay one nil check.
+	batch *BatchMem
 }
 
 // Name returns the array's name.
@@ -184,6 +189,9 @@ func (m *Mem) SetLifetime(sp *lifetime.Space) { m.lt = sp }
 func (m *Mem) Read(idx int) uint64 {
 	if m.lt != nil {
 		m.lt.Read(m.sim.CycleCount, idx, 0, m.width)
+	}
+	if m.batch != nil {
+		m.batch.onRead(idx)
 	}
 	return m.data[idx]
 }
@@ -254,6 +262,11 @@ type Simulator struct {
 	everyCycle []*process // processes evaluated on every clock edge
 	active     []*process
 	pending    []*Signal
+
+	// Spare backing arrays for the settle work lists, swapped in as the
+	// lists drain so the per-tick hot loop stays allocation-free.
+	activeSpare  []*process
+	pendingSpare []*Signal
 
 	// CycleCount is the number of completed Tick calls.
 	CycleCount uint64
@@ -331,14 +344,15 @@ func (s *Simulator) settle() error {
 			return fmt.Errorf("rtl: no convergence after %d delta cycles (combinational loop?)", maxDeltas)
 		}
 		run := s.active
-		s.active = nil
+		s.active = s.activeSpare[:0]
 		for _, p := range run {
 			p.queued = false
 			p.fn()
 		}
+		s.activeSpare = run[:0]
 		// Commit scheduled signal values and wake fanout.
 		upd := s.pending
-		s.pending = nil
+		s.pending = s.pendingSpare[:0]
 		for _, sig := range upd {
 			sig.hasNext = false
 			if sig.next == sig.cur {
@@ -349,6 +363,7 @@ func (s *Simulator) settle() error {
 				s.activate(p)
 			}
 		}
+		s.pendingSpare = upd[:0]
 	}
 }
 
@@ -371,6 +386,9 @@ func (s *Simulator) Tick() error {
 		}
 	}
 	for _, m := range s.mems {
+		if m.batch != nil && len(m.queue) > 0 {
+			m.batch.onApply(m.queue)
+		}
 		for _, w := range m.queue {
 			m.data[w.idx] = w.v
 		}

@@ -19,6 +19,7 @@ import (
 type VCDDumper struct {
 	w       io.Writer
 	sim     *Simulator
+	scope   string
 	signals []*Signal
 	ids     []string
 	last    []uint64
@@ -30,6 +31,21 @@ type VCDDumper struct {
 // passed, every signal of the design — including register outputs) and
 // writes the VCD header. Call Sample after each Tick.
 func NewVCDDumper(w io.Writer, sim *Simulator, signals ...*Signal) (*VCDDumper, error) {
+	return newVCDDumper(w, sim, "core", signals)
+}
+
+// NewVCDDumperLane is NewVCDDumper for a machine peeled out of a
+// bit-parallel replay batch: the trace scope is stamped with the lane
+// index ("core_lane12"), so dumps of several peeled machines from the
+// same batch stay distinguishable side by side in a waveform viewer.
+func NewVCDDumperLane(w io.Writer, sim *Simulator, lane int, signals ...*Signal) (*VCDDumper, error) {
+	if lane < 0 || lane >= MaxLanes {
+		return nil, fmt.Errorf("rtl: vcd lane %d out of range [0,%d)", lane, MaxLanes)
+	}
+	return newVCDDumper(w, sim, fmt.Sprintf("core_lane%d", lane), signals)
+}
+
+func newVCDDumper(w io.Writer, sim *Simulator, scope string, signals []*Signal) (*VCDDumper, error) {
 	if len(signals) == 0 {
 		signals = append([]*Signal(nil), sim.signals...)
 		sort.Slice(signals, func(i, j int) bool { return signals[i].name < signals[j].name })
@@ -37,6 +53,7 @@ func NewVCDDumper(w io.Writer, sim *Simulator, signals ...*Signal) (*VCDDumper, 
 	d := &VCDDumper{
 		w:       w,
 		sim:     sim,
+		scope:   scope,
 		signals: signals,
 		ids:     make([]string, len(signals)),
 		last:    make([]uint64, len(signals)),
@@ -69,7 +86,7 @@ func (d *VCDDumper) header() error {
 	fmt.Fprintf(d.w, "$date %s $end\n", time.Time{}.Format("2006-01-02"))
 	fmt.Fprintf(d.w, "$version repro rtl kernel $end\n")
 	fmt.Fprintf(d.w, "$timescale 1ns $end\n")
-	fmt.Fprintf(d.w, "$scope module core $end\n")
+	fmt.Fprintf(d.w, "$scope module %s $end\n", d.scope)
 	for i, s := range d.signals {
 		name := strings.ReplaceAll(s.name, " ", "_")
 		fmt.Fprintf(d.w, "$var wire %d %s %s $end\n", s.width, d.ids[i], name)

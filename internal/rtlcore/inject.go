@@ -98,6 +98,18 @@ func (c *Core) latchRegs() []*rtl.Reg {
 	return c.sim.RegsByPrefix("")
 }
 
+// AttachRFBatch attaches a bit-parallel lane tracker to the
+// architectural register file, the TargetRF fault bit space. The flat
+// bit indexing matches FlipRFBit/ForceRFBit exactly.
+func (c *Core) AttachRFBatch() *rtl.BatchMem { return c.regfile.AttachBatch() }
+
+// AttachL1DBatch attaches a bit-parallel lane tracker to the L1D data
+// array, the TargetL1D fault bit space (indexing as FlipL1DBit). The
+// pipeline latches have no batch surface: they are individual
+// registers read combinationally every cycle, so a latch fault would
+// peel on its first tick and lockstep batching could never win.
+func (c *Core) AttachL1DBatch() *rtl.BatchMem { return c.l1d.data.AttachBatch() }
+
 // SetLifetime attaches (or detaches, with nils) the golden-run lifetime
 // traces of the campaign fault targets: rf covers the architectural
 // register file (16 units of 32 bits), l1d the L1D data array (one unit

@@ -132,6 +132,15 @@ func run(out, baseline string, maxReg float64) error {
 		doc.Replay = append(doc.Replay, pt)
 	}
 
+	// The bit-parallel arm replays the same planned-fault shape through
+	// the 64-lane lockstep engine; committed next to the scalar rtl
+	// point, the baseline gate pins the batched speedup too.
+	bp, err := measureReplayBatch(512)
+	if err != nil {
+		return err
+	}
+	doc.Replay = append(doc.Replay, bp)
+
 	sw, err := measureSweep()
 	if err != nil {
 		return err
@@ -246,6 +255,70 @@ func measureReplay(m core.Model, n int) (ReplayPoint, error) {
 	el := time.Since(start).Seconds()
 	return ReplayPoint{
 		Model: m.String(), Replays: n,
+		ReplaysPerS:  float64(n) / el,
+		MCyclesPerS:  float64(cycles) / el / 1e6,
+		GoldenCycles: g.Cycles,
+	}, nil
+}
+
+// measureReplayBatch measures the bit-parallel lockstep engine on the
+// RTL model: n planned transients replayed through one 64-lane
+// BatchReplayer (cycle-clustered groups, lane peeling on first
+// consumption). Reported under model "rtl-batch" with the same
+// replaysPerSec/mcyclesPerSec metrics as the scalar arms, so the
+// -baseline gate covers the batched path the moment the point lands in
+// the committed baseline.
+func measureReplayBatch(n int) (ReplayPoint, error) {
+	prog, err := workload("qsort")
+	if err != nil {
+		return ReplayPoint{}, err
+	}
+	factory := core.Factory(core.ModelRTL, prog, core.CampaignSetup())
+	g, err := campaign.PrepareGolden(factory, campaign.GoldenOptions{})
+	if err != nil {
+		return ReplayPoint{}, err
+	}
+	gold, err := factory()
+	if err != nil {
+		return ReplayPoint{}, err
+	}
+	scalar, err := factory()
+	if err != nil {
+		return ReplayPoint{}, err
+	}
+	cfg := campaign.Config{
+		Injections: 1, Seed: 1, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 500, Lanes: campaign.MaxLanes,
+	}
+	specs, err := fault.Plan(n, cfg.Target, scalar.Bits(cfg.Target), g.Cycles,
+		fault.DistNormal, cfg.Fault, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return ReplayPoint{}, err
+	}
+	br := campaign.NewBatchReplayer(g, cfg, gold, scalar)
+	if br == nil {
+		return ReplayPoint{}, fmt.Errorf("rtl model lost its batch surface")
+	}
+	defer br.Close()
+	var cycles uint64
+	i := 0
+	start := time.Now()
+	err = br.Replay(func() (int, fault.Spec, bool) {
+		if i >= len(specs) {
+			return 0, fault.Spec{}, false
+		}
+		i++
+		return i - 1, specs[i-1], true
+	}, func(idx int, oc campaign.RunOutcome) error {
+		cycles += oc.EndCycle - specs[idx].Cycle
+		return nil
+	})
+	if err != nil {
+		return ReplayPoint{}, err
+	}
+	el := time.Since(start).Seconds()
+	return ReplayPoint{
+		Model: "rtl-batch", Replays: n,
 		ReplaysPerS:  float64(n) / el,
 		MCyclesPerS:  float64(cycles) / el / 1e6,
 		GoldenCycles: g.Cycles,
