@@ -6,6 +6,7 @@
 //	faultsim -bench fft -fault-model burst -burst 4
 //	faultsim -bench caes -window 0 -early-stop -target-error 0.05
 //	faultsim -bench caes -target l1d -window 0 -prune classes
+//	faultsim -bench caes -avf-prior -target-error 0.05
 //
 // -fault-model selects the injected fault model (transient, burst,
 // stuck-at, stuck-at-0, stuck-at-1, intermittent); -burst and -span set
@@ -20,6 +21,15 @@
 // replays one representative per first-consumer equivalence class and
 // extrapolates MeRLiN-style. -cpuprofile/-memprofile write pprof
 // profiles of the campaign.
+//
+// -avf attaches an injection-free ACE/AVF estimate to the result: the
+// golden lifetime trace is swept into the target structure's AVF and
+// the campaign's exact fault plan is re-judged by it, with zero extra
+// replays (transient models only). -avf-prior additionally seeds the
+// sequential stopping estimator with the prediction (requires
+// -target-error), so a campaign tracking the prediction reaches its
+// margin with fewer replays — the prior moves only the stopping index,
+// never the reported estimate.
 //
 // -checkpoint DIR streams per-run outcomes to JSONL shards; an
 // interrupted campaign (SIGINT/SIGTERM drains in-flight replays and
@@ -78,6 +88,8 @@ func run(args []string) error {
 		earlyStop  = fs.Bool("early-stop", false, "adaptive engine: end a replay the moment its state reconverges with golden")
 		targetErr  = fs.Float64("target-error", 0, "adaptive engine: stop injecting once every class proportion is within this margin (0 = full plan)")
 		prune      = fs.String("prune", "off", "golden-trace fault pruning: off, dead (exact), classes (MeRLiN-style extrapolation)")
+		avf        = fs.Bool("avf", false, "attach an injection-free ACE/AVF estimate from the golden lifetime trace (zero extra replays, transient models only)")
+		avfPrior   = fs.Bool("avf-prior", false, "seed sequential stopping from the AVF prediction (implies -avf, requires -target-error)")
 		lanes      = fs.Int("lanes", 64, "bit-parallel lockstep replay width on the RTL model, 1-64 (1 = scalar engine; byte-identical results at any width)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
@@ -128,6 +140,8 @@ func run(args []string) error {
 		EarlyStop:    *earlyStop,
 		TargetError:  *targetErr,
 		Lanes:        *lanes,
+		AVF:          *avf,
+		AVFPrior:     *avfPrior,
 	}
 	if cfg.Prune, err = campaign.ParsePruneMode(*prune); err != nil {
 		return err

@@ -13,10 +13,12 @@
 // prints each planned fault, its golden-trace lifetime verdict (dead:
 // the corrupted bits are overwritten before any read, so the fault is
 // provably Masked without replay; live: the cycle the corruption is
-// first consumed), its replayed classification and its convergence
-// cycle — the instant the corrupted state reconverged with the golden
-// run ("never" if it stayed divergent) — making masking behavior
-// inspectable from the CLI. -fault-model and -burst select the
+// first consumed), its independent ACE verdict from the AVF interval
+// scan (printed as `ace:` — the two injection-less columns must agree,
+// which the differential tests pin), its replayed classification and
+// its convergence cycle — the instant the corrupted state reconverged
+// with the golden run ("never" if it stayed divergent) — making masking
+// behavior inspectable from the CLI. -fault-model and -burst select the
 // injected fault model:
 //
 //	runsim -bench qsort -model rtl -inject 5 -fault-model stuck-at-1
@@ -241,8 +243,19 @@ func run(args []string) error {
 			case info.Tracked:
 				verdict = fmt.Sprintf("live (first consumed @%d)", info.ConsumeCycle)
 			}
-			fmt.Printf("  bit=%-6d cycle=%-8d%s -> %v (end cycle %d, converged %s, lifetime: %s)\n",
-				s.Bit, s.Cycle, extra, oc.Class, oc.EndCycle, conv, verdict)
+			ace := "untracked"
+			switch av, ok := g.AVFVerdict(s, cfg); {
+			case s.Model.Persistent():
+				ace = "n/a"
+			case !ok:
+				// untracked target: the model records no lifetime trace
+			case av.ACE:
+				ace = fmt.Sprintf("consumed@%d", av.Cycle)
+			default:
+				ace = "dead"
+			}
+			fmt.Printf("  bit=%-6d cycle=%-8d%s -> %v (end cycle %d, converged %s, lifetime: %s, ace: %s)\n",
+				s.Bit, s.Cycle, extra, oc.Class, oc.EndCycle, conv, verdict, ace)
 		}
 		return nil
 	}

@@ -1,0 +1,260 @@
+// Package avf computes injection-free ACE/AVF vulnerability estimates
+// from the golden run's lifetime traces, in the spirit of Mukherjee et
+// al.'s ACE analysis (MICRO 2003): a bit-cycle is ACE (required for
+// Architecturally Correct Execution) when the value the bit holds at
+// that instant is later consumed by the design, so corrupting it can
+// change the program's outcome; it is un-ACE when the golden run
+// overwrites the bit before any read, or never reads it inside the
+// observation horizon. The fraction of ACE bit-cycles over a structure
+// is its Architectural Vulnerability Factor — an unsafeness estimate
+// computed from a single golden run with zero fault replays.
+//
+// The package consumes the same per-unit read/overwrite event streams
+// that golden-trace fault pruning (internal/lifetime, MeRLiN-style)
+// classifies single faults with, and its interval sweep is defined to
+// agree with lifetime.ClassifyBit exactly: an instant t is ACE for bit
+// b if and only if ClassifyBit(b, t, horizon) is Live. That equivalence
+// is the package's differential-test obligation — the estimator and the
+// injector must never disagree about a fault both can see.
+//
+// By construction the estimate upper-bounds the fault-injection
+// unsafeness measured on the same structure: a dead (un-ACE) fault is
+// provably Masked, while an ACE fault may still be logically masked
+// downstream of its first consuming read. The gap between the two is
+// the logical-masking margin ACE analysis is known to leave on the
+// table, and experiment E12 measures it on both abstraction levels.
+package avf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lifetime"
+)
+
+// ProfileBuckets is the resolution of the cycle-resolved vulnerability
+// profile: the injection-instant domain is split into this many
+// contiguous ranges, each reporting its ACE fraction.
+const ProfileBuckets = 64
+
+// Options parameterises an ACE sweep over one structure's trace.
+type Options struct {
+	// Horizon is the golden run length in cycles. Injection instants
+	// span [1, Horizon-1] — the same domain the fault planner samples —
+	// and with Window == 0 every instant is observed up to Horizon.
+	Horizon uint64
+
+	// Window is the observation window after the injection instant: an
+	// instant t only sees reads at cycles (t, t+Window]. Zero means
+	// run-to-end (horizon = Horizon), matching campaign.Config.Window.
+	Window uint64
+}
+
+// Estimate is the ACE/AVF summary of one structure.
+type Estimate struct {
+	Units  int `json:"units"`
+	Width  int `json:"width"`
+	Bits   int `json:"bits"`
+	Events int `json:"events"` // recorded golden events consumed
+
+	Horizon uint64 `json:"horizon"`
+	Window  uint64 `json:"window"`
+
+	// ACEBitCycles counts (bit, instant) pairs whose first covering
+	// event inside the horizon is a read.
+	ACEBitCycles uint64 `json:"aceBitCycles"`
+
+	// AVF is the uniform-instant vulnerability factor:
+	// ACEBitCycles / (Bits * (Horizon-1)).
+	AVF float64 `json:"avf"`
+
+	// AVFWeighted reweights each instant by the campaign planner's
+	// truncated-normal injection-time distribution (mean Horizon/2,
+	// sigma Horizon/6), so it predicts the unsafeness a DistNormal
+	// fault-injection campaign converges to.
+	AVFWeighted float64 `json:"avfWeighted"`
+
+	// Profile is the cycle-resolved vulnerability profile: the ACE
+	// fraction of each of ProfileBuckets contiguous instant ranges.
+	Profile []float64 `json:"profile"`
+}
+
+// Verdict is the injection-free ACE classification of one (bit,
+// instant) pair.
+type Verdict struct {
+	// ACE reports that the bit's value at the instant is consumed by a
+	// read inside the horizon — a transient flip there is potentially
+	// unsafe and fault injection must replay it to resolve the outcome.
+	ACE bool
+
+	// Cycle is the first consuming read's cycle (ACE only).
+	Cycle uint64
+}
+
+// Analyze sweeps one structure's golden event stream and returns its
+// ACE/AVF estimate. The sweep walks each unit's events in execution
+// order keeping the cycle of the last event covering each bit: a read
+// at cycle c covering bit b makes every instant in [last(b), c-1] ACE
+// (the read is the first covering event strictly after those instants),
+// clipped to the instant domain and, when Window > 0, to [c-Window, ∞).
+// Writes only advance last(b). This visits every event once per covered
+// bit — O(events × width) regardless of the run length — where the
+// equivalent per-instant ClassifyBit scan would cost O(bits × cycles).
+func Analyze(sp *lifetime.Space, opt Options) (Estimate, error) {
+	if sp == nil {
+		return Estimate{}, fmt.Errorf("avf: no lifetime trace for the target structure")
+	}
+	if opt.Horizon < 2 {
+		return Estimate{}, fmt.Errorf("avf: horizon %d leaves no injection instants", opt.Horizon)
+	}
+	est := Estimate{
+		Units: sp.Units(), Width: sp.Width(), Bits: sp.Bits(),
+		Events:  sp.Events(),
+		Horizon: opt.Horizon, Window: opt.Window,
+		Profile: make([]float64, ProfileBuckets),
+	}
+	maxInstant := opt.Horizon - 1
+	weight := newNormWeight(opt.Horizon)
+	last := make([]uint64, sp.Width())
+	profile := make([]uint64, ProfileBuckets)
+	var weighted float64
+	for u := 0; u < est.Units; u++ {
+		for b := range last {
+			last[b] = 0
+		}
+		sp.ForEachEvent(u, func(e lifetime.Event) {
+			for b := e.Lo; b < e.Hi && b < len(last); b++ {
+				if e.Read {
+					lo := last[b]
+					if lo < 1 {
+						lo = 1
+					}
+					if opt.Window > 0 && e.Cycle > opt.Window && e.Cycle-opt.Window > lo {
+						lo = e.Cycle - opt.Window
+					}
+					var hi uint64
+					if e.Cycle >= 1 {
+						hi = e.Cycle - 1
+					}
+					if hi > maxInstant {
+						hi = maxInstant
+					}
+					// With Window == 0 the horizon is the golden end for
+					// every instant, so a read beyond it consumes nothing
+					// any instant can see (ClassifyBit stops scanning
+					// there); windowed horizons move with the instant and
+					// the lo clip above already encodes them.
+					visible := opt.Window > 0 || e.Cycle <= opt.Horizon
+					if visible && hi >= lo {
+						est.ACEBitCycles += hi - lo + 1
+						weighted += weight.intervalMass(lo, hi)
+						addProfile(profile, lo, hi, maxInstant)
+					}
+				}
+				last[b] = e.Cycle
+			}
+		})
+	}
+	est.AVF = float64(est.ACEBitCycles) / (float64(est.Bits) * float64(maxInstant))
+	est.AVFWeighted = weighted / float64(est.Bits)
+	for i := range est.Profile {
+		if lo, hi := bucketBounds(i, maxInstant); hi >= lo {
+			est.Profile[i] = float64(profile[i]) / (float64(est.Bits) * float64(hi-lo+1))
+		}
+	}
+	return est, nil
+}
+
+// Classify resolves one (bit, instant) pair: the ACE verdict of a
+// transient flip of flat bit `bit` injected after cycle `after`. It is
+// an independent implementation of the query lifetime.ClassifyBit
+// answers — a linear scan over the exported event stream instead of the
+// packed binary search — kept separate on purpose: the differential
+// tests assert the two agree on every (bit, instant) either can see, so
+// a bug must strike both codepaths identically to slip through.
+func Classify(sp *lifetime.Space, bit int, after uint64, opt Options) Verdict {
+	unit := bit / sp.Width()
+	off := bit % sp.Width()
+	horizon := opt.Horizon
+	if opt.Window > 0 {
+		horizon = after + opt.Window
+	}
+	var v Verdict
+	decided := false
+	sp.ForEachEvent(unit, func(e lifetime.Event) {
+		if decided || e.Cycle <= after || e.Cycle > horizon {
+			return
+		}
+		if off < e.Lo || off >= e.Hi {
+			return
+		}
+		decided = true
+		if e.Read {
+			v = Verdict{ACE: true, Cycle: e.Cycle}
+		}
+	})
+	return v
+}
+
+// normWeight is the campaign planner's injection-time law: a normal
+// centred mid-run with sigma = horizon/6, truncated by resampling to
+// [1, horizon-1] and floored to an integer instant (fault.sampleCycle).
+type normWeight struct {
+	mu, sigma, z float64
+	max          uint64 // horizon - 1, the truncation upper bound
+}
+
+func newNormWeight(horizon uint64) normWeight {
+	w := normWeight{
+		mu:    float64(horizon) / 2,
+		sigma: float64(horizon) / 6,
+		max:   horizon - 1,
+	}
+	w.z = w.cdf(float64(w.max)) - w.cdf(1)
+	return w
+}
+
+func (w normWeight) cdf(x float64) float64 {
+	return 0.5 * (1 + math.Erf((x-w.mu)/(w.sigma*math.Sqrt2)))
+}
+
+// intervalMass returns the probability a planner-sampled instant lands
+// in [lo, hi]: instant k is floor(v) for accepted v in [k, k+1), so the
+// mass telescopes to the CDF difference over [lo, hi+1], normalised by
+// the truncation mass.
+func (w normWeight) intervalMass(lo, hi uint64) float64 {
+	// floor(v) = max only when v hits the bound exactly (measure zero),
+	// so the topmost instant carrying mass is max-1.
+	if hi >= w.max {
+		hi = w.max - 1
+	}
+	if hi < lo || w.z <= 0 {
+		return 0
+	}
+	return (w.cdf(float64(hi+1)) - w.cdf(float64(lo))) / w.z
+}
+
+// bucketBounds returns the instant range [lo, hi] of profile bucket i
+// over the domain [1, maxInstant]; buckets are contiguous and disjoint,
+// and hi < lo marks an empty bucket (more buckets than instants).
+func bucketBounds(i int, maxInstant uint64) (lo, hi uint64) {
+	lo = 1 + uint64(i)*maxInstant/ProfileBuckets
+	hi = uint64(i+1) * maxInstant / ProfileBuckets
+	return lo, hi
+}
+
+// addProfile folds the ACE interval [lo, hi] into the per-bucket
+// counters, splitting it across bucket boundaries.
+func addProfile(cnt []uint64, lo, hi, maxInstant uint64) {
+	i := int((lo*ProfileBuckets - 1) / maxInstant)
+	for lo <= hi && i < ProfileBuckets {
+		_, bh := bucketBounds(i, maxInstant)
+		end := hi
+		if bh < end {
+			end = bh
+		}
+		cnt[i] += end - lo + 1
+		lo = end + 1
+		i++
+	}
+}

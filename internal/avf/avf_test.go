@@ -1,0 +1,241 @@
+package avf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lifetime"
+)
+
+// randomSpace builds a small trace with execution-ordered random events
+// (the recording contract: per-unit cycles non-decreasing, which a
+// global non-decreasing cycle stream satisfies).
+func randomSpace(rng *rand.Rand, units, width int, events int, horizon uint64) *lifetime.Space {
+	sp := lifetime.NewSpace(units, width)
+	cycle := uint64(0)
+	for i := 0; i < events; i++ {
+		cycle += uint64(rng.Intn(3)) // repeats same-cycle events too
+		if cycle > horizon+4 {
+			break
+		}
+		u := rng.Intn(units)
+		lo := rng.Intn(width)
+		hi := lo + 1 + rng.Intn(width-lo)
+		if rng.Intn(2) == 0 {
+			sp.Read(cycle, u, lo, hi)
+		} else {
+			sp.Write(cycle, u, lo, hi)
+		}
+	}
+	return sp
+}
+
+// bruteACE answers the per-instant query through lifetime.ClassifyBit —
+// the PR 4 pruning oracle the estimator must agree with.
+func bruteACE(sp *lifetime.Space, bit int, after uint64, opt Options) bool {
+	horizon := opt.Horizon
+	if opt.Window > 0 {
+		horizon = after + opt.Window
+	}
+	return sp.ClassifyBit(bit, after, horizon).Live
+}
+
+// TestClassifyAgreesWithClassifyBit is the core differential check: the
+// avf interval scan and the pruning binary search must produce the same
+// verdict (and the same first-consumer cycle) for every (bit, instant)
+// pair, windowed and run-to-end.
+func TestClassifyAgreesWithClassifyBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		const horizon = 40
+		sp := randomSpace(rng, 1+rng.Intn(4), 1+rng.Intn(6), 60, horizon)
+		for _, window := range []uint64{0, 1, 5, horizon} {
+			opt := Options{Horizon: horizon, Window: window}
+			for bit := 0; bit < spBits(sp); bit++ {
+				for after := uint64(1); after < horizon; after++ {
+					got := Classify(sp, bit, after, opt)
+					h := opt.Horizon
+					if window > 0 {
+						h = after + window
+					}
+					want := sp.ClassifyBit(bit, after, h)
+					if got.ACE != want.Live {
+						t.Fatalf("trial %d window %d bit %d after %d: avf=%v lifetime=%v",
+							trial, window, bit, after, got.ACE, want.Live)
+					}
+					if got.ACE && got.Cycle != want.Cycle {
+						t.Fatalf("trial %d window %d bit %d after %d: consume cycle %d vs %d",
+							trial, window, bit, after, got.Cycle, want.Cycle)
+					}
+				}
+			}
+		}
+	}
+}
+
+func spBits(sp *lifetime.Space) int { return sp.Bits() }
+
+// TestAnalyzeMatchesBruteForceCount checks the interval sweep against
+// exhaustive per-instant classification: ACEBitCycles must equal the
+// number of (bit, instant) pairs ClassifyBit calls live.
+func TestAnalyzeMatchesBruteForceCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		const horizon = 50
+		sp := randomSpace(rng, 1+rng.Intn(3), 1+rng.Intn(8), 80, horizon)
+		for _, window := range []uint64{0, 3, 12, horizon * 2} {
+			opt := Options{Horizon: horizon, Window: window}
+			est, err := Analyze(sp, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want uint64
+			for bit := 0; bit < sp.Bits(); bit++ {
+				for after := uint64(1); after < horizon; after++ {
+					if bruteACE(sp, bit, after, opt) {
+						want++
+					}
+				}
+			}
+			if est.ACEBitCycles != want {
+				t.Fatalf("trial %d window %d: sweep counted %d ACE bit-cycles, brute force %d",
+					trial, window, est.ACEBitCycles, want)
+			}
+			wantAVF := float64(want) / (float64(sp.Bits()) * float64(horizon-1))
+			if math.Abs(est.AVF-wantAVF) > 1e-12 {
+				t.Fatalf("AVF %v, want %v", est.AVF, wantAVF)
+			}
+		}
+	}
+}
+
+// TestAnalyzeWeightedMatchesBruteForce recomputes the truncated-normal
+// weighting instant by instant and compares it to the telescoped
+// interval masses.
+func TestAnalyzeWeightedMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const horizon = 64
+	sp := randomSpace(rng, 2, 6, 90, horizon)
+	opt := Options{Horizon: horizon}
+	est, err := Analyze(sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newNormWeight(horizon)
+	var want float64
+	for bit := 0; bit < sp.Bits(); bit++ {
+		for after := uint64(1); after < horizon; after++ {
+			if bruteACE(sp, bit, after, opt) {
+				want += w.intervalMass(after, after)
+			}
+		}
+	}
+	want /= float64(sp.Bits())
+	if math.Abs(est.AVFWeighted-want) > 1e-9 {
+		t.Fatalf("AVFWeighted %v, want %v", est.AVFWeighted, want)
+	}
+	// The instant masses are a probability law: an always-ACE structure
+	// must weight to exactly 1 per bit.
+	var total float64
+	for k := uint64(1); k < horizon; k++ {
+		total += w.intervalMass(k, k)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("instant masses sum to %v, want 1", total)
+	}
+}
+
+// TestProfileAccounting checks the cycle-resolved profile: bucket
+// counts must partition ACEBitCycles, and every fraction stays in
+// [0, 1].
+func TestProfileAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, horizon := range []uint64{5, ProfileBuckets, 777} {
+		sp := randomSpace(rng, 2, 5, 120, horizon)
+		est, err := Analyze(sp, Options{Horizon: horizon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fromBuckets float64
+		for i, f := range est.Profile {
+			if f < 0 || f > 1 || math.IsNaN(f) {
+				t.Fatalf("horizon %d bucket %d fraction %v out of [0,1]", horizon, i, f)
+			}
+			lo, hi := bucketBounds(i, horizon-1)
+			if hi >= lo {
+				fromBuckets += f * float64(hi-lo+1) * float64(est.Bits)
+			}
+		}
+		if math.Abs(fromBuckets-float64(est.ACEBitCycles)) > 1e-6 {
+			t.Fatalf("horizon %d: buckets account for %v bit-cycles, sweep counted %d",
+				horizon, fromBuckets, est.ACEBitCycles)
+		}
+	}
+}
+
+// TestBucketBoundsPartition asserts the bucket ranges tile [1, max]
+// with no gaps or overlaps for awkward domain sizes.
+func TestBucketBoundsPartition(t *testing.T) {
+	for _, max := range []uint64{1, 2, ProfileBuckets - 1, ProfileBuckets, ProfileBuckets + 1, 1000} {
+		next := uint64(1)
+		for i := 0; i < ProfileBuckets; i++ {
+			lo, hi := bucketBounds(i, max)
+			if hi < lo {
+				continue // empty bucket (domain smaller than bucket count)
+			}
+			if lo != next {
+				t.Fatalf("max %d bucket %d starts at %d, want %d", max, i, lo, next)
+			}
+			next = hi + 1
+		}
+		if next != max+1 {
+			t.Fatalf("max %d: buckets cover up to %d, want %d", max, next-1, max)
+		}
+	}
+}
+
+// TestAnalyzeErrors covers the argument guards.
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, Options{Horizon: 10}); err == nil {
+		t.Fatal("nil space accepted")
+	}
+	sp := lifetime.NewSpace(1, 4)
+	if _, err := Analyze(sp, Options{Horizon: 1}); err == nil {
+		t.Fatal("horizon 1 accepted")
+	}
+}
+
+// TestKnownHandComputedTrace pins the semantics on a trace small enough
+// to verify by hand: unit of 2 bits, write [0,2) @1, read [0,1) @4,
+// write [0,2) @6, read [1,2) @9, horizon 10 (instants 1..9).
+//
+// Bit 0: instants 1..3 see the read @4 first (ACE); 4..9 see the write
+// @6 or nothing (dead). Bit 1: instants 1..5 see the write @6 first
+// (dead); 6..8 see the read @9 (ACE); 9 sees nothing.
+func TestKnownHandComputedTrace(t *testing.T) {
+	sp := lifetime.NewSpace(1, 2)
+	sp.Write(1, 0, 0, 2)
+	sp.Read(4, 0, 0, 1)
+	sp.Write(6, 0, 0, 2)
+	sp.Read(9, 0, 1, 2)
+	est, err := Analyze(sp, Options{Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ACEBitCycles != 6 {
+		t.Fatalf("ACEBitCycles = %d, want 6", est.ACEBitCycles)
+	}
+	if want := 6.0 / 18.0; math.Abs(est.AVF-want) > 1e-12 {
+		t.Fatalf("AVF = %v, want %v", est.AVF, want)
+	}
+	// Windowed: with Window=2 the read @4 only covers instants 2..3 and
+	// the read @9 instants 7..8 — 4 ACE bit-cycles.
+	est, err = Analyze(sp, Options{Horizon: 10, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ACEBitCycles != 4 {
+		t.Fatalf("windowed ACEBitCycles = %d, want 4", est.ACEBitCycles)
+	}
+}

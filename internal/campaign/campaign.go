@@ -224,6 +224,29 @@ type Config struct {
 	// replay. Off by default; the default path reproduces the
 	// non-pruning engine bit for bit.
 	Prune PruneMode
+
+	// AVF enables injection-free ACE/AVF estimation (internal/avf): the
+	// golden run records the target's lifetime trace, an ACE-interval
+	// sweep over it computes the structure's vulnerability factor and
+	// cycle-resolved profile, and the campaign's exact fault plan is
+	// re-judged by the trace into a predicted unsafeness ceiling — all
+	// with zero replays, attached to Result.AVF. The replay phase itself
+	// is untouched: the estimate rides along as the "estimate first,
+	// inject to confirm" companion of the measured result. Transient
+	// models only (persistent faults re-assert over time, so golden-trace
+	// reasoning does not apply).
+	AVF bool
+
+	// AVFPrior seeds sequential stopping from the AVF prediction
+	// (implies AVF, requires TargetError): the estimator starts from
+	// MinRuns-worth of unit-weight pseudo-observations split between
+	// Masked and the config's failure class at the predicted unsafeness,
+	// instead of from nothing. Campaigns whose measured proportions track
+	// the prediction converge to the target margin with fewer replays;
+	// the reported Unsafeness and AchievedMargin still come from real
+	// outcomes only — the prior moves the stopping index, never the
+	// estimate.
+	AVFPrior bool
 }
 
 // defaultSnapshotEvery is the golden-run snapshot interval selected by
@@ -262,6 +285,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Lanes == 0 {
 		c.Lanes = MaxLanes
+	}
+	if c.AVFPrior {
+		c.AVF = true
 	}
 }
 
@@ -350,6 +376,11 @@ type Result struct {
 	PeeledRuns    int
 	LaneOccupancy float64
 
+	// AVF is the campaign's injection-free ACE/AVF estimate, computed
+	// from the golden lifetime trace with zero replays; nil unless
+	// Config.AVF.
+	AVF *AVFInfo
+
 	Elapsed       time.Duration
 	AvgSecPerRun  float64
 	GoldenElapsed time.Duration
@@ -385,6 +416,12 @@ func (c *Config) validate() error {
 	}
 	if c.Lanes < 1 || c.Lanes > MaxLanes {
 		return fmt.Errorf("campaign: Lanes %d out of [1,%d]", c.Lanes, MaxLanes)
+	}
+	if c.AVF && c.Fault.Model.Persistent() {
+		return fmt.Errorf("campaign: AVF estimation covers transient models only (got %v)", c.Fault.Model)
+	}
+	if c.AVFPrior && c.TargetError == 0 {
+		return fmt.Errorf("campaign: AVFPrior requires sequential stopping (TargetError > 0)")
 	}
 	return nil
 }
@@ -577,7 +614,7 @@ func goldenOptionsFor(cfg Config) GoldenOptions {
 	opts := GoldenOptions{
 		SnapshotEvery: cfg.SnapshotEvery,
 		Timeline:      cfg.AdvanceToUse,
-		Lifetime:      cfg.Prune != PruneOff,
+		Lifetime:      cfg.Prune != PruneOff || cfg.AVF,
 	}
 	if cfg.EarlyStop {
 		opts.HashEvery = defaultHashEvery

@@ -57,6 +57,10 @@ type Planned struct {
 	nextIdx  int
 	stopHint int // checkpointed stopping index, -1 when none
 
+	// Injection-free estimate attached to Result under Config.AVF,
+	// computed at plan time (zero replays).
+	avfInfo *AVFInfo
+
 	// Bit-parallel replay accounting, summed over every worker's
 	// BatchReplayer via noteBatch.
 	batched, peeled, groups, laneSum int
@@ -86,7 +90,16 @@ func (g *Golden) PlanCampaign(cfg Config) (*Planned, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Planned{cfg: cfg, g: g, pl: pl, seq: seq, pr: pr, stopHint: -1}, nil
+	var info *AVFInfo
+	if cfg.AVF {
+		if info, err = buildAVFInfo(g, pl, cfg); err != nil {
+			return nil, err
+		}
+		if cfg.AVFPrior {
+			seedAVFPrior(seq, info, cfg)
+		}
+	}
+	return &Planned{cfg: cfg, g: g, pl: pl, seq: seq, pr: pr, stopHint: -1, avfInfo: info}, nil
 }
 
 // Config returns the validated campaign config (defaults filled).
@@ -203,6 +216,7 @@ func (p *Planned) Result(elapsed time.Duration) (*Result, error) {
 	if p.groups > 0 {
 		res.LaneOccupancy = float64(p.laneSum) / float64(p.groups)
 	}
+	res.AVF = p.avfInfo
 	p.mu.Unlock()
 	return res, nil
 }

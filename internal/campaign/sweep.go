@@ -177,8 +177,9 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 			// golden run serves the group's non-adaptive members too.
 			gr.opts.HashEvery = defaultHashEvery
 		}
-		if c.Config.Prune != PruneOff {
-			// Likewise for the lifetime trace behind fault pruning.
+		if c.Config.Prune != PruneOff || c.Config.AVF {
+			// Likewise for the lifetime trace behind fault pruning and
+			// injection-free AVF estimation.
 			gr.opts.Lifetime = true
 		}
 		gr.members = append(gr.members, i)
@@ -224,6 +225,8 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 	plans := make([]*lazyPlan, len(campaigns))
 	seqs := make([]*seqStop, len(campaigns))
 	pruners := make([]*pruner, len(campaigns))
+	avfInfos := make([]*AVFInfo, len(campaigns))
+	batchable := make([]bool, len(campaigns))
 	campGroup := make([]*sweepGroup, len(campaigns))
 	goldenFp := make([]uint64, len(campaigns))
 	for i, c := range campaigns {
@@ -241,6 +244,17 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		if pruners[i], err = newPruner(gr.golden, pl, c.Config); err != nil {
 			return nil, fmt.Errorf("%s: %w", c.Key, err)
 		}
+		if c.Config.AVF {
+			if avfInfos[i], err = buildAVFInfo(gr.golden, pl, c.Config); err != nil {
+				return nil, fmt.Errorf("%s: %w", c.Key, err)
+			}
+			if c.Config.AVFPrior {
+				seedAVFPrior(seqs[i], avfInfos[i], c.Config)
+			}
+		}
+		// Bit-parallel replay probes once per campaign (the golden
+		// instance answers for every worker instance of the factory).
+		batchable[i] = batchApplies(gr.golden, c.Config)
 	}
 
 	// ------------------------------------------------ checkpoint resume
@@ -270,10 +284,18 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 	// stay hot and at most a few groups are live at once. The producer
 	// walks each campaign's plan lazily and moves on the moment its
 	// sequential stop triggers (or its checkpointed stopping index is
-	// reached), so stopped campaigns stop consuming the pool.
+	// reached), so stopped campaigns stop consuming the pool. For
+	// batch-capable campaigns (Lanes > 1 on an RTL model) a job carries
+	// a chunk of up to Lanes*batchPull replays instead of one, sized so
+	// a worker's BatchReplayer can cycle-cluster full lane groups from
+	// it — the local-sweep form of the bit-parallel engine. Chunking
+	// changes only scheduling: the in-order collector still decides the
+	// same stopping index, and overshoot past it is cut exactly as in
+	// the scalar path.
 	type job struct {
-		camp, idx int
-		spec      fault.Spec
+		camp  int
+		idxs  []int
+		specs []fault.Spec
 	}
 	var campOrder []int
 	for _, k := range order {
@@ -296,7 +318,12 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 			if stopHint[ci] >= 0 && stopHint[ci] < limit {
 				limit = stopHint[ci]
 			}
-			for idx < limit && !seqs[ci].stopped() {
+			chunk := 1
+			if batchable[ci] {
+				chunk = campaigns[ci].Config.Lanes * batchPull
+			}
+			j := job{camp: ci}
+			for idx < limit && !seqs[ci].stopped() && len(j.idxs) < chunk {
 				i := idx
 				idx++
 				if seqs[ci].done(i) {
@@ -313,7 +340,11 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 				case pruneSkip:
 					continue
 				}
-				return job{camp: ci, idx: i, spec: spec}, true
+				j.idxs = append(j.idxs, i)
+				j.specs = append(j.specs, spec)
+			}
+			if len(j.idxs) > 0 {
+				return j, true
 			}
 			oi++
 			idx = 0
@@ -323,16 +354,38 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 
 	busy := make([]int64, len(campaigns))     // attributed ns per campaign
 	executed := make([]int64, len(campaigns)) // replays run this sweep
+	// Per-campaign bit-parallel accounting, summed over every worker's
+	// BatchReplayer — the sweep-pool analogue of Planned.noteBatch.
+	batchedN := make([]int64, len(campaigns))
+	peeledN := make([]int64, len(campaigns))
+	groupsN := make([]int64, len(campaigns))
+	laneSumN := make([]int64, len(campaigns))
 	err = streamJobs(opt.Workers, next, func(worker int, jobs <-chan job) (retErr error) {
 		// Group-major dispatch means each worker sees a non-decreasing
-		// group sequence, so it only ever needs ONE live simulator: the
-		// current group's, reused across campaigns and replays and
-		// dropped when the group changes (bounding live simulators at
-		// ~workers instead of workers x groups).
+		// group sequence, so it only ever needs ONE live simulator per
+		// path: the current group's scalar instance, reused across
+		// campaigns and replays and dropped when the group changes, plus
+		// — for batch-capable campaigns — one BatchReplayer (a lockstep
+		// golden/scalar pair) rebuilt when the batched campaign changes.
 		var (
 			cur *sweepGroup
 			sim Simulator
+
+			br     *BatchReplayer
+			brCamp = -1
 		)
+		foldBatch := func() {
+			if br == nil {
+				return
+			}
+			atomic.AddInt64(&batchedN[brCamp], int64(br.Batched))
+			atomic.AddInt64(&peeledN[brCamp], int64(br.Peeled))
+			atomic.AddInt64(&groupsN[brCamp], int64(br.Groups))
+			atomic.AddInt64(&laneSumN[brCamp], int64(br.LaneSum))
+			br.Close()
+			br, brCamp = nil, -1
+		}
+		defer foldBatch()
 		var ckpt *shardWriter
 		if opt.CheckpointDir != "" {
 			var err error
@@ -350,6 +403,53 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		for j := range jobs {
 			c := &campaigns[j.camp]
 			gr := campGroup[j.camp]
+			if br != nil && j.camp != brCamp {
+				foldBatch()
+			}
+			if batchable[j.camp] {
+				// Bit-parallel path: drive the worker's BatchReplayer
+				// over the chunk; it cycle-clusters the specs into lane
+				// groups, retires unconsumed lanes in lockstep and peels
+				// the rest to the scalar tail — byte-identical outcomes,
+				// delivered through the same fanout/checkpoint route.
+				if br == nil {
+					gold, err := c.Factory()
+					if err != nil {
+						return fmt.Errorf("%s: worker simulator: %w", c.Key, err)
+					}
+					scalar, err := c.Factory()
+					if err != nil {
+						return fmt.Errorf("%s: worker simulator: %w", c.Key, err)
+					}
+					if br = NewBatchReplayer(gr.golden, c.Config, gold, scalar); br == nil {
+						return fmt.Errorf("%s: batch replay unavailable on a worker instance", c.Key)
+					}
+					brCamp = j.camp
+				}
+				k := 0
+				chunkNext := func() (int, fault.Spec, bool) {
+					if k >= len(j.idxs) {
+						return 0, fault.Spec{}, false
+					}
+					i := k
+					k++
+					return j.idxs[i], j.specs[i], true
+				}
+				deliver := func(idx int, oc RunOutcome) error {
+					atomic.AddInt64(&executed[j.camp], 1)
+					oc = deliverReplay(pruners[j.camp], seqs[j.camp], idx, oc)
+					if ckpt != nil {
+						return ckpt.write(c.Key, idx, oc, c.Config, goldenFp[j.camp])
+					}
+					return nil
+				}
+				t0 := time.Now()
+				if err := br.Replay(chunkNext, deliver); err != nil {
+					return fmt.Errorf("%s: %w", c.Key, err)
+				}
+				atomic.AddInt64(&busy[j.camp], int64(time.Since(t0)))
+				continue
+			}
 			if gr != cur {
 				var err error
 				sim, err = c.Factory()
@@ -358,21 +458,23 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 				}
 				cur = gr
 			}
-			t0 := time.Now()
-			oc, err := oneRunBuf(sim, gr.golden, j.spec, c.Config, &buf)
-			if err != nil {
-				return fmt.Errorf("%s: %w", c.Key, err)
-			}
-			atomic.AddInt64(&busy[j.camp], int64(time.Since(t0)))
-			atomic.AddInt64(&executed[j.camp], 1)
-			// Stamp the class weight before delivery, then fan the
-			// representative's outcome out over its extrapolated
-			// members. Only the representative reaches the shard;
-			// extrapolation is re-derived on resume.
-			oc = deliverReplay(pruners[j.camp], seqs[j.camp], j.idx, oc)
-			if ckpt != nil {
-				if err := ckpt.write(c.Key, j.idx, oc, c.Config, goldenFp[j.camp]); err != nil {
-					return err
+			for n, i := range j.idxs {
+				t0 := time.Now()
+				oc, err := oneRunBuf(sim, gr.golden, j.specs[n], c.Config, &buf)
+				if err != nil {
+					return fmt.Errorf("%s: %w", c.Key, err)
+				}
+				atomic.AddInt64(&busy[j.camp], int64(time.Since(t0)))
+				atomic.AddInt64(&executed[j.camp], 1)
+				// Stamp the class weight before delivery, then fan the
+				// representative's outcome out over its extrapolated
+				// members. Only the representative reaches the shard;
+				// extrapolation is re-derived on resume.
+				oc = deliverReplay(pruners[j.camp], seqs[j.camp], i, oc)
+				if ckpt != nil {
+					if err := ckpt.write(c.Key, i, oc, c.Config, goldenFp[j.camp]); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -417,6 +519,12 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		} else {
 			res.AvgSecPerRun = 0
 		}
+		res.BatchedRuns = int(atomic.LoadInt64(&batchedN[i]))
+		res.PeeledRuns = int(atomic.LoadInt64(&peeledN[i]))
+		if g := atomic.LoadInt64(&groupsN[i]); g > 0 {
+			res.LaneOccupancy = float64(atomic.LoadInt64(&laneSumN[i])) / float64(g)
+		}
+		res.AVF = avfInfos[i]
 		sr.Results[c.Key] = res
 	}
 	return sr, nil
@@ -461,6 +569,12 @@ type ckptRecord struct {
 	TargetErr float64 `json:"terr,omitempty"`
 	MinRuns   int     `json:"minRuns,omitempty"`
 	Conf      float64 `json:"conf,omitempty"`
+
+	// AvfPrior pins stop records only: seeding the estimator with the
+	// AVF prediction moves the stopping index, so a stop record decided
+	// with the prior must not cap a prior-less resume (and vice versa).
+	// Outcome records are unaffected — the prior never touches classes.
+	AvfPrior bool `json:"avfPrior,omitempty"`
 
 	// Pruning fields: the campaign's prune mode (a mode change makes
 	// every shard stale — pruning alters which indices replay and how
@@ -575,7 +689,8 @@ func stopRecord(key string, idx int, cfg Config, last fault.Spec, goldenFp uint6
 		Window: cfg.Window, Obs: int(cfg.Obs), Compare: int(cfg.CompareMode),
 		Golden: goldenFp, EarlyStop: cfg.EarlyStop,
 		TargetErr: cfg.TargetError, MinRuns: cfg.MinRuns, Conf: cfg.Confidence,
-		Prune: int(cfg.Prune),
+		AvfPrior: cfg.AVFPrior,
+		Prune:    int(cfg.Prune),
 	}
 }
 
@@ -721,6 +836,9 @@ func applyCkptRecord(r ckptRecord, cfg Config, pl *lazyPlan,
 	if r.Kind == ckptKindStop {
 		if r.TargetErr != cfg.TargetError || r.MinRuns != cfg.MinRuns || r.Conf != cfg.Confidence {
 			return false // different stopping rule: re-derive the index
+		}
+		if r.AvfPrior != cfg.AVFPrior {
+			return false // the prior moves the stopping index
 		}
 		if r.Index <= 0 || r.Index > pl.n {
 			return false

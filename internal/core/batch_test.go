@@ -140,6 +140,94 @@ func TestBatchMatchesScalarComposed(t *testing.T) {
 	}
 }
 
+// TestBatchSweepMatchesScalarSweep is the sweep-pool equivalence
+// acceptance: routing Sweep's shared worker pool through per-worker
+// BatchReplayers (Lanes=64) must reproduce the scalar sweep byte for
+// byte — same outcome streams, counts and unsafeness for every
+// campaign — while actually batching the lane-capable targets.
+func TestBatchSweepMatchesScalarSweep(t *testing.T) {
+	w, err := bench.ByName("qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Factory(ModelRTL, p, CampaignSetup())
+	matrix := func(lanes int) []campaign.SweepCampaign {
+		return []campaign.SweepCampaign{
+			{
+				Key: "rf", Group: "rtl/qsort", Factory: f,
+				Config: campaign.Config{
+					Injections: 30, Seed: 7, Target: fault.TargetRF,
+					Window: 400, Lanes: lanes,
+				},
+			},
+			{
+				Key: "l1d", Group: "rtl/qsort", Factory: f,
+				Config: campaign.Config{
+					Injections: 30, Seed: 9, Target: fault.TargetL1D,
+					Window: 400, Lanes: lanes, EarlyStop: true,
+				},
+			},
+			{
+				// No batch surface for latches: must fall back to the
+				// scalar path inside the batched sweep.
+				Key: "latches", Group: "rtl/qsort", Factory: f,
+				Config: campaign.Config{
+					Injections: 8, Seed: 3, Target: fault.TargetLatches,
+					Window: 300, Lanes: lanes,
+				},
+			},
+		}
+	}
+	scalar, err := campaign.Sweep(matrix(1), campaign.SweepOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := campaign.Sweep(matrix(campaign.MaxLanes), campaign.SweepOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"rf", "l1d", "latches"} {
+		s, b := scalar.Results[key], batch.Results[key]
+		if len(s.Outcomes) != len(b.Outcomes) {
+			t.Fatalf("%s: outcome counts differ: scalar %d, batch %d", key, len(s.Outcomes), len(b.Outcomes))
+		}
+		for i := range s.Outcomes {
+			if !reflect.DeepEqual(s.Outcomes[i], b.Outcomes[i]) {
+				t.Fatalf("%s outcome %d differs:\nscalar %+v\nbatch  %+v", key, i, s.Outcomes[i], b.Outcomes[i])
+			}
+		}
+		if !reflect.DeepEqual(s.Counts, b.Counts) {
+			t.Fatalf("%s: class counts differ: scalar %v, batch %v", key, s.Counts, b.Counts)
+		}
+		if s.Unsafeness != b.Unsafeness {
+			t.Fatalf("%s: unsafeness differs: scalar %+v, batch %+v", key, s.Unsafeness, b.Unsafeness)
+		}
+		if s.BatchedRuns != 0 || s.PeeledRuns != 0 {
+			t.Errorf("%s: scalar sweep reports batching (%d batched, %d peeled)", key, s.BatchedRuns, s.PeeledRuns)
+		}
+	}
+	for _, key := range []string{"rf", "l1d"} {
+		b := batch.Results[key]
+		if b.BatchedRuns+b.PeeledRuns != len(b.Outcomes) {
+			t.Errorf("%s: batch accounting %d+%d does not cover %d outcomes",
+				key, b.BatchedRuns, b.PeeledRuns, len(b.Outcomes))
+		}
+		if b.LaneOccupancy <= 1 {
+			t.Errorf("%s: lane occupancy %.2f: the sweep never packed lanes", key, b.LaneOccupancy)
+		}
+	}
+	if b := batch.Results["latches"]; b.BatchedRuns != 0 || b.PeeledRuns != 0 {
+		t.Errorf("latch sweep campaign reports batching: %d batched, %d peeled", b.BatchedRuns, b.PeeledRuns)
+	}
+	if batch.GoldenRuns != 1 {
+		t.Errorf("batched sweep executed %d golden runs, want 1 shared", batch.GoldenRuns)
+	}
+}
+
 // TestBatchLatchesFallsBackScalar pins the capability boundary: the
 // pipeline-latch target has no batch surface, so a Lanes=64 campaign
 // silently runs the scalar engine and reports no batching.

@@ -758,6 +758,132 @@ func (p Params) AblationPruning() (*PruningResult, error) {
 	return res, nil
 }
 
+// AVFRow summarises one (level, target, benchmark) cell of the
+// injection-free ACE/AVF experiment (E12): the golden-trace estimate
+// next to the fault-injection ground truth it predicts. Its two checks
+// point in different directions on purpose. Predicted is the fault
+// plan's sampled ACE fraction, a Monte-Carlo estimate of the exhaustive
+// planner-weighted AVF — so the exhaustive value must land inside
+// Predicted's Wilson interval (Within, asserted on both levels).
+// Against FI, ACE analysis is a one-sided bound: it cannot see logical
+// masking, so the measured unsafe fraction can never exceed Predicted
+// (Bounded) and Gap — the masking the bound leaves on the table — is
+// the experiment's cross-level observable (RTL's wide datapath makes
+// its register-file gap far larger than the microarchitectural one).
+type AVFRow struct {
+	Bench  string
+	Level  string
+	Target string
+
+	AVF         float64 // structure-wide ACE fraction of bit-cycles
+	AVFWeighted float64 // weighted by the planner's injection-instant distribution
+
+	// Predicted is the plan-sample ACE fraction with its Wilson interval
+	// (PlanLive of PlanN planned faults are ACE).
+	Predicted stats.Proportion
+
+	FIUnsafe stats.Proportion // FI-measured unsafeness with its Wilson interval
+
+	Gap     float64 // Predicted.P - FIUnsafe.P: logical masking invisible to ACE analysis
+	Within  bool    // AVFWeighted inside [Predicted.Lo, Predicted.Hi]
+	Bounded bool    // FIUnsafe.P <= Predicted.P: the ACE upper bound held
+}
+
+// AVFResult is the E12 deliverable: the figure plus the AVF-vs-FI table.
+type AVFResult struct {
+	Fig  *FigureResult
+	Rows []AVFRow
+}
+
+// avfTargets are the structures the golden lifetime trace covers on
+// both abstraction levels (pipeline latches are not lifetime-traced).
+var avfTargets = []fault.Target{fault.TargetRF, fault.TargetL1D}
+
+// avfPlan is the injection-free estimation experiment (E12): the same
+// windowed pinout campaign per (level, target) with Config.AVF on, so
+// the estimate is attached to the very campaign whose measured
+// unsafeness cross-checks it — the FI arm doubles as ground truth and
+// the estimator costs zero extra replays.
+func (p Params) avfPlan() (figurePlan, error) {
+	if p.Benches == nil {
+		p.Benches = []string{"caes", "stringsearch"}
+	}
+	workloads, err := p.benchList()
+	if err != nil {
+		return figurePlan{}, err
+	}
+	base := campaign.Config{
+		Injections: p.Injections, Seed: p.Seed,
+		Obs: campaign.ObsPinout, Window: p.Window, Workers: p.Workers, Fault: p.Fault,
+		EarlyStop: p.EarlyStop, TargetError: p.TargetError,
+		Lanes: p.Lanes, AVF: true,
+	}
+	var specs []seriesSpec
+	for _, m := range []Model{ModelMicroarch, ModelRTL} {
+		for _, tg := range avfTargets {
+			cfg := base
+			cfg.Target = tg
+			specs = append(specs, seriesSpec{
+				label: fmt.Sprintf("%v/avf-%v", m, tg),
+				model: m,
+				cfg:   cfg,
+			})
+		}
+	}
+	return figurePlan{
+		name:    "avf",
+		benches: workloads,
+		series:  specs,
+	}, nil
+}
+
+// ExperimentAVF runs E12 and folds the series into the per-(level,
+// target, benchmark) AVF-vs-FI table.
+func (p Params) ExperimentAVF() (*AVFResult, error) {
+	fig, err := p.runFigure(p.avfPlan())
+	if err != nil {
+		return nil, err
+	}
+	res := &AVFResult{Fig: fig}
+	byLabel := make(map[string]Series, len(fig.Series))
+	for _, s := range fig.Series {
+		byLabel[s.Label] = s
+	}
+	for _, m := range []Model{ModelMicroarch, ModelRTL} {
+		for _, tg := range avfTargets {
+			s := byLabel[fmt.Sprintf("%v/avf-%v", m, tg)]
+			for _, b := range fig.Benches {
+				r := s.Results[b]
+				if r.AVF == nil {
+					return nil, fmt.Errorf("avf/%v/%v/%s: campaign carries no AVF estimate", m, tg, b)
+				}
+				conf := r.Unsafeness.Conf
+				if conf == 0 {
+					conf = 0.95
+				}
+				pred, err := stats.EstimateProportion(r.AVF.PlanLive, r.AVF.PlanN, conf)
+				if err != nil {
+					return nil, fmt.Errorf("avf/%v/%v/%s: %w", m, tg, b, err)
+				}
+				row := AVFRow{
+					Bench:       b,
+					Level:       m.String(),
+					Target:      tg.String(),
+					AVF:         r.AVF.Estimate.AVF,
+					AVFWeighted: r.AVF.Estimate.AVFWeighted,
+					Predicted:   pred,
+					FIUnsafe:    r.Unsafeness,
+					Gap:         pred.P - r.Unsafeness.P,
+				}
+				row.Within = row.AVFWeighted >= pred.Lo && row.AVFWeighted <= pred.Hi
+				row.Bounded = r.Unsafeness.P <= pred.P
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, nil
+}
+
 // ThroughputRow is one row of the paper's TABLE II.
 type ThroughputRow struct {
 	Bench        string

@@ -247,6 +247,32 @@ func (s *Space) ClassifyBit(bit int, after, horizon uint64) Verdict {
 	return Verdict{}
 }
 
+// Event is one unpacked golden-run access event: the golden run read or
+// fully overwrote bits [Lo,Hi) of a unit at Cycle. The exported form of
+// the packed per-unit streams, consumed by ACE-interval accounting
+// (internal/avf), which needs to sweep a unit's whole event history
+// rather than answer one bit query.
+type Event struct {
+	Cycle uint64
+	Lo    int // first bit covered (inclusive)
+	Hi    int // last bit covered (exclusive)
+	Read  bool
+}
+
+// ForEachEvent calls fn for every event of one unit in execution order —
+// the same order ClassifyBit scans, so an interval sweep over these
+// events reproduces its verdicts exactly. Freezes the index if needed
+// (single-threaded, like the first classification).
+func (s *Space) ForEachEvent(unit int, fn func(Event)) {
+	if s.dirty || s.idx == nil {
+		s.freeze()
+	}
+	for _, e := range s.byUnit[s.idx[unit]:s.idx[unit+1]] {
+		cyc, lo, hi, kind := unpack(e)
+		fn(Event{Cycle: cyc, Lo: lo, Hi: hi, Read: kind == kindRead})
+	}
+}
+
 // Recorder bundles the per-target spaces one golden run records. Targets
 // are keyed by small integers (the campaign layer uses fault.Target
 // values); a simulator registers a space per target it can trace and

@@ -269,6 +269,15 @@ func Campaign(name string, res *campaign.Result) string {
 			res.Config.Prune, res.PrunedRuns, res.ExtrapolatedRuns, res.PruneClassCount,
 			float64(res.PruneSavedCycles)/1e6, float64(res.CyclesSimulated)/1e6)
 	}
+	if res.AVF != nil {
+		e := res.AVF.Estimate
+		fmt.Fprintf(&sb, "  avf: %.4f structure-wide (%.4f weighted), plan %d/%d ACE -> %.4f predicted",
+			e.AVF, e.AVFWeighted, res.AVF.PlanLive, res.AVF.PlanN, res.AVF.Predicted)
+		if res.AVF.PriorMass > 0 {
+			fmt.Fprintf(&sb, ", prior mass %.0f", res.AVF.PriorMass)
+		}
+		sb.WriteByte('\n')
+	}
 	fmt.Fprintf(&sb, "  campaign wall: %.2fs (%.4f s/injection)\n",
 		res.Elapsed.Seconds(), res.AvgSecPerRun)
 	return sb.String()
@@ -314,6 +323,51 @@ func EarlyStop(res *core.EarlyStopResult) string {
 // EarlyStopCSV renders the E10 savings table as CSV.
 func EarlyStopCSV(res *core.EarlyStopResult) string {
 	headers, rows := earlyStopRows(res, "%.4f", false)
+	return CSV(headers, rows)
+}
+
+// avfRows renders the E12 AVF-vs-FI table: the injection-free estimates
+// (structure-wide, planner-weighted, plan-sample with its interval)
+// against the measured unsafeness, the logical-masking gap, and the two
+// differential verdicts.
+func avfRows(res *core.AVFResult, verb string) (headers []string, rows [][]string) {
+	headers = []string{
+		"benchmark", "level", "target", "AVF", "AVF weighted",
+		"predicted", "pred lo", "pred hi", "FI unsafe", "FI lo", "FI hi",
+		"gap", "within", "bounded",
+	}
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			r.Bench, r.Level, r.Target,
+			fmt.Sprintf(verb, r.AVF),
+			fmt.Sprintf(verb, r.AVFWeighted),
+			fmt.Sprintf(verb, r.Predicted.P),
+			fmt.Sprintf(verb, r.Predicted.Lo),
+			fmt.Sprintf(verb, r.Predicted.Hi),
+			fmt.Sprintf(verb, r.FIUnsafe.P),
+			fmt.Sprintf(verb, r.FIUnsafe.Lo),
+			fmt.Sprintf(verb, r.FIUnsafe.Hi),
+			fmt.Sprintf(verb, r.Gap),
+			fmt.Sprintf("%v", r.Within),
+			fmt.Sprintf("%v", r.Bounded),
+		})
+	}
+	return headers, rows
+}
+
+// Avf renders the injection-free estimation experiment (E12): the
+// FI unsafeness figure plus the per-(level, target, benchmark)
+// AVF-vs-FI table.
+func Avf(res *core.AVFResult) string {
+	headers, rows := avfRows(res, "%.3f")
+	return Figure(res.Fig) +
+		fmt.Sprintf("\n== %s: injection-free estimate vs fault injection ==\n\n%s",
+			res.Fig.Name, Table(headers, rows))
+}
+
+// AvfCSV renders the E12 AVF-vs-FI table as CSV.
+func AvfCSV(res *core.AVFResult) string {
+	headers, rows := avfRows(res, "%.5f")
 	return CSV(headers, rows)
 }
 

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEstimateWeightedProportion pins the weighted Wilson estimator's
+// contract over its whole input space: for any finite masses it either
+// rejects the input with an error or returns a fully finite Proportion
+// with 0 <= Lo <= Hi <= 1, P = hitW/totalW inside [0,1] and a
+// non-negative standard error. The sequential stopping engine and the
+// MeRLiN extrapolation both consume these fields blindly, so a single
+// NaN here would silently poison a campaign's stopping decision.
+func FuzzEstimateWeightedProportion(f *testing.F) {
+	f.Add(3.0, 10.0, 10.0, 0.95)
+	f.Add(0.0, 1.0, 1.0, 0.99)
+	f.Add(10.0, 10.0, 4.5, 0.90)
+	f.Add(1.5, 400.0, 17.25, 0.999)
+	f.Add(0.25, 0.25, 0.25, 0.5)
+	f.Add(1e-300, 1e300, 1e-300, 0.97)
+	f.Add(2.0, 4.0, 4.0, 1-1e-16)
+	f.Fuzz(func(t *testing.T, hitW, totalW, nEff, conf float64) {
+		p, err := EstimateWeightedProportion(hitW, totalW, nEff, conf)
+		if err != nil {
+			return
+		}
+		for name, v := range map[string]float64{
+			"P": p.P, "Lo": p.Lo, "Hi": p.Hi, "Sigma": p.Sigma,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("EstimateWeightedProportion(%v, %v, %v, %v): non-finite %s = %v",
+					hitW, totalW, nEff, conf, name, v)
+			}
+		}
+		if p.P < 0 || p.P > 1 {
+			t.Errorf("point estimate %v outside [0,1] for hitW=%v totalW=%v", p.P, hitW, totalW)
+		}
+		if p.Lo < 0 || p.Hi > 1 || p.Lo > p.Hi {
+			t.Errorf("interval [%v, %v] malformed for hitW=%v totalW=%v nEff=%v conf=%v",
+				p.Lo, p.Hi, hitW, totalW, nEff, conf)
+		}
+		if p.Sigma < 0 {
+			t.Errorf("negative standard error %v", p.Sigma)
+		}
+	})
+}

@@ -27,7 +27,13 @@ func ZForConfidence(conf float64) (float64, error) {
 	if z, ok := zTable[conf]; ok {
 		return z, nil
 	}
-	return probit(0.5 + conf/2), nil
+	z := probit(0.5 + conf/2)
+	if math.IsNaN(z) || math.IsInf(z, 0) {
+		// conf so close to 1 that 0.5+conf/2 rounds to 1.0 and the
+		// probit tail blows up.
+		return 0, fmt.Errorf("stats: confidence %v too close to 1", conf)
+	}
+	return z, nil
 }
 
 // probit approximates the standard normal quantile function using the
@@ -161,6 +167,13 @@ func WilsonHalfWidthP(p, n, z float64) float64 {
 // carries its class's weight but contributes only one independent
 // observation.
 func EstimateWeightedProportion(hitW, totalW, nEff, conf float64) (Proportion, error) {
+	for _, v := range [...]float64{hitW, totalW, nEff} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// NaN slips past the range checks below (every comparison
+			// is false), so reject non-finite mass explicitly.
+			return Proportion{}, fmt.Errorf("stats: weighted proportion needs finite mass (hit %v, total %v, nEff %v)", hitW, totalW, nEff)
+		}
+	}
 	if totalW <= 0 || nEff <= 0 {
 		return Proportion{}, fmt.Errorf("stats: weighted proportion needs positive mass (total %v, nEff %v)", totalW, nEff)
 	}
@@ -249,6 +262,34 @@ func (s *Sequential) ObserveWeighted(class int, w float64) {
 	s.counts[class] += w
 	s.sumW += w
 	s.sumW2 += w * w
+}
+
+// SeedPrior folds pseudo-observations into the estimator before any
+// real outcome arrives — the AVF-prior campaign mode, where the
+// injection-free ACE estimate of each class's proportion stands in for
+// early samples. mass[c] is class c's pseudo-observation count, and
+// each pseudo-observation carries unit weight: a prior of total mass W
+// behaves exactly like W real unit-weight outcomes (the classic
+// Beta/Dirichlet pseudo-count prior), shifting early point estimates
+// toward the prediction, counting toward the MinRuns floor, and being
+// progressively dominated as real evidence accumulates. It must NOT be
+// folded as one heavy ObserveWeighted call per class — two lopsided
+// weights would collapse the Kish effective sample size toward 1 and
+// then drag it below the real observation count forever. Non-positive
+// masses are ignored; classes outside the declared universe too.
+func (s *Sequential) SeedPrior(mass map[int]float64) {
+	var total float64
+	for _, c := range s.classes {
+		w := mass[c]
+		if w <= 0 {
+			continue
+		}
+		s.counts[c] += w
+		s.sumW += w
+		s.sumW2 += w // w pseudo-observations of weight 1: sum of squares is w
+		total += w
+	}
+	s.n += int(math.Round(total))
 }
 
 // N returns the number of independent observations.

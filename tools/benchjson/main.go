@@ -52,6 +52,7 @@ type Baseline struct {
 	Sweep       SweepPoint     `json:"sweep"`
 	EarlyStop   EarlyStop      `json:"earlyStop"`
 	Pruning     []PruningPoint `json:"pruning"`
+	AvfPrior    AvfPriorPoint  `json:"avfPrior"`
 }
 
 // ReplayPoint is the oneRun replay-throughput measurement for one model.
@@ -101,6 +102,24 @@ type PruningPoint struct {
 	Pruned       int     `json:"pruned"`        // dead-classified, zero replay
 	Extrapolated int     `json:"extrapolated"`  // class members inheriting their rep
 	Classes      int     `json:"classes"`
+	Drift        float64 `json:"unsafenessDrift"`
+}
+
+// AvfPriorPoint compares runs-to-margin of the same sequential-stopping
+// campaign with and without the injection-free AVF prediction seeded as
+// a prior. Both arms are deterministic at the fixed seed, so the
+// -baseline gate pins the prior's saving exactly: a semantic change to
+// the prior (or to sequential stopping under it) shows up as a gate
+// failure, not a silent drift.
+type AvfPriorPoint struct {
+	Workload     string  `json:"workload"`
+	Target       string  `json:"target"`
+	Injections   int     `json:"injections"`
+	TargetError  float64 `json:"targetError"`
+	PredictedAVF float64 `json:"predictedAvf"`
+	PlainRuns    int     `json:"plainRuns"` // runs to margin without the prior
+	PriorRuns    int     `json:"priorRuns"` // runs to margin with it
+	SavedFrac    float64 `json:"savedFrac"`
 	Drift        float64 `json:"unsafenessDrift"`
 }
 
@@ -161,6 +180,12 @@ func run(out, baseline string, maxReg float64) error {
 		doc.Pruning = append(doc.Pruning, pp)
 	}
 
+	ap, err := measureAVFPrior()
+	if err != nil {
+		return err
+	}
+	doc.AvfPrior = ap
+
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -208,6 +233,14 @@ func compareBaseline(doc Baseline, path string, maxReg float64) error {
 		}
 		check(pt.Model, "replaysPerSec", pt.ReplaysPerS, was.ReplaysPerS)
 		check(pt.Model, "mcyclesPerSec", pt.MCyclesPerS, was.MCyclesPerS)
+	}
+	// The avf-prior arm is deterministic (fixed seed, no wall clock), so
+	// it is gated without tolerance: the prior seeding must keep reaching
+	// the margin in no more runs than the committed baseline records.
+	if was := base.AvfPrior.PriorRuns; was > 0 && doc.AvfPrior.PriorRuns > was {
+		failures = append(failures,
+			fmt.Sprintf("avf-prior runs-to-margin regressed (%d -> %d of %d planned)",
+				was, doc.AvfPrior.PriorRuns, doc.AvfPrior.Injections))
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {
@@ -425,6 +458,44 @@ func measurePruning(m core.Model) (PruningPoint, error) {
 		pp.Speedup = float64(full.CyclesSimulated) / float64(pruned.CyclesSimulated)
 	}
 	return pp, nil
+}
+
+// measureAVFPrior runs one sequential-stopping register-file campaign
+// twice — plain, then with the injection-free AVF prediction seeded as
+// the stopping prior — and reports both runs-to-margin counts. The
+// prior moves only the stopping index, never the per-run outcomes, so
+// the drift between the two arms' estimates is pure sample-size effect.
+func measureAVFPrior() (AvfPriorPoint, error) {
+	const bench = "caes"
+	cfg := campaign.Config{
+		Injections: 150, Seed: 5, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 2_000,
+		EarlyStop: true, TargetError: 0.1, Confidence: 0.9, MinRuns: 30,
+		AVF: true,
+	}
+	plain, err := core.RunCampaign(bench, core.ModelMicroarch, core.CampaignSetup(), cfg)
+	if err != nil {
+		return AvfPriorPoint{}, err
+	}
+	cfg.AVFPrior = true
+	prior, err := core.RunCampaign(bench, core.ModelMicroarch, core.CampaignSetup(), cfg)
+	if err != nil {
+		return AvfPriorPoint{}, err
+	}
+	ap := AvfPriorPoint{
+		Workload: bench, Target: cfg.Target.String(), Injections: cfg.Injections,
+		TargetError: cfg.TargetError,
+		PlainRuns:   len(plain.Outcomes),
+		PriorRuns:   len(prior.Outcomes),
+		Drift:       math.Abs(prior.Unsafeness.P - plain.Unsafeness.P),
+	}
+	if plain.AVF != nil {
+		ap.PredictedAVF = plain.AVF.Predicted
+	}
+	if ap.PlainRuns > 0 {
+		ap.SavedFrac = 1 - float64(ap.PriorRuns)/float64(ap.PlainRuns)
+	}
+	return ap, nil
 }
 
 func workload(name string) (*asm.Program, error) {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestFreePort: the port the helper hands out must actually be bindable
+// — the coordinator boots on it immediately afterwards.
+func TestFreePort(t *testing.T) {
+	port, err := freePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port <= 0 || port > 65535 {
+		t.Fatalf("port %d out of range", port)
+	}
+	l, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		t.Fatalf("handed-out port %d not bindable: %v", port, err)
+	}
+	l.Close()
+}
+
+// TestWaitHealthy pins the coordinator-readiness probe: it must accept a
+// server only once /api/v1/healthz answers 200, keep polling through
+// early failures, and report a timeout against a dead endpoint.
+func TestWaitHealthy(t *testing.T) {
+	ready := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/v1/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		select {
+		case <-ready:
+			w.WriteHeader(http.StatusOK)
+		default:
+			// Booting: the probe must retry, not give up.
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer srv.Close()
+
+	if err := waitHealthy(srv.URL, 300*time.Millisecond); err == nil {
+		t.Error("unhealthy coordinator accepted")
+	}
+	close(ready)
+	if err := waitHealthy(srv.URL, 5*time.Second); err != nil {
+		t.Errorf("healthy coordinator rejected: %v", err)
+	}
+
+	port, err := freePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := fmt.Sprintf("http://127.0.0.1:%d", port)
+	if err := waitHealthy(dead, 300*time.Millisecond); err == nil {
+		t.Error("dead endpoint accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeDir(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestPackageHasDoc pins the docs-integrity gate's per-directory
+// decision: what counts as documented, what counts as checkable at all,
+// and that test files can neither satisfy nor trigger the gate.
+func TestPackageHasDoc(t *testing.T) {
+	cases := []struct {
+		name        string
+		files       map[string]string
+		ok, checked bool
+	}{
+		{
+			name:  "documented package",
+			files: map[string]string{"a.go": "// Package a does things.\npackage a\n"},
+			ok:    true, checked: true,
+		},
+		{
+			name: "doc on any one file suffices",
+			files: map[string]string{
+				"a.go": "package a\n",
+				"b.go": "// Package a, documented here.\npackage a\n",
+			},
+			ok: true, checked: true,
+		},
+		{
+			name:  "undocumented package",
+			files: map[string]string{"a.go": "package a\n"},
+			ok:    false, checked: true,
+		},
+		{
+			name:  "blank comment is not a doc",
+			files: map[string]string{"a.go": "//\npackage a\n"},
+			ok:    false, checked: true,
+		},
+		{
+			name:  "test files cannot satisfy the gate",
+			files: map[string]string{"a_test.go": "// Package a docs in a test file only.\npackage a\n"},
+			ok:    false, checked: false,
+		},
+		{
+			name:  "no Go files: nothing to enforce",
+			files: map[string]string{"README.md": "prose\n"},
+			ok:    false, checked: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ok, checked, err := packageHasDoc(writeDir(t, tc.files))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != tc.ok || checked != tc.checked {
+				t.Errorf("packageHasDoc = (ok %v, checked %v), want (ok %v, checked %v)",
+					ok, checked, tc.ok, tc.checked)
+			}
+		})
+	}
+}
+
+// TestPackageHasDocErrors: unparsable sources and missing directories
+// must surface as errors, not pass silently.
+func TestPackageHasDocErrors(t *testing.T) {
+	if _, _, err := packageHasDoc(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing directory accepted")
+	}
+	dir := writeDir(t, map[string]string{"bad.go": "pack age a\n"})
+	if _, checked, err := packageHasDoc(dir); err == nil || !checked {
+		t.Errorf("unparsable file: err = %v, checked = %v; want parse error on a checked dir", err, checked)
+	}
+}
