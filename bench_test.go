@@ -416,6 +416,59 @@ func BenchmarkOneRunReplayAllocs(b *testing.B) {
 	}
 }
 
+// BenchmarkCursorReplayAllocs pins the allocation profile of the
+// injection-locality cursor schedule: forking the replay instance off
+// the live cursor (RestoreFrom into pooled storage, reused pin buffer)
+// must not allocate more per replay than the scalar stream path it
+// replaces.
+func BenchmarkCursorReplayAllocs(b *testing.B) {
+	p := workloadProgram(b, "qsort")
+	factory := core.Factory(core.ModelMicroarch, p, core.CampaignSetup())
+	g, err := campaign.PrepareGolden(factory, campaign.GoldenOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cursor, err := factory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	replay, err := factory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := campaign.Config{
+		Injections: 1, Seed: 1, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 500, Sched: campaign.SchedCursor,
+	}
+	specs, err := fault.Plan(64, cfg.Target, cursor.Bits(cfg.Target), g.Cycles,
+		fault.DistNormal, cfg.Fault, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cr := campaign.NewCursorReplayer(g, cfg, cursor, replay)
+	deliver := func(int, campaign.RunOutcome) error { return nil }
+	run := func(n int) {
+		k := 0
+		next := func() (int, fault.Spec, bool) {
+			if k >= n {
+				return 0, fault.Spec{}, false
+			}
+			i := k
+			k++
+			return i, specs[i%len(specs)], true
+		}
+		if err := cr.Replay(next, deliver); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm the reusable buffers to steady state before measuring.
+	run(len(specs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	run(b.N)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replays/s")
+}
+
 // BenchmarkSweepWall measures the full-sweep wall time of a miniature
 // two-campaign matrix sharing one golden run — the scheduler overhead
 // trajectory (dispatch, checkpointless streaming, aggregation) rather

@@ -31,6 +31,16 @@
 // margin with fewer replays — the prior moves only the stopping index,
 // never the reported estimate.
 //
+// -sched cursor replays in injection-locality order: each worker sorts
+// its pending replays by injection cycle and walks a golden cursor
+// along the timeline, forking a replay at each instant, so
+// inter-injection golden cycles simulate once per pass instead of once
+// per replay — classifications, stopping indices and reports are
+// byte-identical to the default stream order. -snap-policy quantile
+// places the golden snapshots at quantiles of the planner's
+// injection-instant distribution instead of a fixed stride, equalising
+// expected fast-forward cost per replay.
+//
 // -checkpoint DIR streams per-run outcomes to JSONL shards; an
 // interrupted campaign (SIGINT/SIGTERM drains in-flight replays and
 // flushes the shards) resumes from them on the next run. -remote URL
@@ -91,6 +101,8 @@ func run(args []string) error {
 		avf        = fs.Bool("avf", false, "attach an injection-free ACE/AVF estimate from the golden lifetime trace (zero extra replays, transient models only)")
 		avfPrior   = fs.Bool("avf-prior", false, "seed sequential stopping from the AVF prediction (implies -avf, requires -target-error)")
 		lanes      = fs.Int("lanes", 64, "bit-parallel lockstep replay width on the RTL model, 1-64 (1 = scalar engine; byte-identical results at any width)")
+		sched      = fs.String("sched", "stream", "replay schedule: stream (plan order) or cursor (injection-locality order; byte-identical results)")
+		snapPolicy = fs.String("snap-policy", "stride", "golden snapshot placement: stride (fixed interval) or quantile (at the injection-instant distribution's quantiles)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
 		checkpoint = fs.String("checkpoint", "", "stream per-run outcomes to JSONL shards in this directory and resume from them")
@@ -144,6 +156,12 @@ func run(args []string) error {
 		AVFPrior:     *avfPrior,
 	}
 	if cfg.Prune, err = campaign.ParsePruneMode(*prune); err != nil {
+		return err
+	}
+	if cfg.Sched, err = campaign.ParseSched(*sched); err != nil {
+		return err
+	}
+	if cfg.SnapPolicy, err = campaign.ParseSnapPolicy(*snapPolicy); err != nil {
 		return err
 	}
 	if *fullSize {

@@ -111,16 +111,26 @@ type BatchReplayer struct {
 	states []laneState
 	pull   []pulledSpec
 
+	// onGolden marks that the golden instance's state lies on this
+	// campaign's golden timeline: false at construction (a pooled sim
+	// may carry any state), latched true by the first group's restore.
+	onGolden bool
+
 	ringCycle uint64
 	ringSnap  Snapshot
 
 	// Accounting, summed into Result by the caller: Batched counts
 	// replays retired entirely in lockstep, Peeled those finished on
 	// the scalar tail; LaneSum/Groups yield mean lane occupancy.
-	Batched int
-	Peeled  int
-	Groups  int
-	LaneSum int
+	// FastForward counts golden catch-up cycles stepped before each
+	// group's earliest injection — the pre-injection work the cursor
+	// schedule shrinks by feeding cycle-contiguous groups to a golden
+	// instance that keeps walking forward instead of restoring.
+	Batched     int
+	Peeled      int
+	Groups      int
+	LaneSum     int
+	FastForward uint64
 }
 
 // pulledSpec is one plan entry drained for cycle clustering.
@@ -203,12 +213,22 @@ func (r *BatchReplayer) replayGroup(group []pulledSpec, deliver func(int, RunOut
 	g, cfg := r.g, r.cfg
 	first := group[0].spec.Cycle
 	base := nearestSnap(g.snaps, first)
-	r.gold.Restore(base.snap)
+	// The golden instance's own state always lies on the golden
+	// timeline (lane corruption lives in the side diffs), so under the
+	// cursor schedule it keeps walking forward into the next
+	// cycle-clustered group whenever it sits at or before the target
+	// with no snapshot nearer; it restores only on a backward jump or
+	// when a snapshot would skip ahead of it.
+	if cur := r.gold.Cycles(); !r.onGolden || cfg.Sched != SchedCursor || cur > first || cur < base.cycle {
+		r.gold.Restore(base.snap)
+		r.onGolden = true
+	}
 	for r.gold.Cycles() < first {
 		if !r.gold.Step() {
 			return fmt.Errorf("campaign: replay stopped at %d before injection at %d (%v)",
 				r.gold.Cycles(), first, r.gold.StopReason())
 		}
+		r.FastForward++
 	}
 
 	earlyStop := cfg.EarlyStop && len(g.hashes) > 0

@@ -173,6 +173,23 @@ type Config struct {
 	// selects a default of ~64 snapshots.
 	SnapshotEvery uint64
 
+	// SnapPolicy selects snapshot placement: SnapStride (default) is
+	// the fixed SnapshotEvery grid; SnapQuantile spends the same
+	// snapshot budget at quantiles of the planner's injection-instant
+	// distribution, minimising expected fast-forward distance.
+	// Placement changes restoration points only, never observations, so
+	// it changes throughput, not classifications.
+	SnapPolicy SnapPolicy
+
+	// Sched selects the replay execution schedule: SchedStream
+	// (default) replays in dispatch order, each run fast-forwarding
+	// from its nearest snapshot; SchedCursor executes each worker's
+	// replays in injection-cycle order off a monotonic golden cursor,
+	// paying inter-injection golden cycles once per pass. Outcomes are
+	// consumed in plan order either way, so results are byte-identical
+	// across schedules.
+	Sched Sched
+
 	// Workers bounds campaign parallelism; zero uses GOMAXPROCS.
 	Workers int
 
@@ -376,6 +393,18 @@ type Result struct {
 	PeeledRuns    int
 	LaneOccupancy float64
 
+	// Replay-scheduling accounting. FastForwardCycles is the golden
+	// pre-injection work the replay phase paid: under SchedStream, the
+	// sum over replayed outcomes of (injection instant − nearest
+	// snapshot cycle), which is exactly what the workers stepped; under
+	// SchedCursor, the cycles the workers' golden cursors actually
+	// walked. FastForwardSaved is the stream-order cost minus the
+	// actual cost — the fast-forward work the cursor schedule
+	// eliminated — and stays 0 under SchedStream. Both cover counted
+	// (non-pruned, non-extrapolated) replays only.
+	FastForwardCycles uint64
+	FastForwardSaved  uint64
+
 	// AVF is the campaign's injection-free ACE/AVF estimate, computed
 	// from the golden lifetime trace with zero replays; nil unless
 	// Config.AVF.
@@ -417,6 +446,12 @@ func (c *Config) validate() error {
 	if c.Lanes < 1 || c.Lanes > MaxLanes {
 		return fmt.Errorf("campaign: Lanes %d out of [1,%d]", c.Lanes, MaxLanes)
 	}
+	if c.Sched < SchedStream || c.Sched > SchedCursor {
+		return fmt.Errorf("campaign: unknown schedule %d", c.Sched)
+	}
+	if c.SnapPolicy < SnapStride || c.SnapPolicy > SnapQuantile {
+		return fmt.Errorf("campaign: unknown snapshot policy %d", c.SnapPolicy)
+	}
 	if c.AVF && c.Fault.Model.Persistent() {
 		return fmt.Errorf("campaign: AVF estimation covers transient models only (got %v)", c.Fault.Model)
 	}
@@ -432,6 +467,17 @@ type GoldenOptions struct {
 	// default of 2048). It must match the campaign's SnapshotEvery for
 	// the artifacts to be shareable with that campaign.
 	SnapshotEvery uint64
+
+	// SnapPolicy selects snapshot placement (see Config.SnapPolicy).
+	// Under SnapQuantile, SnapshotEvery still sets the snapshot budget
+	// — the count a stride of that interval would have produced — but
+	// the snapshots land at quantiles of the planner's truncated-normal
+	// instant distribution, placed by a second snapshot-only golden
+	// pass once the run length is known. Like SnapshotEvery it must
+	// match the campaign's policy for artifact sharing: replays
+	// restored from differently placed snapshots compare over different
+	// window bases.
+	SnapPolicy SnapPolicy
 
 	// Timeline records the L1D access timeline during the golden run,
 	// required by configs with AdvanceToUse. Recording is observation
@@ -533,7 +579,13 @@ func PrepareGolden(factory Factory, opts GoldenOptions) (*Golden, error) {
 	}
 
 	start := time.Now()
-	snaps, hashes, err := goldenRunWithSnapshots(sim, opts.SnapshotEvery, opts.MaxCycles, opts.HashEvery)
+	every := opts.SnapshotEvery
+	if opts.SnapPolicy == SnapQuantile {
+		// Quantile placement needs the run length first: suppress the
+		// stride grid here and place the snapshots in a second pass.
+		every = snapSuppress
+	}
+	snaps, hashes, err := goldenRunWithSnapshots(sim, every, opts.MaxCycles, opts.HashEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -554,7 +606,56 @@ func PrepareGolden(factory Factory, opts GoldenOptions) (*Golden, error) {
 	if g.Cycles < 16 {
 		return nil, fmt.Errorf("campaign: golden run too short (%d cycles)", g.Cycles)
 	}
+	if opts.SnapPolicy == SnapQuantile {
+		if err := placeQuantileSnapshots(factory, g, opts); err != nil {
+			return nil, err
+		}
+		g.Elapsed = time.Since(start)
+	}
 	return g, nil
+}
+
+// snapSuppress is a SnapshotEvery value no run reaches, used to skip
+// the stride grid when snapshots are placed by a later quantile pass
+// (the cycle-0 snapshot is still captured).
+const snapSuppress = ^uint64(0)
+
+// placeQuantileSnapshots replaces the golden snapshot set with
+// plan-aware placement: the same snapshot budget a SnapshotEvery stride
+// would have spent, placed at quantiles of the planner's truncated-
+// normal injection-instant distribution over the now-known golden run
+// length, so each snapshot gap carries equal expected replay mass. A
+// fresh factory instance retraces the (deterministic) golden timeline,
+// snapshotting at each quantile cycle.
+func placeQuantileSnapshots(factory Factory, g *Golden, opts GoldenOptions) error {
+	every := opts.SnapshotEvery
+	if every == 0 {
+		every = defaultSnapshotEvery
+	}
+	k := int((g.Cycles - 1) / every)
+	if k <= 0 {
+		return nil // short run: the cycle-0 snapshot is the whole budget either way
+	}
+	qs := fault.InstantQuantiles(g.Cycles, fault.DistNormal, k)
+	sim, err := factory()
+	if err != nil {
+		return fmt.Errorf("campaign: quantile snapshot pass: %w", err)
+	}
+	snaps := []snapAt{{cycle: sim.Cycles(), snap: sim.Snapshot()}}
+	for _, q := range qs {
+		if q <= snaps[len(snaps)-1].cycle {
+			continue
+		}
+		for sim.Cycles() < q {
+			if !sim.Step() {
+				return fmt.Errorf("campaign: quantile snapshot pass stopped at %d before %d (%v)",
+					sim.Cycles(), q, sim.StopReason())
+			}
+		}
+		snaps = append(snaps, snapAt{cycle: sim.Cycles(), snap: sim.Snapshot()})
+	}
+	g.snaps = snaps
+	return nil
 }
 
 // lazyPlan is a campaign's fault plan as a deterministic stream: spec i
@@ -613,6 +714,7 @@ func (g *Golden) hangBudget() uint64 { return g.Cycles*2 + 50_000 }
 func goldenOptionsFor(cfg Config) GoldenOptions {
 	opts := GoldenOptions{
 		SnapshotEvery: cfg.SnapshotEvery,
+		SnapPolicy:    cfg.SnapPolicy,
 		Timeline:      cfg.AdvanceToUse,
 		Lifetime:      cfg.Prune != PruneOff || cfg.AVF,
 	}
@@ -658,6 +760,12 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 	start := time.Now()
 	if batchApplies(g, cfg) {
 		if err := runBatched(factory, g, p, cfg); err != nil {
+			return nil, err
+		}
+		return p.Result(time.Since(start))
+	}
+	if cfg.Sched == SchedCursor {
+		if err := runCursor(factory, g, p, cfg); err != nil {
 			return nil, err
 		}
 		return p.Result(time.Since(start))
@@ -737,6 +845,9 @@ func runBatched(factory Factory, g *Golden, p *Planned, cfg Config) error {
 					return err
 				}
 				p.noteBatch(br.Batched, br.Peeled, br.Groups, br.LaneSum)
+				if cfg.Sched == SchedCursor {
+					p.noteFastForward(br.FastForward)
+				}
 				return nil
 			}()
 			if err != nil {
@@ -975,8 +1086,12 @@ func aggregate(cfg Config, g *Golden, pl *lazyPlan, seq *seqStop, pr *pruner, el
 		Outcomes:      outcomes,
 		RunsSaved:     pl.n - len(outcomes),
 		Elapsed:       elapsed,
-		AvgSecPerRun:  elapsed.Seconds() / float64(len(outcomes)),
 		GoldenElapsed: g.Elapsed,
+	}
+	if len(outcomes) > 0 {
+		// Guarded: a fully-pruned or fully-resumed campaign counts zero
+		// replays, and Inf/NaN must not leak into JSON reports.
+		res.AvgSecPerRun = elapsed.Seconds() / float64(len(outcomes))
 	}
 	unsafe := 0
 	for _, oc := range outcomes {
@@ -1004,6 +1119,11 @@ func aggregate(cfg Config, g *Golden, pl *lazyPlan, seq *seqStop, pr *pruner, el
 		}
 		if oc.EndCycle > base {
 			res.CyclesSimulated += oc.EndCycle - base
+		}
+		// Stream-order fast-forward cost of this replay; Planned.Result
+		// swaps in the cursors' actual cycle count under SchedCursor.
+		if oc.Spec.Cycle > base {
+			res.FastForwardCycles += oc.Spec.Cycle - base
 		}
 		if oc.Converged {
 			res.ConvergedRuns++
@@ -1099,7 +1219,7 @@ func goldenRunWithSnapshots(sim Simulator, every, max, hashEvery uint64) ([]snap
 	next := sim.Cycles() + every
 	nextHash := sim.Cycles() + hashEvery
 	for sim.Step() {
-		if sim.Cycles() >= next {
+		if every != snapSuppress && sim.Cycles() >= next {
 			snaps = append(snaps, snapAt{cycle: sim.Cycles(), snap: sim.Snapshot()})
 			next = sim.Cycles() + every
 		}
@@ -1125,17 +1245,15 @@ type hashAt struct {
 	hash  uint64
 }
 
-// nearestSnap returns the latest snapshot at or before cycle.
+// nearestSnap returns the latest snapshot at or before cycle. Snapshots
+// are cycle-ascending, so this is a binary search — it runs twice per
+// outcome in aggregate and once per replay on the hot path.
 func nearestSnap(snaps []snapAt, cycle uint64) snapAt {
-	best := snaps[0]
-	for _, s := range snaps[1:] {
-		if s.cycle <= cycle {
-			best = s
-		} else {
-			break
-		}
+	i := sort.Search(len(snaps), func(i int) bool { return snaps[i].cycle > cycle })
+	if i == 0 {
+		return snaps[0]
 	}
-	return best
+	return snaps[i-1]
 }
 
 // advance implements injection-time advancement: move the instant to just

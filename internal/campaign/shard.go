@@ -65,6 +65,13 @@ type Planned struct {
 	// BatchReplayer via noteBatch.
 	batched, peeled, groups, laneSum int
 
+	// Cursor-schedule accounting: golden fast-forward cycles the
+	// workers' cursors actually stepped, summed via noteFastForward.
+	// ffNoted marks that a cursor executed (so Result reports actual
+	// spend and the stream-order delta instead of the stream cost).
+	ffActual uint64
+	ffNoted  bool
+
 	ckpt     *shardWriter
 	ckptKey  string
 	resumed  int
@@ -203,6 +210,16 @@ func (p *Planned) noteBatch(batched, peeled, groups, laneSum int) {
 	p.laneSum += laneSum
 }
 
+// noteFastForward folds one cursor replayer's golden fast-forward
+// spend into the campaign. Result then reports the actual cycles
+// stepped and credits the difference from stream order as saved.
+func (p *Planned) noteFastForward(actual uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ffActual += actual
+	p.ffNoted = true
+}
+
 // Result aggregates the campaign once every needed outcome has been
 // delivered. elapsed is the replay phase's attributed wall time.
 func (p *Planned) Result(elapsed time.Duration) (*Result, error) {
@@ -215,6 +232,16 @@ func (p *Planned) Result(elapsed time.Duration) (*Result, error) {
 	res.PeeledRuns = p.peeled
 	if p.groups > 0 {
 		res.LaneOccupancy = float64(p.laneSum) / float64(p.groups)
+	}
+	if p.ffNoted {
+		// aggregate filled FastForwardCycles with the stream-order
+		// cost; swap in what the cursors actually stepped. A cursor
+		// may overshoot the counted prefix (stop-decision races), so
+		// the saving is clamped at zero.
+		if stream := res.FastForwardCycles; stream > p.ffActual {
+			res.FastForwardSaved = stream - p.ffActual
+		}
+		res.FastForwardCycles = p.ffActual
 	}
 	res.AVF = p.avfInfo
 	p.mu.Unlock()

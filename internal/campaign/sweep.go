@@ -102,15 +102,19 @@ type SweepOptions struct {
 }
 
 // groupKey derives the internal golden-sharing key: the caller's Group
-// plus the normalised snapshot schedule, so artifact sharing can never
-// pair a campaign with snapshots taken on a different schedule (the
-// determinism contract is "bit-identical to standalone Run").
+// plus the normalised snapshot schedule AND placement policy, so
+// artifact sharing can never pair a campaign with snapshots taken on a
+// different schedule (the determinism contract is "bit-identical to
+// standalone Run", and snapshot placement feeds the per-replay base
+// accounting even though classifications are placement-independent).
+// The replay schedule (Config.Sched) is deliberately absent: it changes
+// execution order only, so cursor and stream campaigns share goldens.
 func groupKey(c SweepCampaign) string {
 	every := c.Config.SnapshotEvery
 	if every == 0 {
 		every = defaultSnapshotEvery
 	}
-	return fmt.Sprintf("%s/snap%d", c.Group, every)
+	return fmt.Sprintf("%s/snap%d/%s", c.Group, every, c.Config.SnapPolicy)
 }
 
 type sweepGroup struct {
@@ -164,7 +168,10 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 			gr = &sweepGroup{
 				name:    c.Group,
 				factory: c.Factory,
-				opts:    GoldenOptions{SnapshotEvery: c.Config.SnapshotEvery},
+				opts: GoldenOptions{
+					SnapshotEvery: c.Config.SnapshotEvery,
+					SnapPolicy:    c.Config.SnapPolicy,
+				},
 			}
 			groups[k] = gr
 			order = append(order, k)
@@ -256,6 +263,14 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		// instance answers for every worker instance of the factory).
 		batchable[i] = batchApplies(gr.golden, c.Config)
 	}
+	// Cursor-scheduled campaigns without a batch surface run on
+	// per-worker golden cursors; batch-capable ones keep the lockstep
+	// engine (whose golden instance walks monotonically under the
+	// cursor schedule instead of restoring per group).
+	cursorable := make([]bool, len(campaigns))
+	for i, c := range campaigns {
+		cursorable[i] = c.Config.Sched == SchedCursor && !batchable[i]
+	}
 
 	// ------------------------------------------------ checkpoint resume
 	stopHint := make([]int, len(campaigns))
@@ -321,6 +336,10 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 			chunk := 1
 			if batchable[ci] {
 				chunk = campaigns[ci].Config.Lanes * batchPull
+			} else if cursorable[ci] {
+				// A cursor job carries enough replays for the worker's
+				// sort to cluster injection instants tightly.
+				chunk = cursorPull
 			}
 			j := job{camp: ci}
 			for idx < limit && !seqs[ci].stopped() && len(j.idxs) < chunk {
@@ -360,6 +379,11 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 	peeledN := make([]int64, len(campaigns))
 	groupsN := make([]int64, len(campaigns))
 	laneSumN := make([]int64, len(campaigns))
+	// Cursor-schedule accounting: golden fast-forward cycles actually
+	// stepped, and whether any cursor executed for the campaign — the
+	// sweep-pool analogue of Planned.noteFastForward.
+	ffActualN := make([]int64, len(campaigns))
+	ffNotedN := make([]int32, len(campaigns))
 	err = streamJobs(opt.Workers, next, func(worker int, jobs <-chan job) (retErr error) {
 		// Group-major dispatch means each worker sees a non-decreasing
 		// group sequence, so it only ever needs ONE live simulator per
@@ -373,6 +397,9 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 
 			br     *BatchReplayer
 			brCamp = -1
+
+			cr     *CursorReplayer
+			crCamp = -1
 		)
 		foldBatch := func() {
 			if br == nil {
@@ -382,10 +409,23 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 			atomic.AddInt64(&peeledN[brCamp], int64(br.Peeled))
 			atomic.AddInt64(&groupsN[brCamp], int64(br.Groups))
 			atomic.AddInt64(&laneSumN[brCamp], int64(br.LaneSum))
+			if campaigns[brCamp].Config.Sched == SchedCursor {
+				atomic.AddInt64(&ffActualN[brCamp], int64(br.FastForward))
+				atomic.StoreInt32(&ffNotedN[brCamp], 1)
+			}
 			br.Close()
 			br, brCamp = nil, -1
 		}
 		defer foldBatch()
+		foldCursor := func() {
+			if cr == nil {
+				return
+			}
+			atomic.AddInt64(&ffActualN[crCamp], int64(cr.FastForward))
+			atomic.StoreInt32(&ffNotedN[crCamp], 1)
+			cr, crCamp = nil, -1
+		}
+		defer foldCursor()
 		var ckpt *shardWriter
 		if opt.CheckpointDir != "" {
 			var err error
@@ -405,6 +445,9 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 			gr := campGroup[j.camp]
 			if br != nil && j.camp != brCamp {
 				foldBatch()
+			}
+			if cr != nil && j.camp != crCamp {
+				foldCursor()
 			}
 			if batchable[j.camp] {
 				// Bit-parallel path: drive the worker's BatchReplayer
@@ -445,6 +488,50 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 				}
 				t0 := time.Now()
 				if err := br.Replay(chunkNext, deliver); err != nil {
+					return fmt.Errorf("%s: %w", c.Key, err)
+				}
+				atomic.AddInt64(&busy[j.camp], int64(time.Since(t0)))
+				continue
+			}
+			if cursorable[j.camp] {
+				// Cursor path: sort the chunk by injection cycle and walk a
+				// per-worker golden cursor, forking into the replay instance
+				// at each instant — inter-injection golden cycles simulate
+				// once per chunk instead of once per replay. Outcomes land
+				// in the same in-order collector, so classifications and
+				// stopping indices match the stream schedule exactly.
+				if cr == nil {
+					cursor, err := c.Factory()
+					if err != nil {
+						return fmt.Errorf("%s: worker simulator: %w", c.Key, err)
+					}
+					replay, err := c.Factory()
+					if err != nil {
+						return fmt.Errorf("%s: worker simulator: %w", c.Key, err)
+					}
+					cr = NewCursorReplayer(gr.golden, c.Config, cursor, replay)
+					cr.Stop = seqs[j.camp].stopped
+					crCamp = j.camp
+				}
+				k := 0
+				chunkNext := func() (int, fault.Spec, bool) {
+					if k >= len(j.idxs) {
+						return 0, fault.Spec{}, false
+					}
+					i := k
+					k++
+					return j.idxs[i], j.specs[i], true
+				}
+				deliver := func(idx int, oc RunOutcome) error {
+					atomic.AddInt64(&executed[j.camp], 1)
+					oc = deliverReplay(pruners[j.camp], seqs[j.camp], idx, oc)
+					if ckpt != nil {
+						return ckpt.write(c.Key, idx, oc, c.Config, goldenFp[j.camp])
+					}
+					return nil
+				}
+				t0 := time.Now()
+				if err := cr.Replay(chunkNext, deliver); err != nil {
 					return fmt.Errorf("%s: %w", c.Key, err)
 				}
 				atomic.AddInt64(&busy[j.camp], int64(time.Since(t0)))
@@ -523,6 +610,16 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 		res.PeeledRuns = int(atomic.LoadInt64(&peeledN[i]))
 		if g := atomic.LoadInt64(&groupsN[i]); g > 0 {
 			res.LaneOccupancy = float64(atomic.LoadInt64(&laneSumN[i])) / float64(g)
+		}
+		if atomic.LoadInt32(&ffNotedN[i]) != 0 {
+			// aggregate filled FastForwardCycles with the stream-order
+			// cost; swap in the cursors' actual spend (saving clamped at
+			// zero, as cursors may overshoot the counted prefix).
+			actual := uint64(atomic.LoadInt64(&ffActualN[i]))
+			if stream := res.FastForwardCycles; stream > actual {
+				res.FastForwardSaved = stream - actual
+			}
+			res.FastForwardCycles = actual
 		}
 		res.AVF = avfInfos[i]
 		sr.Results[c.Key] = res

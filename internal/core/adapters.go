@@ -84,6 +84,15 @@ func (s *maSim) Force(t fault.Target, bit, v int) error {
 
 func (s *maSim) Snapshot() campaign.Snapshot { return s.cpu.Clone() }
 
+// LiveSnapshot exposes the live CPU as a zero-copy restore source for
+// the cursor fork: RestoreFrom only reads its base, so the replay
+// worker can deep-copy straight out of the cursor's current state
+// without paying a full Clone per fork. The value is invalidated by the
+// next Step.
+func (s *maSim) LiveSnapshot() campaign.Snapshot { return s.cpu }
+
+var _ campaign.LiveSnapshotter = (*maSim)(nil)
+
 func (s *maSim) Restore(snap campaign.Snapshot) {
 	base, ok := snap.(*microarch.CPU)
 	if !ok {

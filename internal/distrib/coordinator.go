@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -18,6 +20,12 @@ const (
 	defaultMaxShardFails = 5
 	submitQueueDepth     = 256
 	maxGoldenCache       = 4
+	maxPrepWorkers       = 4
+
+	// cursorLookahead is how many shards' worth of jobs fillShardLocked
+	// pulls at once for a cursor-scheduled campaign, so the cycle sort
+	// has enough material to slice cycle-contiguous shards from.
+	cursorLookahead = 4
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -63,12 +71,13 @@ type CoordinatorOptions struct {
 }
 
 // Coordinator owns the service side of a distributed campaign: it
-// accepts submissions, prepares golden artifacts and fault plans
-// (sequentially, in one background goroutine — golden artifacts are
-// shared across campaigns with identical golden needs), splits plans
-// into shards, leases shards to pulling workers, merges outcome batches
-// in fault-index order through the campaign engine's own collector, and
-// serves progress and final reports.
+// accepts submissions, prepares golden artifacts and fault plans in a
+// small background worker pool — distinct golden shapes prepare
+// concurrently, while campaigns with identical golden needs
+// single-flight onto one shared run — splits plans into shards, leases
+// shards to pulling workers, merges outcome batches in fault-index
+// order through the campaign engine's own collector, and serves
+// progress and final reports.
 type Coordinator struct {
 	opt  CoordinatorOptions
 	logf func(string, ...any)
@@ -79,10 +88,21 @@ type Coordinator struct {
 	leases    map[string]*activeLease
 	leaseSeq  int
 
-	prepCh  chan *campState
-	goldens map[goldenKey]*campaign.Golden // prep goroutine only
-	closed  chan struct{}
-	wg      sync.WaitGroup
+	prepCh   chan *campState
+	goldenMu sync.Mutex
+	goldens  map[goldenKey]*goldenSlot
+	closed   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// goldenSlot single-flights one golden shape's preparation: the first
+// prep worker to claim the key runs PrepareGolden, everyone else waits
+// on ready. Campaign fingerprints stay stable because every member of
+// the shape sees the one shared *Golden (or the one shared error).
+type goldenSlot struct {
+	ready chan struct{}
+	g     *campaign.Golden
+	err   error
 }
 
 // goldenKey identifies a shareable golden run: campaigns agreeing on
@@ -155,11 +175,20 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 		campaigns: make(map[string]*campState),
 		leases:    make(map[string]*activeLease),
 		prepCh:    make(chan *campState, submitQueueDepth),
-		goldens:   make(map[goldenKey]*campaign.Golden),
+		goldens:   make(map[goldenKey]*goldenSlot),
 		closed:    make(chan struct{}),
 	}
-	c.wg.Add(1)
-	go c.prepLoop()
+	// Golden runs dominate preparation and distinct shapes are
+	// independent, so a small pool preps them concurrently; identical
+	// shapes still share one run through the goldenSlot single-flight.
+	prep := runtime.GOMAXPROCS(0)
+	if prep > maxPrepWorkers {
+		prep = maxPrepWorkers
+	}
+	c.wg.Add(prep)
+	for i := 0; i < prep; i++ {
+		go c.prepLoop()
+	}
 	return c
 }
 
@@ -230,9 +259,9 @@ func (c *Coordinator) Submit(spec CampaignSpec) (SubmitResponse, error) {
 	return SubmitResponse{ID: id, Status: StatusPreparing}, nil
 }
 
-// prepLoop prepares submitted campaigns one at a time: golden runs are
-// heavy and golden-artifact/lifetime-index construction must be
-// single-threaded before the artifacts are shared.
+// prepLoop drains the submission queue; several instances run
+// concurrently, so distinct golden shapes prepare in parallel while
+// goldenFor single-flights identical shapes onto one run.
 func (c *Coordinator) prepLoop() {
 	defer c.wg.Done()
 	for {
@@ -263,25 +292,10 @@ func (c *Coordinator) prepare(cs *campState) {
 		workload: cs.spec.Workload, model: cs.spec.Model, setup: cs.spec.Setup,
 		opts: campaign.GoldenOptionsFor(cs.spec.Config),
 	}
-	g, ok := c.goldens[key]
-	if !ok {
-		g, err = campaign.PrepareGolden(factory, key.opts)
-		if err != nil {
-			fail(err)
-			return
-		}
-		// Bound the cache: golden artifacts (snapshots, pinout and
-		// lifetime traces) are the coordinator's largest allocation,
-		// and a long-lived service must not accumulate one per
-		// distinct campaign shape forever. Running campaigns hold
-		// their own reference, so eviction never invalidates them.
-		for k := range c.goldens {
-			if len(c.goldens) < maxGoldenCache {
-				break
-			}
-			delete(c.goldens, k)
-		}
-		c.goldens[key] = g
+	g, err := c.goldenFor(key, factory)
+	if err != nil {
+		fail(err)
+		return
 	}
 	planned, err := g.PlanCampaign(cs.spec.Config)
 	if err != nil {
@@ -303,6 +317,55 @@ func (c *Coordinator) prepare(cs *campState) {
 	c.maybeFinishLocked(cs) // a fully checkpointed campaign needs no worker
 	c.mu.Unlock()
 	c.logf("distrib: campaign %s running (golden %d cycles, %d resumed)", cs.id, g.Cycles, planned.Resumed())
+}
+
+// goldenFor returns the shared golden run for one golden shape,
+// preparing it on first use. Concurrent prep workers hitting one key
+// single-flight: the claimant runs PrepareGolden, the rest block on the
+// slot, so identical campaigns always replay against one golden
+// instance (fingerprint-stable) no matter how submissions interleave.
+func (c *Coordinator) goldenFor(key goldenKey, factory campaign.Factory) (*campaign.Golden, error) {
+	c.goldenMu.Lock()
+	if s, ok := c.goldens[key]; ok {
+		c.goldenMu.Unlock()
+		<-s.ready
+		return s.g, s.err
+	}
+	s := &goldenSlot{ready: make(chan struct{})}
+	c.goldens[key] = s
+	c.goldenMu.Unlock()
+
+	s.g, s.err = campaign.PrepareGolden(factory, key.opts)
+	close(s.ready)
+
+	c.goldenMu.Lock()
+	defer c.goldenMu.Unlock()
+	if s.err != nil {
+		// Drop the failed slot so a later resubmission retries the run
+		// instead of inheriting a stale error forever.
+		delete(c.goldens, key)
+		return nil, s.err
+	}
+	// Bound the cache: golden artifacts (snapshots, pinout and lifetime
+	// traces) are the coordinator's largest allocation, and a long-lived
+	// service must not accumulate one per distinct campaign shape
+	// forever. Only settled slots are evicted — an in-flight slot has
+	// waiters — and running campaigns hold their own reference, so
+	// eviction never invalidates them.
+	for k, old := range c.goldens {
+		if len(c.goldens) <= maxGoldenCache {
+			break
+		}
+		if k == key {
+			continue
+		}
+		select {
+		case <-old.ready:
+			delete(c.goldens, k)
+		default:
+		}
+	}
+	return s.g, nil
 }
 
 // Lease hands the next available shard to a pulling worker, or reports
@@ -354,15 +417,45 @@ func (c *Coordinator) Lease(req LeaseRequest) (*Lease, error) {
 // fillShardLocked pulls up to ShardSize replay jobs from the campaign's
 // producer. Pruning-resolved indices never become jobs — their
 // synthetic outcomes are delivered inside NextReplay, exactly as in the
-// single-process dispatch loop.
+// single-process dispatch loop. For a cursor-scheduled campaign it
+// pulls several shards' worth at once, sorts by injection cycle and
+// slices cycle-contiguous shards (extras queue immediately), so each
+// worker's golden cursor walks a compact cycle span instead of the
+// plan's random one. Shard composition changes nothing downstream: the
+// coordinator's collector consumes outcomes in plan order regardless.
 func (c *Coordinator) fillShardLocked(cs *campState) []Job {
+	pull := c.opt.ShardSize
+	cursor := cs.spec.Config.Sched == campaign.SchedCursor
+	if cursor {
+		pull *= cursorLookahead
+	}
 	var jobs []Job
-	for len(jobs) < c.opt.ShardSize {
+	for len(jobs) < pull {
 		idx, spec, ok := cs.planned.NextReplay()
 		if !ok {
 			break
 		}
 		jobs = append(jobs, Job{Index: idx, Spec: spec})
+	}
+	if cursor && len(jobs) > 1 {
+		sort.Slice(jobs, func(i, j int) bool {
+			if jobs[i].Spec.Cycle != jobs[j].Spec.Cycle {
+				return jobs[i].Spec.Cycle < jobs[j].Spec.Cycle
+			}
+			return jobs[i].Index < jobs[j].Index
+		})
+		if len(jobs) > c.opt.ShardSize {
+			rest := jobs[c.opt.ShardSize:]
+			jobs = jobs[:c.opt.ShardSize:c.opt.ShardSize]
+			for len(rest) > 0 {
+				n := c.opt.ShardSize
+				if n > len(rest) {
+					n = len(rest)
+				}
+				cs.queue = append(cs.queue, shardEntry{jobs: rest[:n:n]})
+				rest = rest[n:]
+			}
+		}
 	}
 	return jobs
 }

@@ -355,3 +355,56 @@ func TestSubmitRejectsBadSpecs(t *testing.T) {
 		}
 	}
 }
+
+// TestDistributedCursorSchedMatchesLocal proves the injection-locality
+// cursor schedule survives distribution: the coordinator slices
+// cycle-contiguous shards, the workers replay them on per-goroutine
+// golden cursors, and the merged result equals both the local cursor
+// run and the local stream run (normalised for timings and the
+// fast-forward accounting the schedule exists to change).
+func TestDistributedCursorSchedMatchesLocal(t *testing.T) {
+	cfg := campaign.Config{
+		Injections: 90, Seed: 21, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 500, Workers: 4,
+		Sched: campaign.SchedCursor,
+	}
+	want, err := core.RunCampaign("qsort", core.ModelMicroarch, core.CampaignSetup(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamCfg := cfg
+	streamCfg.Sched = campaign.SchedStream
+	stream, err := core.RunCampaign("qsort", core.ModelMicroarch, core.CampaignSetup(), streamCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, srv := startCoordinator(t, distrib.CoordinatorOptions{
+		LeaseTTL: time.Second, ShardSize: 8, Logf: t.Logf,
+	})
+	startWorker(t, srv.URL, "w1")
+	startWorker(t, srv.URL, "w2")
+	client := distrib.NewClient(srv.URL)
+	client.Poll = 20 * time.Millisecond
+	got, err := client.RunCampaign(distrib.CampaignSpec{
+		Workload: "qsort", Model: "microarch", Config: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, r := range []*campaign.Result{want, stream, got} {
+		normalize(r)
+		// Fast-forward spend is schedule- and shard-shape-dependent by
+		// design; the classified science must not be.
+		r.FastForwardCycles = 0
+		r.FastForwardSaved = 0
+		r.Config.Sched = campaign.SchedStream
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("distributed cursor result diverged from local cursor run:\n got %+v\nwant %+v", got, want)
+	}
+	if !reflect.DeepEqual(stream, got) {
+		t.Errorf("distributed cursor result diverged from local stream run:\n got %+v\nwant %+v", got, stream)
+	}
+}

@@ -220,6 +220,17 @@ func (w *Worker) executeShard(ctx context.Context, lease *Lease) ([]WireOutcome,
 		}
 		return out, nil
 	}
+	if cursored, err := w.executeShardCursor(shardCtx, entry, lease, out, workers); err != nil {
+		return nil, err
+	} else if cursored {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if shardCtx.Err() != nil {
+			return nil, fmt.Errorf("lease %s expired under us; shard aborted", lease.ID)
+		}
+		return out, nil
+	}
 	sims, err := entry.take(lease.Spec, workers)
 	if err != nil {
 		return nil, err
@@ -357,6 +368,81 @@ func (w *Worker) executeShardBatched(ctx context.Context, entry *goldenEntry, le
 				fail(err)
 			}
 		}(brs[i])
+	}
+	wg.Wait()
+	return true, firstErr
+}
+
+// executeShardCursor replays a cursor-scheduled shard through
+// per-goroutine golden cursors: the coordinator hands out
+// cycle-contiguous shards, each goroutine takes a contiguous slice of
+// the (cycle-sorted) jobs, and its CursorReplayer walks the golden
+// timeline once across the slice, forking a replay at each injection
+// instant. Outcomes land in out at each job's shard slot exactly as the
+// scalar pool fills them. Returns cursored=false — with out untouched —
+// when the campaign is not cursor-scheduled.
+func (w *Worker) executeShardCursor(ctx context.Context, entry *goldenEntry, lease *Lease, out []WireOutcome, workers int) (bool, error) {
+	cfg := lease.Spec.Config
+	if cfg.Sched != campaign.SchedCursor {
+		return false, nil
+	}
+	jobs := lease.Jobs
+	// A cursor replayer needs a simulator pair per goroutine: the golden
+	// cursor and the replay instance it forks into.
+	sims, err := entry.take(lease.Spec, workers*2)
+	if err != nil {
+		return false, err
+	}
+	slot := make(map[int]int, len(jobs))
+	for i, j := range jobs {
+		slot[j.Index] = i
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	per := (len(jobs) + workers - 1) / workers
+	for i := 0; i < workers; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int, cursor, replay campaign.Simulator) {
+			defer wg.Done()
+			cr := campaign.NewCursorReplayer(entry.g, cfg, cursor, replay)
+			k := lo
+			next := func() (int, fault.Spec, bool) {
+				if k >= hi || ctx.Err() != nil {
+					return 0, fault.Spec{}, false
+				}
+				j := jobs[k]
+				k++
+				return j.Index, j.Spec, true
+			}
+			deliver := func(idx int, oc campaign.RunOutcome) error {
+				out[slot[idx]] = WireOutcome{
+					Index: idx, Class: int(oc.Class),
+					EndCycle: oc.EndCycle, Converged: oc.Converged,
+				}
+				return nil
+			}
+			if err := cr.Replay(next, deliver); err != nil {
+				fail(err)
+			}
+		}(lo, hi, sims[2*i], sims[2*i+1])
 	}
 	wg.Wait()
 	return true, firstErr

@@ -3,10 +3,11 @@
 // throughput on both abstraction levels, full-sweep wall time for a
 // miniature matrix, the adaptive engine's measured savings on a
 // run-to-end campaign (simulated-cycle reduction, sequential-stop runs
-// saved and estimate drift vs the fixed plan), and golden-trace
-// pruning's simulated-cycle reduction on both levels. CI runs it on
-// every push so future changes to the hot path have a trajectory to
-// compare against:
+// saved and estimate drift vs the fixed plan), golden-trace pruning's
+// simulated-cycle reduction on both levels, and the injection-locality
+// cursor schedule's throughput and fast-forward elimination (model
+// "replay-sched"). CI runs it on every push so future changes to the
+// hot path have a trajectory to compare against:
 //
 //	go run ./tools/benchjson -out BENCH_campaign.json
 //
@@ -47,12 +48,13 @@ import (
 
 // Baseline is the emitted document.
 type Baseline struct {
-	GeneratedBy string         `json:"generatedBy"`
-	Replay      []ReplayPoint  `json:"replay"`
-	Sweep       SweepPoint     `json:"sweep"`
-	EarlyStop   EarlyStop      `json:"earlyStop"`
-	Pruning     []PruningPoint `json:"pruning"`
-	AvfPrior    AvfPriorPoint  `json:"avfPrior"`
+	GeneratedBy string           `json:"generatedBy"`
+	Replay      []ReplayPoint    `json:"replay"`
+	Sweep       SweepPoint       `json:"sweep"`
+	EarlyStop   EarlyStop        `json:"earlyStop"`
+	Pruning     []PruningPoint   `json:"pruning"`
+	AvfPrior    AvfPriorPoint    `json:"avfPrior"`
+	ReplaySched ReplaySchedPoint `json:"replaySched"`
 }
 
 // ReplayPoint is the oneRun replay-throughput measurement for one model.
@@ -123,6 +125,29 @@ type AvfPriorPoint struct {
 	Drift        float64 `json:"unsafenessDrift"`
 }
 
+// ReplaySchedPoint measures the injection-locality cursor schedule on
+// the microarch model: the same 120-transient plan the scalar microarch
+// arm replays in stream order, driven through one single-threaded
+// CursorReplayer instead. streamFfMcycles is the golden fast-forward
+// the stream order would pay (Σ instant − nearest snapshot),
+// cursorFfMcycles is what the cursor actually stepped, and
+// eliminatedMcycles is their difference — the same quantity a
+// cursor-scheduled campaign reports as FastForwardSaved in
+// report.Campaign, so the two artifacts reconcile directly. The arm's
+// throughput is also appended to replay[] as model "replay-sched",
+// which puts it under the -baseline regression gate.
+type ReplaySchedPoint struct {
+	Model             string  `json:"model"` // underlying simulation model
+	Workload          string  `json:"workload"`
+	Replays           int     `json:"replays"`
+	ReplaysPerS       float64 `json:"replaysPerSec"`
+	StreamFFMcycles   float64 `json:"streamFfMcycles"`
+	CursorFFMcycles   float64 `json:"cursorFfMcycles"`
+	EliminatedMcycles float64 `json:"eliminatedMcycles"`
+	Forks             int     `json:"forks"`
+	SpeedupVsStream   float64 `json:"speedupVsStream"` // vs this run's scalar microarch arm
+}
+
 func main() {
 	out := flag.String("out", "BENCH_campaign.json", "output path")
 	baseline := flag.String("baseline", "", "compare against this committed baseline and fail on regression")
@@ -159,6 +184,17 @@ func run(out, baseline string, maxReg float64) error {
 		return err
 	}
 	doc.Replay = append(doc.Replay, bp)
+
+	// The cursor-schedule arm replays the microarch arm's exact plan
+	// through the injection-locality scheduler; its throughput point
+	// lands in replay[] (model "replay-sched") so the -baseline gate
+	// covers it, and the fast-forward elimination is reported alongside.
+	sp, spt, err := measureReplaySched(doc.Replay[0])
+	if err != nil {
+		return err
+	}
+	doc.Replay = append(doc.Replay, sp)
+	doc.ReplaySched = spt
 
 	sw, err := measureSweep()
 	if err != nil {
@@ -356,6 +392,76 @@ func measureReplayBatch(n int) (ReplayPoint, error) {
 		MCyclesPerS:  float64(cycles) / el / 1e6,
 		GoldenCycles: g.Cycles,
 	}, nil
+}
+
+// measureReplaySched drives the scalar microarch arm's fault plan
+// through one CursorReplayer (single-threaded, so the comparison
+// against the scalar arm is engine-for-engine) and reports throughput
+// plus the golden fast-forward cycles the schedule eliminated.
+func measureReplaySched(scalar ReplayPoint) (ReplayPoint, ReplaySchedPoint, error) {
+	const n = 120
+	prog, err := workload("qsort")
+	if err != nil {
+		return ReplayPoint{}, ReplaySchedPoint{}, err
+	}
+	factory := core.Factory(core.ModelMicroarch, prog, core.CampaignSetup())
+	g, err := campaign.PrepareGolden(factory, campaign.GoldenOptions{})
+	if err != nil {
+		return ReplayPoint{}, ReplaySchedPoint{}, err
+	}
+	cursor, err := factory()
+	if err != nil {
+		return ReplayPoint{}, ReplaySchedPoint{}, err
+	}
+	replay, err := factory()
+	if err != nil {
+		return ReplayPoint{}, ReplaySchedPoint{}, err
+	}
+	cfg := campaign.Config{
+		Injections: 1, Seed: 1, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 500, Sched: campaign.SchedCursor,
+	}
+	specs, err := fault.Plan(n, cfg.Target, cursor.Bits(cfg.Target), g.Cycles,
+		fault.DistNormal, cfg.Fault, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return ReplayPoint{}, ReplaySchedPoint{}, err
+	}
+	cr := campaign.NewCursorReplayer(g, cfg, cursor, replay)
+	var cycles uint64
+	i := 0
+	start := time.Now()
+	err = cr.Replay(func() (int, fault.Spec, bool) {
+		if i >= len(specs) {
+			return 0, fault.Spec{}, false
+		}
+		i++
+		return i - 1, specs[i-1], true
+	}, func(idx int, oc campaign.RunOutcome) error {
+		cycles += oc.EndCycle - specs[idx].Cycle
+		return nil
+	})
+	if err != nil {
+		return ReplayPoint{}, ReplaySchedPoint{}, err
+	}
+	el := time.Since(start).Seconds()
+	pt := ReplayPoint{
+		Model: "replay-sched", Replays: n,
+		ReplaysPerS:  float64(n) / el,
+		MCyclesPerS:  float64(cycles) / el / 1e6,
+		GoldenCycles: g.Cycles,
+	}
+	sp := ReplaySchedPoint{
+		Model: core.ModelMicroarch.String(), Workload: "qsort", Replays: n,
+		ReplaysPerS:       pt.ReplaysPerS,
+		StreamFFMcycles:   float64(cr.StreamFF) / 1e6,
+		CursorFFMcycles:   float64(cr.FastForward) / 1e6,
+		EliminatedMcycles: float64(cr.StreamFF-cr.FastForward) / 1e6,
+		Forks:             cr.Forks,
+	}
+	if scalar.ReplaysPerS > 0 {
+		sp.SpeedupVsStream = pt.ReplaysPerS / scalar.ReplaysPerS
+	}
+	return pt, sp, nil
 }
 
 func measureSweep() (SweepPoint, error) {
