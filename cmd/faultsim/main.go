@@ -7,6 +7,7 @@
 //	faultsim -bench caes -window 0 -early-stop -target-error 0.05
 //	faultsim -bench caes -target l1d -window 0 -prune classes
 //	faultsim -bench caes -avf-prior -target-error 0.05
+//	faultsim -bench qsort -protect rf=secded -obs combined -window 0
 //
 // -fault-model selects the injected fault model (transient, burst,
 // stuck-at, stuck-at-0, stuck-at-1, intermittent); -burst and -span set
@@ -30,6 +31,13 @@
 // -target-error), so a campaign tracking the prediction reaches its
 // margin with fewer replays — the prior moves only the stopping index,
 // never the reported estimate.
+//
+// -protect wraps injection targets in protection schemes (parity,
+// secded, dup — e.g. `-protect rf=parity,l1d=secded`): the fault plan
+// extends over the scheme's check bits and checker logic, detections
+// that cannot be corrected classify as DUE (detected, unrecoverable —
+// counted unsafe), corrections as Masked, and campaigns whose protected
+// targets are elsewhere stay byte-identical to unprotected runs.
 //
 // -sched cursor replays in injection-locality order: each worker sorts
 // its pending replays by injection cycle and walks a golden cursor
@@ -98,6 +106,7 @@ func run(args []string) error {
 		earlyStop  = fs.Bool("early-stop", false, "adaptive engine: end a replay the moment its state reconverges with golden")
 		targetErr  = fs.Float64("target-error", 0, "adaptive engine: stop injecting once every class proportion is within this margin (0 = full plan)")
 		prune      = fs.String("prune", "off", "golden-trace fault pruning: off, dead (exact), classes (MeRLiN-style extrapolation)")
+		protectStr = fs.String("protect", "", "protection plan, e.g. rf=parity or rf=secded,l1d=dup (schemes: parity, secded, dup); detected-unrecoverable runs classify as DUE")
 		avf        = fs.Bool("avf", false, "attach an injection-free ACE/AVF estimate from the golden lifetime trace (zero extra replays, transient models only)")
 		avfPrior   = fs.Bool("avf-prior", false, "seed sequential stopping from the AVF prediction (implies -avf, requires -target-error)")
 		lanes      = fs.Int("lanes", 64, "bit-parallel lockstep replay width on the RTL model, 1-64 (1 = scalar engine; byte-identical results at any width)")
@@ -154,6 +163,7 @@ func run(args []string) error {
 		Lanes:        *lanes,
 		AVF:          *avf,
 		AVFPrior:     *avfPrior,
+		Protect:      *protectStr,
 	}
 	if cfg.Prune, err = campaign.ParsePruneMode(*prune); err != nil {
 		return err

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/lifetime"
+	"repro/internal/protect"
 	"repro/internal/refsim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -129,12 +130,13 @@ const (
 	ClassSDC                       // silent data corruption at the SOP
 	ClassCrash                     // simulator stopped with a fault
 	ClassHang                      // exceeded the hang budget
+	ClassDUE                       // detected, unrecoverable error (protection schemes)
 	numClasses
 )
 
 var classNames = map[Class]string{
 	ClassMasked: "masked", ClassMismatch: "mismatch", ClassSDC: "sdc",
-	ClassCrash: "crash", ClassHang: "hang",
+	ClassCrash: "crash", ClassHang: "hang", ClassDUE: "due",
 }
 
 func (c Class) String() string {
@@ -264,6 +266,20 @@ type Config struct {
 	// outcomes only — the prior moves the stopping index, never the
 	// estimate.
 	AVFPrior bool
+
+	// Protect selects per-target protection schemes in
+	// "rf=parity,l1d=secded" form (see internal/protect). When the
+	// campaign's Target is protected, the fault plan extends over the
+	// scheme's overhead bits (stored check bits plus checker logic),
+	// overhead faults are classified producer-side from the scheme's
+	// detection semantics, and replayed data faults are post-classified
+	// by the per-word arity rule: an uncorrectable detection becomes
+	// ClassDUE, a corrected corruption becomes ClassMasked, a missed
+	// one keeps its raw class. Empty (the default) reproduces the
+	// unprotected engine bit for bit; Validate canonicalises the
+	// string, so equal plans compare equal across the wire and in
+	// checkpoint records.
+	Protect string
 }
 
 // defaultSnapshotEvery is the golden-run snapshot interval selected by
@@ -331,6 +347,12 @@ type RunOutcome struct {
 	// its equivalence-class representative (PruneClasses mode) instead
 	// of replayed.
 	Extrapolated bool
+
+	// Overhead marks a fault planned into the protection overhead
+	// region (stored check bits / checker logic) of a protected target:
+	// the verdict comes from the scheme model with zero replay cycles,
+	// and EndCycle is the injection instant.
+	Overhead bool
 
 	// ClassSize is the number of faults this replay represents: 1 +
 	// the extrapolated members of its equivalence class, set on class
@@ -405,6 +427,17 @@ type Result struct {
 	FastForwardCycles uint64
 	FastForwardSaved  uint64
 
+	// Protection accounting, non-zero only when Config.Protect covers
+	// the injection target. ProtectDataBits is the structure's real bit
+	// space, ProtectOverheadBits the scheme's modeled extension (stored
+	// check bits plus checker logic) the plan additionally covers —
+	// the denominator of E13's unsafeness-reduction-per-protected-bit
+	// ROI. OverheadRuns counts planned faults that landed in the
+	// overhead region (classified by the scheme model, zero replay).
+	ProtectDataBits     int
+	ProtectOverheadBits int
+	OverheadRuns        int
+
 	// AVF is the campaign's injection-free ACE/AVF estimate, computed
 	// from the golden lifetime trace with zero replays; nil unless
 	// Config.AVF.
@@ -458,7 +491,31 @@ func (c *Config) validate() error {
 	if c.AVFPrior && c.TargetError == 0 {
 		return fmt.Errorf("campaign: AVFPrior requires sequential stopping (TargetError > 0)")
 	}
+	if c.Protect != "" {
+		pl, err := protect.Parse(c.Protect)
+		if err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+		c.Protect = pl.String()
+		if c.Protect != "" && c.AVF {
+			// The golden-trace ACE sweep knows nothing of check bits or
+			// checkers; a protected AVF estimate would silently judge
+			// the wrong bit space.
+			return fmt.Errorf("campaign: AVF estimation does not model protection (Protect=%q)", c.Protect)
+		}
+	}
 	return nil
+}
+
+// protScheme resolves the protection scheme covering the campaign's
+// injection target (SchemeNone when unprotected). Only the scheme over
+// the injected structure changes the engine's behavior; protection
+// declared for other targets rides along in the config untouched.
+func (c Config) protScheme() protect.Scheme {
+	if c.Protect == "" {
+		return protect.SchemeNone
+	}
+	return protect.Lookup(c.Protect).Scheme(c.Target)
 }
 
 // GoldenOptions parameterises the golden-artifact phase.
@@ -670,12 +727,28 @@ type lazyPlan struct {
 	specs []fault.Spec
 	g     *Golden
 	adv   bool
+
+	// dataBits is the target's real (simulator-backed) bit space; under
+	// a protected config the plan additionally covers
+	// [dataBits, dataBits+overhead) — the scheme's stored check bits and
+	// checker logic, which exist only in the protection model and are
+	// classified producer-side instead of replayed.
+	dataBits int
+	scheme   protect.Scheme
 }
 
 // planner derives the campaign's lazy fault plan from the golden
 // artifacts.
 func (g *Golden) planner(cfg Config) (*lazyPlan, error) {
 	bits := g.sim.Bits(cfg.Target)
+	dataBits := bits
+	scheme := cfg.protScheme()
+	if scheme != protect.SchemeNone {
+		// Protected target: faults land uniformly over data + overhead,
+		// exactly as a physical structure with check bits and a checker
+		// would be exposed.
+		bits += protect.OverheadBits(scheme, dataBits)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	gen, err := fault.NewGenerator(cfg.Target, bits, g.Cycles, cfg.TimeDist, cfg.Fault, rng)
 	if err != nil {
@@ -687,6 +760,7 @@ func (g *Golden) planner(cfg Config) (*lazyPlan, error) {
 	}
 	return &lazyPlan{
 		n: cfg.Injections, gen: gen, g: g, adv: adv,
+		dataBits: dataBits, scheme: scheme,
 		specs: make([]fault.Spec, 0, cfg.Injections),
 	}, nil
 }
@@ -697,12 +771,41 @@ func (g *Golden) planner(cfg Config) (*lazyPlan, error) {
 func (p *lazyPlan) spec(i int) fault.Spec {
 	for len(p.specs) <= i {
 		s := p.gen.Next()
-		if p.adv {
+		if _, hi := s.BitSpan(); p.adv && hi <= p.dataBits {
+			// Advancement consults the L1D line geometry, which only
+			// data bits have; overhead-region faults keep their instant.
 			s.Cycle = advance(s, p.g.timeline, p.g.sim)
 		}
 		p.specs = append(p.specs, s)
 	}
 	return p.specs[i]
+}
+
+// overheadOutcome classifies a planned fault that touches the
+// protection overhead region — producer-side, with zero replay: the
+// simulators have no such bits, the scheme model decides the verdict
+// directly (EndCycle is the injection instant). ok is false for pure
+// data faults, which replay normally. A burst straddling the data/
+// overhead boundary is judged by its first overhead bit: its detection
+// fate is what distinguishes it, and the span stays off the simulator.
+func (p *lazyPlan) overheadOutcome(spec fault.Spec) (RunOutcome, bool) {
+	if p.scheme == protect.SchemeNone {
+		return RunOutcome{}, false
+	}
+	lo, hi := spec.BitSpan()
+	if hi <= p.dataBits {
+		return RunOutcome{}, false
+	}
+	first := lo
+	if first < p.dataBits {
+		first = p.dataBits
+	}
+	reg := protect.RegionOf(p.scheme, p.dataBits, first)
+	oc := RunOutcome{Spec: spec, Class: ClassMasked, EndCycle: spec.Cycle, Overhead: true}
+	if protect.OverheadDUE(p.scheme, reg, spec.Model, spec.Stuck) {
+		oc.Class = ClassDUE
+	}
+	return oc, true
 }
 
 // hangBudget is the cycle limit beyond which a run-to-end replay is
@@ -882,6 +985,30 @@ type seqStop struct {
 	minRuns   int
 }
 
+// marginClasses is the set of fault-effect classes whose proportions
+// the sequential estimator and the achieved-margin report track:
+// ClassDUE joins the universe only for protected campaigns, so an
+// unprotected campaign's stopping indices and margins stay bit-identical
+// to the pre-protection engine (a never-observable class still carries a
+// positive Wilson half-width).
+func marginClasses(cfg Config) []Class {
+	cs := []Class{ClassMasked, ClassMismatch, ClassSDC, ClassCrash, ClassHang}
+	if cfg.protScheme() != protect.SchemeNone {
+		cs = append(cs, ClassDUE)
+	}
+	return cs
+}
+
+// classUniverse is marginClasses as the estimator's int class IDs.
+func classUniverse(cfg Config) []int {
+	cs := marginClasses(cfg)
+	out := make([]int, len(cs))
+	for i, c := range cs {
+		out[i] = int(c)
+	}
+	return out
+}
+
 // newSeqStop builds the collector for one campaign.
 func newSeqStop(cfg Config) (*seqStop, error) {
 	s := &seqStop{
@@ -896,8 +1023,7 @@ func newSeqStop(cfg Config) (*seqStop, error) {
 			s.minRuns = defaultMinRuns
 		}
 		var err error
-		s.est, err = stats.NewSequential(cfg.Confidence,
-			int(ClassMasked), int(ClassMismatch), int(ClassSDC), int(ClassCrash), int(ClassHang))
+		s.est, err = stats.NewSequential(cfg.Confidence, classUniverse(cfg)...)
 		if err != nil {
 			return nil, err
 		}
@@ -1093,6 +1219,10 @@ func aggregate(cfg Config, g *Golden, pl *lazyPlan, seq *seqStop, pr *pruner, el
 		// replays, and Inf/NaN must not leak into JSON reports.
 		res.AvgSecPerRun = elapsed.Seconds() / float64(len(outcomes))
 	}
+	if pl.scheme != protect.SchemeNone {
+		res.ProtectDataBits = pl.dataBits
+		res.ProtectOverheadBits = protect.OverheadBits(pl.scheme, pl.dataBits)
+	}
 	unsafe := 0
 	for _, oc := range outcomes {
 		res.Counts[oc.Class]++
@@ -1102,6 +1232,11 @@ func aggregate(cfg Config, g *Golden, pl *lazyPlan, seq *seqStop, pr *pruner, el
 		base := nearestSnap(g.snaps, oc.Spec.Cycle).cycle
 		full := g.fullReplayEnd(oc.Spec, cfg)
 		switch {
+		case oc.Overhead:
+			// Classified by the protection model alone: nothing was
+			// simulated and no fixed-plan replay existed to save.
+			res.OverheadRuns++
+			continue
 		case oc.Pruned:
 			// Classified from the golden trace alone: the whole
 			// fixed-plan replay is saved, nothing was simulated.
@@ -1187,7 +1322,7 @@ func aggregate(cfg Config, g *Golden, pl *lazyPlan, seq *seqStop, pr *pruner, el
 		if err != nil {
 			return nil, err
 		}
-		for _, c := range []Class{ClassMasked, ClassMismatch, ClassSDC, ClassCrash, ClassHang} {
+		for _, c := range marginClasses(cfg) {
 			if w := stats.WilsonHalfWidthP(wcounts[c]/sumW, nEff, z); w > res.AchievedMargin {
 				res.AchievedMargin = w
 			}
@@ -1198,7 +1333,7 @@ func aggregate(cfg Config, g *Golden, pl *lazyPlan, seq *seqStop, pr *pruner, el
 	if err != nil {
 		return nil, err
 	}
-	for _, c := range []Class{ClassMasked, ClassMismatch, ClassSDC, ClassCrash, ClassHang} {
+	for _, c := range marginClasses(cfg) {
 		if w := stats.WilsonHalfWidth(res.Counts[c], len(outcomes), z); w > res.AchievedMargin {
 			res.AchievedMargin = w
 		}
@@ -1398,7 +1533,33 @@ func finishRun(sim Simulator, g *Golden, spec fault.Spec, cfg Config, baseCycle 
 			oc.Class = ClassMasked
 		}
 	}
+	applyProtection(&oc, cfg)
 	return oc, nil
+}
+
+// applyProtection post-classifies a replayed data fault under the
+// target's protection scheme: the raw (unprotected) replay establishes
+// whether the corruption propagated, then the per-word arity rule
+// decides whether the scheme caught it on use — an uncorrectable
+// detection becomes ClassDUE, a corrected corruption ClassMasked, a
+// silent miss keeps the raw class. A raw-Masked run stays Masked (the
+// corruption was overwritten or never consumed, so the checker never
+// observed it) — which is also why the convergence exit's early return
+// needs no transform. This is the single choke point finishRun funnels
+// every replayed classification through, so stream, cursor and
+// batch-peeled paths transform identically.
+func applyProtection(oc *RunOutcome, cfg Config) {
+	sc := cfg.protScheme()
+	if sc == protect.SchemeNone || oc.Class == ClassMasked {
+		return
+	}
+	lo, hi := oc.Spec.BitSpan()
+	switch protect.EvalSpan(sc, lo, hi) {
+	case protect.ActionDetect:
+		oc.Class = ClassDUE
+	case protect.ActionCorrect:
+		oc.Class = ClassMasked
+	}
 }
 
 // applyFault applies spec's fault action at the current cycle: one flip

@@ -148,6 +148,13 @@ func (p *Planned) NextReplay() (idx int, spec fault.Spec, ok bool) {
 			continue
 		}
 		s := p.pl.spec(i)
+		// Protection overhead faults (check bits / checker logic) exist
+		// only in the scheme model: classify producer-side, never
+		// dispatch them to a simulator.
+		if oc, ok := p.pl.overheadOutcome(s); ok {
+			p.seq.deliver(i, oc)
+			continue
+		}
 		switch act, oc := p.pr.decide(i, s); act {
 		case pruneSynthetic:
 			p.seq.deliver(i, oc)

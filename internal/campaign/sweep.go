@@ -349,6 +349,13 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 					continue
 				}
 				spec := plans[ci].spec(i)
+				// Protection overhead faults classify producer-side from
+				// the scheme model (no simulator bits back them), exactly
+				// as Planned.NextReplay synthesises them.
+				if oc, ok := plans[ci].overheadOutcome(spec); ok {
+					seqs[ci].deliver(i, oc)
+					continue
+				}
 				// Golden-trace pruning: dead faults deliver their
 				// synthetic Masked outcome producer-side; class
 				// members wait for their representative's fanout.
@@ -681,6 +688,16 @@ type ckptRecord struct {
 	// extrapolated outcomes are re-derived from the golden trace.
 	Prune int `json:"prune,omitempty"`
 	CSize int `json:"csize,omitempty"`
+
+	// Protect pins the campaign's protection plan (canonical string
+	// form, empty = unprotected), mirroring the fault-model staleness
+	// rule: protection changes the planned bit space and every
+	// classification, so records from an unprotected run (including all
+	// pre-protection shards, which decode to "") must never merge into a
+	// protected campaign, nor vice versa. Overhead-region outcomes never
+	// reach shards; they are re-synthesised from the scheme model on
+	// resume.
+	Protect string `json:"protect,omitempty"`
 }
 
 // ckptKindStop marks a record carrying a campaign's sequential stopping
@@ -735,6 +752,7 @@ func (w *shardWriter) write(key string, idx int, oc RunOutcome, cfg Config, gold
 		Class:  int(oc.Class), EndCycle: oc.EndCycle,
 		EarlyStop: cfg.EarlyStop, Converged: oc.Converged,
 		Prune: int(cfg.Prune), CSize: oc.ClassSize,
+		Protect: cfg.Protect,
 	})
 }
 
@@ -788,6 +806,7 @@ func stopRecord(key string, idx int, cfg Config, last fault.Spec, goldenFp uint6
 		TargetErr: cfg.TargetError, MinRuns: cfg.MinRuns, Conf: cfg.Confidence,
 		AvfPrior: cfg.AVFPrior,
 		Prune:    int(cfg.Prune),
+		Protect:  cfg.Protect,
 	}
 }
 
@@ -929,6 +948,13 @@ func applyCkptRecord(r ckptRecord, cfg Config, pl *lazyPlan,
 	}
 	if r.Prune != int(cfg.Prune) {
 		return false // pruning changes which indices replay and their weights
+	}
+	if r.Protect != cfg.Protect {
+		// Protection changes the planned bit space and every class:
+		// pre-protection (or differently protected) shards are stale for
+		// a protected campaign, and protected shards for an unprotected
+		// one — the fault-model staleness rule extended to schemes.
+		return false
 	}
 	if r.Kind == ckptKindStop {
 		if r.TargetErr != cfg.TargetError || r.MinRuns != cfg.MinRuns || r.Conf != cfg.Confidence {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/campaign"
 	"repro/internal/fault"
+	"repro/internal/protect"
 	"repro/internal/stats"
 )
 
@@ -878,6 +879,216 @@ func (p Params) ExperimentAVF() (*AVFResult, error) {
 				row.Within = row.AVFWeighted >= pred.Lo && row.AVFWeighted <= pred.Hi
 				row.Bounded = r.Unsafeness.P <= pred.P
 				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+// ProtectionRow summarises one (level, fault model, structure, scheme)
+// cell of the protection-ROI experiment (E13): the protected campaign's
+// class split next to its unprotected baseline, and two ROI views. The
+// two views point in different directions on purpose. UnsafeROI charges
+// detection against availability — ClassDUE counts as unsafe, so a
+// detect-only scheme can post negative unsafeness ROI under fault
+// models it merely converts silent corruption into detected stops for
+// (or worse, spuriously trips on). SDCROI is the complementary
+// silent-corruption view — reduction of the SDC fraction per protected
+// bit, the number a detection scheme is actually bought for. Both are
+// scaled per kilobit of overhead so laptop-scale campaigns produce
+// readable magnitudes. LogicDUERate is E13's blind-spot observable —
+// the DUE rate among faults landing on the checker logic itself. The
+// campaign-wide DUEFrac cannot show the blind spot (persistent data
+// faults keep re-asserting and being detected, drowning the checker
+// path), but the logic region isolates it: under parity it is 1.0 on
+// the transient row and 0.0 on the stuck-at row, because an asserted-0
+// checker path disarms detection instead of raising it.
+type ProtectionRow struct {
+	Bench  string
+	Level  string
+	Model  string // fault model
+	Target string
+	Scheme string
+
+	DataBits     int
+	OverheadBits int
+
+	Runs     int // classified outcomes of the protected arm
+	Overhead int // of Runs, synthesised overhead-region faults
+	Masked   int
+	DUE      int
+	SDC      int // ClassSDC alone; Unsafe aggregates every non-Masked class
+
+	BaseUnsafe stats.Proportion // unprotected baseline unsafeness
+	Unsafe     stats.Proportion // protected unsafeness (DUE included)
+
+	BaseSDCFrac float64
+	SDCFrac     float64
+	DUEFrac     float64
+
+	LogicRuns    int     // overhead faults landing on the checker logic
+	LogicDUE     int     // of LogicRuns, classified DUE
+	LogicDUERate float64 // the blind-spot observable
+
+	UnsafeROI float64 // (BaseUnsafe.P - Unsafe.P) per kilobit of overhead
+	SDCROI    float64 // (BaseSDCFrac - SDCFrac) per kilobit of overhead
+}
+
+// ProtectionResult is the E13 deliverable: the raw figure (one series
+// per matrix cell) plus the folded ROI table.
+type ProtectionResult struct {
+	Fig  *FigureResult
+	Rows []ProtectionRow
+}
+
+// protectionTargets lists the structures E13 protects per level: the
+// register file and L1D data array on both levels, pipeline latches on
+// RTL only (the microarchitectural model keeps no latch state).
+func protectionTargets(m Model) []fault.Target {
+	if m == ModelRTL {
+		return []fault.Target{fault.TargetRF, fault.TargetL1D, fault.TargetLatches}
+	}
+	return []fault.Target{fault.TargetRF, fault.TargetL1D}
+}
+
+// protectionSchemes are E13's arms in report order; index 0 is the
+// unprotected baseline every ROI is measured against.
+var protectionSchemes = []protect.Scheme{
+	protect.SchemeNone, protect.SchemeParity, protect.SchemeSECDED, protect.SchemeDup,
+}
+
+// protectionModels are E13's four fault models. The persistent models
+// pin the forced value to 0 instead of sampling it per injection: an
+// asserted-0 checker path is exactly the parity blind spot the
+// experiment exists to demonstrate, and a sampled value would halve the
+// signal.
+func (p Params) protectionModels() []fault.Params {
+	return []fault.Params{
+		{Model: fault.ModelTransient},
+		{Model: fault.ModelBurst, Burst: p.Fault.Burst},
+		{Model: fault.ModelStuckAt, Stuck: 0},
+		{Model: fault.ModelIntermittent, Stuck: 0, Span: p.Fault.Span},
+	}
+}
+
+func protectionLabel(m Model, fm fault.Model, tgt fault.Target, sc protect.Scheme) string {
+	return fmt.Sprintf("%v/%v/%s/%v", m, fm, protect.TargetKey(tgt), sc)
+}
+
+// protectionPlan is the protection-ROI experiment (E13): the same
+// campaign per (level, fault model, structure) — run to program end
+// with the combined observation point, like the fault-model ablation,
+// so the class split separates Masked, Mismatch, SDC and DUE — once
+// unprotected and once per scheme. All arms of one (level, benchmark)
+// share that level's single golden run: protection extends only the
+// fault plan and the classification, never the golden simulation. The
+// default benchmark subset is one workload; the matrix is already
+// 2 levels x 4 fault models x 2-3 structures x 4 arms per benchmark.
+func (p Params) protectionPlan() (figurePlan, error) {
+	if p.Benches == nil {
+		p.Benches = []string{"qsort"}
+	}
+	workloads, err := p.benchList()
+	if err != nil {
+		return figurePlan{}, err
+	}
+	var specs []seriesSpec
+	for _, m := range []Model{ModelMicroarch, ModelRTL} {
+		for _, fm := range p.protectionModels() {
+			for _, tgt := range protectionTargets(m) {
+				for _, sc := range protectionSchemes {
+					cfg := campaign.Config{
+						Injections: p.Injections, Seed: p.Seed, Target: tgt,
+						Obs: campaign.ObsCombined, Workers: p.Workers, Fault: fm,
+						EarlyStop: p.EarlyStop, TargetError: p.TargetError,
+						Lanes: p.Lanes,
+					}
+					if sc != protect.SchemeNone {
+						cfg.Protect = protect.TargetKey(tgt) + "=" + sc.String()
+					}
+					specs = append(specs, seriesSpec{
+						label: protectionLabel(m, fm.Model, tgt, sc),
+						model: m,
+						cfg:   cfg,
+					})
+				}
+			}
+		}
+	}
+	return figurePlan{
+		name:    "protection",
+		benches: workloads,
+		series:  specs,
+	}, nil
+}
+
+// ExperimentProtection runs E13 and folds every protected arm against
+// its unprotected baseline into the ROI table.
+func (p Params) ExperimentProtection() (*ProtectionResult, error) {
+	fig, err := p.runFigure(p.protectionPlan())
+	if err != nil {
+		return nil, err
+	}
+	res := &ProtectionResult{Fig: fig}
+	byLabel := make(map[string]Series, len(fig.Series))
+	for _, s := range fig.Series {
+		byLabel[s.Label] = s
+	}
+	frac := func(hits, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return float64(hits) / float64(n)
+	}
+	for _, m := range []Model{ModelMicroarch, ModelRTL} {
+		for _, fm := range p.protectionModels() {
+			for _, tgt := range protectionTargets(m) {
+				for _, b := range fig.Benches {
+					base := byLabel[protectionLabel(m, fm.Model, tgt, protect.SchemeNone)].Results[b]
+					baseSDC := frac(base.Counts[campaign.ClassSDC], len(base.Outcomes))
+					for _, sc := range protectionSchemes[1:] {
+						r := byLabel[protectionLabel(m, fm.Model, tgt, sc)].Results[b]
+						if r.ProtectOverheadBits == 0 {
+							return nil, fmt.Errorf("protection/%v/%v/%v/%v/%s: protected arm reports no overhead bits",
+								m, fm.Model, tgt, sc, b)
+						}
+						n := len(r.Outcomes)
+						kbits := float64(r.ProtectOverheadBits) / 1024
+						logicStart := r.ProtectDataBits + protect.CheckBits(sc, r.ProtectDataBits)
+						var logicRuns, logicDUE int
+						for _, oc := range r.Outcomes {
+							if !oc.Overhead || oc.Spec.Bit < logicStart {
+								continue
+							}
+							logicRuns++
+							if oc.Class == campaign.ClassDUE {
+								logicDUE++
+							}
+						}
+						row := ProtectionRow{
+							Bench: b, Level: m.String(), Model: fm.Model.String(),
+							Target: protect.TargetKey(tgt), Scheme: sc.String(),
+							DataBits:     r.ProtectDataBits,
+							OverheadBits: r.ProtectOverheadBits,
+							Runs:         n,
+							Overhead:     r.OverheadRuns,
+							Masked:       r.Counts[campaign.ClassMasked],
+							DUE:          r.Counts[campaign.ClassDUE],
+							SDC:          r.Counts[campaign.ClassSDC],
+							BaseUnsafe:   base.Unsafeness,
+							Unsafe:       r.Unsafeness,
+							BaseSDCFrac:  baseSDC,
+							SDCFrac:      frac(r.Counts[campaign.ClassSDC], n),
+							DUEFrac:      frac(r.Counts[campaign.ClassDUE], n),
+							LogicRuns:    logicRuns,
+							LogicDUE:     logicDUE,
+							LogicDUERate: frac(logicDUE, logicRuns),
+						}
+						row.UnsafeROI = (row.BaseUnsafe.P - row.Unsafe.P) / kbits
+						row.SDCROI = (row.BaseSDCFrac - row.SDCFrac) / kbits
+						res.Rows = append(res.Rows, row)
+					}
+				}
 			}
 		}
 	}

@@ -184,6 +184,60 @@ func TestExperimentAVF(t *testing.T) {
 	}
 }
 
+// TestExperimentProtection is E13's acceptance test: the full matrix —
+// both levels, all four fault models, every structure, all three
+// schemes — folds against per-cell unprotected baselines over one
+// shared golden run per level, every protected arm reports its
+// overhead, SECDED never posts a worse SDC fraction than its baseline,
+// and the checker-logic region obeys the analytic blind-spot rule:
+// non-persistent overhead-logic faults always detect (rate 1), pinned
+// stuck-at-0 ones never do (rate 0).
+func TestExperimentProtection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 80-campaign E13 matrix; exercised by the full suite and `paper -fig protection`")
+	}
+	p := DefaultParams()
+	p.Injections = 16
+	p.Seed = 5
+	p.Benches = []string{"qsort"}
+	res, err := p.ExperimentProtection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fig.GoldenRuns != 2 {
+		t.Errorf("E13 ran %d golden runs, want one per level", res.Fig.GoldenRuns)
+	}
+	// 4 fault models x (2 microarch + 3 rtl targets) x 3 schemes.
+	if want := 4 * (2 + 3) * 3; len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	persistent := map[string]bool{"stuck-at": true, "intermittent": true}
+	for _, r := range res.Rows {
+		if r.OverheadBits <= 0 || r.DataBits <= 0 {
+			t.Errorf("%s/%s/%s/%s: missing bit accounting (%d data, %d overhead)",
+				r.Level, r.Model, r.Target, r.Scheme, r.DataBits, r.OverheadBits)
+		}
+		if r.Runs == 0 {
+			t.Errorf("%s/%s/%s/%s: empty arm", r.Level, r.Model, r.Target, r.Scheme)
+		}
+		if r.Scheme == "secded" && r.SDCFrac > r.BaseSDCFrac {
+			t.Errorf("%s/%s/%s: SECDED raised the SDC fraction (%.3f -> %.3f)",
+				r.Level, r.Model, r.Target, r.BaseSDCFrac, r.SDCFrac)
+		}
+		if r.LogicRuns == 0 {
+			continue
+		}
+		want := 1.0
+		if persistent[r.Model] {
+			want = 0.0 // pinned stuck-at-0 disarms the checker
+		}
+		if r.LogicDUERate != want {
+			t.Errorf("%s/%s/%s/%s: checker-logic DUE rate %.3f over %d faults, want %.1f",
+				r.Level, r.Model, r.Target, r.Scheme, r.LogicDUERate, r.LogicRuns, want)
+		}
+	}
+}
+
 // TestAblationPruning is E11's acceptance test: full vs dead vs classes
 // on both levels over one shared golden run per level, exact drift on
 // the dead arm, and real savings in simulated cycles.

@@ -25,6 +25,12 @@ type Client struct {
 	// Poll is the progress polling interval while waiting (0 selects
 	// 500ms).
 	Poll time.Duration
+
+	// Attempts bounds transport-retry tries per API call (0 selects 5;
+	// 1 disables retry). Transient failures — transport errors, 5xx —
+	// back off exponentially with jitter between tries; 4xx responses
+	// surface immediately.
+	Attempts int
 }
 
 // NewClient builds a client for a coordinator base URL.
@@ -159,28 +165,54 @@ func (c *Client) SweepRunner() core.SweepRunner {
 	}
 }
 
-// do issues one API call, decoding the JSON response into out (when
-// non-nil) and turning non-2xx responses into errors carrying the
-// server's error envelope.
+// do issues one API call with bounded retry: transient failures
+// (transport errors, 5xx) back off exponentially with jitter, anything
+// else surfaces immediately. See retry.go for why retrying these POSTs
+// is safe.
 func (c *Client) do(method, path string, in, out any) error {
+	attempts := c.Attempts
+	if attempts <= 0 {
+		attempts = retryAttempts
+	}
+	var (
+		code int
+		err  error
+	)
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(backoffDelay(a - 1))
+		}
+		code, err = c.doOnce(method, path, in, out)
+		if !retryable(code, err) {
+			return err
+		}
+	}
+	return err
+}
+
+// doOnce issues one API call, decoding the JSON response into out (when
+// non-nil) and turning non-2xx responses into errors carrying the
+// server's error envelope. The status code is returned (0 on transport
+// failure) so do can decide retryability.
+func (c *Client) doOnce(method, path string, in, out any) (int, error) {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		body = bytes.NewReader(b)
 	}
 	req, err := http.NewRequest(method, c.Base+path, body)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -192,12 +224,12 @@ func (c *Client) do(method, path string, in, out any) error {
 		if eb.Error == "" {
 			eb.Error = resp.Status
 		}
-		return apiError(method+" "+path, resp.StatusCode, eb.Error)
+		return resp.StatusCode, apiError(method+" "+path, resp.StatusCode, eb.Error)
 	}
 	if out != nil && resp.StatusCode != http.StatusNoContent {
 		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(out); err != nil {
-			return fmt.Errorf("distrib: decode %s response: %w", path, err)
+			return resp.StatusCode, fmt.Errorf("distrib: decode %s response: %w", path, err)
 		}
 	}
-	return nil
+	return resp.StatusCode, nil
 }

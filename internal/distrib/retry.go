@@ -1,0 +1,74 @@
+package distrib
+
+// Transport-level retry: every client and worker API call passes
+// through a bounded exponential backoff with jitter before surfacing an
+// error, so a coordinator restart or a load-balancer hiccup does not
+// fail a campaign submission, a Wait poll, or a worker's lease cycle.
+//
+// Only genuinely transient failures are retried: transport errors
+// (connection refused/reset while a coordinator restarts, timeouts) and
+// server-side 5xx responses. 4xx responses are never retried — they
+// carry protocol semantics the callers map onto behavior (410 Gone
+// marks a re-issued lease whose batch must be dropped, 404 an unknown
+// campaign, 400 a rejected spec). Retrying POSTs is safe in this
+// protocol by construction: Submit is idempotent (deterministic
+// campaign IDs), a heartbeat sets an absolute deadline, duplicate
+// outcome deliveries are ignored by the collector, and a duplicated
+// lease pull merely checks out a shard whose lease expires and is
+// re-issued.
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+const (
+	// retryAttempts is the total number of tries per call.
+	retryAttempts = 5
+	// retryBase is the first backoff; each retry doubles it.
+	retryBase = 100 * time.Millisecond
+	// retryCap bounds a single backoff, keeping the worst-case stall
+	// per call at roughly attempts*cap even if attempts grows.
+	retryCap = 2 * time.Second
+)
+
+// retryable reports whether one API call's failure warrants another
+// attempt: a transport-level error (no HTTP status at all) or a
+// server-side 5xx.
+func retryable(code int, err error) bool {
+	if err == nil {
+		return false
+	}
+	return code == 0 || code >= 500
+}
+
+// backoffDelay returns the jittered delay before retry attempt
+// (0-based): exponential growth from retryBase capped at retryCap, with
+// equal jitter — half the window fixed, half uniform — so a restarted
+// coordinator is not hit by its whole fleet on one schedule.
+func backoffDelay(attempt int) time.Duration {
+	d := retryBase << uint(attempt)
+	if d <= 0 || d > retryCap {
+		d = retryCap
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// sleepCtx waits d, returning early when ctx (which may be nil) is
+// cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -534,11 +534,35 @@ func (w *Worker) postOutcomes(ctx context.Context, batch OutcomeBatch) error {
 	return err
 }
 
-// postJSON posts a JSON body and decodes a JSON response (when out is
-// non-nil and the response has one). Non-2xx responses become errors
+// postJSON posts a JSON body with bounded retry: transient failures
+// (transport errors, 5xx) back off exponentially with jitter — a
+// coordinator restart mid-shard costs a pause, not the lease cycle —
+// while semantic responses (410 Gone above all) surface immediately
+// with their status code. Cancellation wins over the backoff.
+func (w *Worker) postJSON(ctx context.Context, path string, in, out any) (int, error) {
+	var (
+		code int
+		err  error
+	)
+	for a := 0; a < retryAttempts; a++ {
+		if a > 0 {
+			if sleepCtx(ctx, backoffDelay(a-1)) != nil {
+				return code, err
+			}
+		}
+		code, err = w.postJSONOnce(ctx, path, in, out)
+		if !retryable(code, err) || ctx.Err() != nil {
+			return code, err
+		}
+	}
+	return code, err
+}
+
+// postJSONOnce posts a JSON body and decodes a JSON response (when out
+// is non-nil and the response has one). Non-2xx responses become errors
 // carrying the server's error envelope; the status code is returned for
 // callers that treat specific codes specially.
-func (w *Worker) postJSON(ctx context.Context, path string, in, out any) (int, error) {
+func (w *Worker) postJSONOnce(ctx context.Context, path string, in, out any) (int, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, err

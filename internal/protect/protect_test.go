@@ -1,0 +1,228 @@
+package protect
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestParseCanonical(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", ""},
+		{"rf=parity", "rf=parity"},
+		{"l1d=secded,rf=parity", "rf=parity,l1d=secded"},
+		{" latches=dup , rf=ecc ", "rf=secded,latches=dup"},
+		{"register-file=dmr", "rf=dup"},
+		{"rf=none", ""},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if got := p.String(); got != tc.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+		// Round-trip: the canonical form parses back to itself.
+		rt, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", p.String(), err)
+		}
+		if rt.String() != p.String() {
+			t.Errorf("canonical form %q not a fixed point (got %q)", p.String(), rt.String())
+		}
+	}
+	for _, bad := range []string{"rf", "rf=paranoid", "bogus=parity", "rf=parity,rf=secded"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestOverheadBits(t *testing.T) {
+	// 1024 data bits = 32 words.
+	cases := []struct {
+		s            Scheme
+		check, logic int
+	}{
+		{SchemeNone, 0, 0},
+		{SchemeParity, 32, 32},
+		{SchemeSECDED, 224, 32},
+		{SchemeDup, 1024, 32},
+	}
+	for _, tc := range cases {
+		if got := CheckBits(tc.s, 1024); got != tc.check {
+			t.Errorf("CheckBits(%v, 1024) = %d, want %d", tc.s, got, tc.check)
+		}
+		if got := LogicBits(tc.s, 1024); got != tc.logic {
+			t.Errorf("LogicBits(%v, 1024) = %d, want %d", tc.s, got, tc.logic)
+		}
+		if got := OverheadBits(tc.s, 1024); got != tc.check+tc.logic {
+			t.Errorf("OverheadBits(%v, 1024) = %d, want %d", tc.s, got, tc.check+tc.logic)
+		}
+	}
+	// Region layout: data, then check, then logic.
+	if r := RegionOf(SchemeParity, 1024, 1023); r != RegionData {
+		t.Errorf("bit 1023 under parity: %v, want data", r)
+	}
+	if r := RegionOf(SchemeParity, 1024, 1024); r != RegionCheck {
+		t.Errorf("bit 1024 under parity: %v, want check", r)
+	}
+	if r := RegionOf(SchemeParity, 1024, 1056); r != RegionLogic {
+		t.Errorf("bit 1056 under parity: %v, want logic", r)
+	}
+}
+
+func TestDataAction(t *testing.T) {
+	cases := []struct {
+		s     Scheme
+		arity int
+		want  Action
+	}{
+		{SchemeParity, 1, ActionDetect},
+		{SchemeParity, 2, ActionMiss},
+		{SchemeParity, 3, ActionDetect},
+		{SchemeSECDED, 1, ActionCorrect},
+		{SchemeSECDED, 2, ActionDetect},
+		{SchemeSECDED, 3, ActionMiss},
+		{SchemeDup, 1, ActionDetect},
+		{SchemeDup, 4, ActionDetect},
+		{SchemeNone, 1, ActionMiss},
+	}
+	for _, tc := range cases {
+		if got := DataAction(tc.s, tc.arity); got != tc.want {
+			t.Errorf("DataAction(%v, %d) = %v, want %v", tc.s, tc.arity, got, tc.want)
+		}
+	}
+}
+
+func TestEvalSpan(t *testing.T) {
+	cases := []struct {
+		s      Scheme
+		lo, hi int
+		want   Action
+	}{
+		// Single bit in one word.
+		{SchemeParity, 5, 6, ActionDetect},
+		{SchemeSECDED, 5, 6, ActionCorrect},
+		// Double-bit burst inside one word: parity blind, SECDED detects.
+		{SchemeParity, 5, 7, ActionMiss},
+		{SchemeSECDED, 5, 7, ActionDetect},
+		// Burst straddling a word boundary: one bit per word.
+		{SchemeParity, 31, 33, ActionDetect},
+		{SchemeSECDED, 31, 33, ActionCorrect},
+		{SchemeDup, 31, 33, ActionDetect},
+		// Triple in one word aliases past SECDED.
+		{SchemeSECDED, 4, 7, ActionMiss},
+	}
+	for _, tc := range cases {
+		if got := EvalSpan(tc.s, tc.lo, tc.hi); got != tc.want {
+			t.Errorf("EvalSpan(%v, %d, %d) = %v, want %v", tc.s, tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestOverheadDUE(t *testing.T) {
+	cases := []struct {
+		s     Scheme
+		reg   Region
+		model fault.Model
+		stuck int
+		want  bool
+	}{
+		// Stored check bits.
+		{SchemeParity, RegionCheck, fault.ModelTransient, 0, true},
+		{SchemeSECDED, RegionCheck, fault.ModelTransient, 0, false},
+		{SchemeDup, RegionCheck, fault.ModelTransient, 0, true},
+		{SchemeParity, RegionCheck, fault.ModelStuckAt, 0, true},
+		// Checker logic: transient glitches and asserted-1 faults all
+		// raise spurious detections...
+		{SchemeParity, RegionLogic, fault.ModelTransient, 0, true},
+		{SchemeParity, RegionLogic, fault.ModelBurst, 0, true},
+		{SchemeParity, RegionLogic, fault.ModelStuckAt, 1, true},
+		{SchemeParity, RegionLogic, fault.ModelIntermittent, 1, true},
+		// ...but a persistent stuck-at-0 disarms detection: the blind
+		// spot E13 demonstrates.
+		{SchemeParity, RegionLogic, fault.ModelStuckAt, 0, false},
+		{SchemeParity, RegionLogic, fault.ModelIntermittent, 0, false},
+		{SchemeSECDED, RegionLogic, fault.ModelStuckAt, 0, false},
+		{SchemeDup, RegionLogic, fault.ModelStuckAt, 0, false},
+	}
+	for _, tc := range cases {
+		if got := OverheadDUE(tc.s, tc.reg, tc.model, tc.stuck); got != tc.want {
+			t.Errorf("OverheadDUE(%v, %v, %v, stuck=%d) = %v, want %v",
+				tc.s, tc.reg, tc.model, tc.stuck, got, tc.want)
+		}
+	}
+}
+
+func TestSECDEDExhaustiveSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 32; trial++ {
+		data := rng.Uint32()
+		check := Encode(data)
+		if got, st := Decode(data, check); st != StatusOK || got != data {
+			t.Fatalf("clean word 0x%08x decoded (0x%08x, %v)", data, got, st)
+		}
+		// Every single-bit flip across the 39-bit codeword corrects
+		// back to the original data.
+		for b := 0; b < 32+CodeBits; b++ {
+			d, c := flip(data, check, b)
+			got, st := Decode(d, c)
+			if st != StatusCorrected || got != data {
+				t.Fatalf("single flip of bit %d on 0x%08x: got (0x%08x, %v)", b, data, got, st)
+			}
+		}
+	}
+}
+
+// flip flips codeword bit b of a (data, check) pair: bits 0..31 are
+// data, 32..38 the check bits.
+func flip(data uint32, check uint8, b int) (uint32, uint8) {
+	if b < 32 {
+		return data ^ 1<<b, check
+	}
+	return data, check ^ 1<<(b-32)
+}
+
+// FuzzSECDED is the CI fuzz target: encode a word, flip up to two
+// distinct codeword bits, and require the code to behave as specified —
+// zero flips decode OK, one flip corrects back to the original data,
+// two flips are detected.
+func FuzzSECDED(f *testing.F) {
+	f.Add(uint32(0), uint8(0), uint8(0))
+	f.Add(uint32(0xdeadbeef), uint8(3), uint8(38))
+	f.Add(uint32(0xffffffff), uint8(38), uint8(38))
+	f.Fuzz(func(t *testing.T, data uint32, b1, b2 uint8) {
+		check := Encode(data)
+		p1, p2 := int(b1)%(32+CodeBits), int(b2)%(32+CodeBits)
+		switch {
+		case b1 == b2:
+			// Zero flips (the b1==b2 lane doubles as the clean case).
+			if got, st := Decode(data, check); st != StatusOK || got != data {
+				t.Fatalf("clean 0x%08x: (0x%08x, %v)", data, got, st)
+			}
+		case p1 == p2:
+			// Same position twice cancels out: clean again.
+			d, c := flip(data, check, p1)
+			d, c = flip(d, c, p2)
+			if got, st := Decode(d, c); st != StatusOK || got != data {
+				t.Fatalf("cancelled flips at %d on 0x%08x: (0x%08x, %v)", p1, data, got, st)
+			}
+		default:
+			// One flip corrects, two flips detect.
+			d, c := flip(data, check, p1)
+			if got, st := Decode(d, c); st != StatusCorrected || got != data {
+				t.Fatalf("single flip at %d on 0x%08x: (0x%08x, %v)", p1, data, got, st)
+			}
+			d, c = flip(d, c, p2)
+			if _, st := Decode(d, c); st != StatusDetected {
+				t.Fatalf("double flip at %d,%d on 0x%08x: %v", p1, p2, data, st)
+			}
+		}
+	})
+}

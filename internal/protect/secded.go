@@ -1,0 +1,114 @@
+package protect
+
+import "math/bits"
+
+// CodeBits is the number of stored check bits the SECDED code adds per
+// 32-bit data word: six Hamming syndrome bits covering the 38-bit
+// Hamming codeword plus one overall parity bit that separates single
+// (correctable) from double (detectable-only) errors — the classic
+// Hamming(39,32) layout.
+const CodeBits = 7
+
+// hammingBits is the syndrome width of the inner Hamming(38,32) code.
+const hammingBits = 6
+
+// Status is the outcome of decoding one SECDED word.
+type Status int
+
+// Decode outcomes.
+const (
+	// StatusOK: syndrome clean, the word is intact.
+	StatusOK Status = iota
+	// StatusCorrected: a single-bit error was located and repaired
+	// (in the data or in the check bits themselves).
+	StatusCorrected
+	// StatusDetected: a double-bit error was detected; no correction
+	// is possible (the DUE case).
+	StatusDetected
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusCorrected:
+		return "corrected"
+	case StatusDetected:
+		return "detected"
+	default:
+		return "Status(?)"
+	}
+}
+
+// dataPos maps data bit i (0..31) to its position in the 1-indexed
+// Hamming codeword: positions that are powers of two hold check bits,
+// every other position 1..38 holds the next data bit.
+var dataPos = func() [32]int {
+	var m [32]int
+	i := 0
+	for pos := 1; i < 32; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check-bit position
+			continue
+		}
+		m[i] = pos
+		i++
+	}
+	return m
+}()
+
+// Encode computes the SECDED check bits of one 32-bit data word: the
+// six Hamming check bits in bits 0..5 (check bit j covers every
+// codeword position with bit j set) and the overall parity of the full
+// 38-bit Hamming codeword in bit 6.
+func Encode(data uint32) uint8 {
+	var syn int
+	for i := 0; i < 32; i++ {
+		if data>>i&1 == 1 {
+			syn ^= dataPos[i]
+		}
+	}
+	check := uint8(syn)
+	overall := bits.OnesCount32(data) + bits.OnesCount8(check&((1<<hammingBits)-1))
+	if overall%2 == 1 {
+		check |= 1 << hammingBits
+	}
+	return check
+}
+
+// Decode checks a (data, check) pair against the SECDED code and
+// repairs what it can: a single-bit error anywhere in the 39-bit
+// codeword is corrected, a double-bit error is detected but not
+// corrected (the returned word is unreliable). Only the corrected data
+// word is returned — repaired check bits are simply recomputable via
+// Encode.
+func Decode(data uint32, check uint8) (uint32, Status) {
+	syn := 0
+	for i := 0; i < 32; i++ {
+		if data>>i&1 == 1 {
+			syn ^= dataPos[i]
+		}
+	}
+	syn ^= int(check & ((1 << hammingBits) - 1))
+	overall := bits.OnesCount32(data) + bits.OnesCount8(check)
+	parityErr := overall%2 == 1
+	switch {
+	case syn == 0 && !parityErr:
+		return data, StatusOK
+	case syn == 0 && parityErr:
+		// The overall parity bit itself flipped; the word is intact.
+		return data, StatusCorrected
+	case parityErr:
+		// Non-zero syndrome with overall parity violated: exactly one
+		// codeword bit flipped at position syn. Repair it if it is a
+		// data position; a flipped check bit leaves the data intact.
+		for i, pos := range dataPos {
+			if pos == syn {
+				return data ^ 1<<i, StatusCorrected
+			}
+		}
+		return data, StatusCorrected
+	default:
+		// Non-zero syndrome, overall parity consistent: two flips.
+		return data, StatusDetected
+	}
+}

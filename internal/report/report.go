@@ -150,10 +150,12 @@ func FigureCSV(fig *core.FigureResult) string {
 	return CSV(headers, rows)
 }
 
-// breakdownClasses is the class order of ClassBreakdown rows.
+// breakdownClasses is the class order of ClassBreakdown rows. DUE is
+// last: it only occurs in protected campaigns, so unprotected
+// breakdowns render a zero column, never a missing class.
 var breakdownClasses = []campaign.Class{
 	campaign.ClassMasked, campaign.ClassMismatch, campaign.ClassSDC,
-	campaign.ClassCrash, campaign.ClassHang,
+	campaign.ClassCrash, campaign.ClassHang, campaign.ClassDUE,
 }
 
 // classBreakdownRows builds the per-class outcome fractions of every
@@ -245,12 +247,17 @@ func Campaign(name string, res *campaign.Result) string {
 	fmt.Fprintf(&sb, "  golden: %d cycles, %d pinout txns (%.2fs)\n",
 		res.GoldenCycles, res.GoldenTxns, res.GoldenElapsed.Seconds())
 	fmt.Fprintf(&sb, "  classes:")
-	for _, c := range []campaign.Class{campaign.ClassMasked, campaign.ClassMismatch, campaign.ClassSDC, campaign.ClassCrash, campaign.ClassHang} {
+	for _, c := range breakdownClasses {
 		if n := res.Counts[c]; n > 0 {
 			fmt.Fprintf(&sb, " %v=%d", c, n)
 		}
 	}
 	sb.WriteByte('\n')
+	if res.Config.Protect != "" {
+		fmt.Fprintf(&sb, "  protection (%s): %d data + %d overhead bits, %d overhead faults modelled, %d detected-unrecoverable\n",
+			res.Config.Protect, res.ProtectDataBits, res.ProtectOverheadBits,
+			res.OverheadRuns, res.Counts[campaign.ClassDUE])
+	}
 	u := res.Unsafeness
 	fmt.Fprintf(&sb, "  unsafeness: %.4f  (%d/%d, %v%% CI [%.4f, %.4f])\n",
 		u.P, u.Hits, u.N, int(u.Conf*100), u.Lo, u.Hi)
@@ -373,6 +380,96 @@ func Avf(res *core.AVFResult) string {
 // AvfCSV renders the E12 AVF-vs-FI table as CSV.
 func AvfCSV(res *core.AVFResult) string {
 	headers, rows := avfRows(res, "%.5f")
+	return CSV(headers, rows)
+}
+
+// protectionRows renders the E13 ROI table: per (benchmark, level,
+// fault model, structure, scheme) the protected class split against the
+// unprotected baseline and the two per-kilobit ROI views.
+func protectionRows(res *core.ProtectionResult, verb string) (headers []string, rows [][]string) {
+	headers = []string{
+		"benchmark", "level", "model", "target", "scheme",
+		"data bits", "ovh bits", "runs", "ovh runs", "due",
+		"base unsafe", "unsafe", "base sdc", "sdc", "due frac", "logic due",
+		"unsafe ROI/kb", "sdc ROI/kb",
+	}
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			r.Bench, r.Level, r.Model, r.Target, r.Scheme,
+			fmt.Sprintf("%d", r.DataBits),
+			fmt.Sprintf("%d", r.OverheadBits),
+			fmt.Sprintf("%d", r.Runs),
+			fmt.Sprintf("%d", r.Overhead),
+			fmt.Sprintf("%d", r.DUE),
+			fmt.Sprintf(verb, r.BaseUnsafe.P),
+			fmt.Sprintf(verb, r.Unsafe.P),
+			fmt.Sprintf(verb, r.BaseSDCFrac),
+			fmt.Sprintf(verb, r.SDCFrac),
+			fmt.Sprintf(verb, r.DUEFrac),
+			fmt.Sprintf(verb, r.LogicDUERate),
+			fmt.Sprintf(verb, r.UnsafeROI),
+			fmt.Sprintf(verb, r.SDCROI),
+		})
+	}
+	return headers, rows
+}
+
+// protectionBlindSpot extracts E13's headline observation: parity's
+// checker-logic DUE rate under transient faults next to the same cell
+// under stuck-at faults, where a persistent asserted-0 checker path
+// disarms detection (1.0 collapses to 0.0). The campaign-wide DUE
+// fraction cannot show this — persistent data faults keep being
+// detected and drown the checker path — so the summary reads the
+// logic-region rate the ROI table carries per row.
+func protectionBlindSpot(res *core.ProtectionResult) string {
+	type cell struct{ bench, level, target string }
+	transient := make(map[cell]float64)
+	stuck := make(map[cell]bool)
+	stuckVal := make(map[cell]float64)
+	var order []cell
+	for _, r := range res.Rows {
+		if r.Scheme != "parity" || r.LogicRuns == 0 {
+			continue
+		}
+		c := cell{r.Bench, r.Level, r.Target}
+		switch r.Model {
+		case "transient":
+			if _, ok := transient[c]; !ok {
+				order = append(order, c)
+			}
+			transient[c] = r.LogicDUERate
+		case "stuck-at":
+			stuck[c] = true
+			stuckVal[c] = r.LogicDUERate
+		}
+	}
+	var sb strings.Builder
+	for _, c := range order {
+		if !stuck[c] {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %s/%s/%s: checker-logic DUE rate %.3f transient -> %.3f stuck-at\n",
+			c.level, c.target, c.bench, transient[c], stuckVal[c])
+	}
+	if sb.Len() == 0 {
+		return ""
+	}
+	return "\nparity blind spot (persistent stuck-at-0 disarms the checker):\n" + sb.String()
+}
+
+// Protection renders the protection-ROI experiment (E13) as the folded
+// table plus the parity blind-spot summary. The raw figure (one series
+// per matrix cell) is deliberately not bar-charted — at 2 levels x 4
+// fault models x 2-3 structures x 4 arms it reads better as rows.
+func Protection(res *core.ProtectionResult) string {
+	headers, rows := protectionRows(res, "%.3f")
+	return fmt.Sprintf("== %s: protection ROI ==\n\n%s", res.Fig.Name, Table(headers, rows)) +
+		protectionBlindSpot(res)
+}
+
+// ProtectionCSV renders the E13 ROI table as CSV.
+func ProtectionCSV(res *core.ProtectionResult) string {
+	headers, rows := protectionRows(res, "%.5f")
 	return CSV(headers, rows)
 }
 

@@ -120,7 +120,7 @@ func TestClassBreakdownRendering(t *testing.T) {
 	}
 	out := ClassBreakdown(fig)
 	for _, want := range []string{
-		"class breakdown", "masked", "mismatch", "sdc", "crash", "hang", "unsafe",
+		"class breakdown", "masked", "mismatch", "sdc", "crash", "hang", "due", "unsafe",
 		"0.500", // sha/GeFIN masked 5/10
 		"0.300", // sha/GeFIN sdc 3/10
 	} {
@@ -129,11 +129,46 @@ func TestClassBreakdownRendering(t *testing.T) {
 		}
 	}
 	csvOut := ClassBreakdownCSV(fig)
-	if !strings.HasPrefix(csvOut, "benchmark,series,masked,mismatch,sdc,crash,hang,unsafe\n") {
+	if !strings.HasPrefix(csvOut, "benchmark,series,masked,mismatch,sdc,crash,hang,due,unsafe\n") {
 		t.Errorf("breakdown CSV header: %q", csvOut)
 	}
-	if !strings.Contains(csvOut, "sha,GeFIN,0.50000,0.20000,0.30000,0.00000,0.00000,0.50000") {
+	if !strings.Contains(csvOut, "sha,GeFIN,0.50000,0.20000,0.30000,0.00000,0.00000,0.00000,0.50000") {
 		t.Errorf("breakdown CSV rows: %q", csvOut)
+	}
+}
+
+func TestProtectionRendering(t *testing.T) {
+	res := &core.ProtectionResult{
+		Fig: &core.FigureResult{Name: "protection"},
+		Rows: []core.ProtectionRow{
+			{
+				Bench: "qsort", Level: "rtl", Model: "transient", Target: "rf", Scheme: "parity",
+				DataBits: 1792, OverheadBits: 112, Runs: 100, Overhead: 6, DUE: 31,
+				DUEFrac: 0.31, LogicRuns: 3, LogicDUE: 3, LogicDUERate: 1,
+				UnsafeROI: -1.234, SDCROI: 0.567,
+			},
+			{
+				Bench: "qsort", Level: "rtl", Model: "stuck-at", Target: "rf", Scheme: "parity",
+				DataBits: 1792, OverheadBits: 112, Runs: 100, Overhead: 6, DUE: 40,
+				DUEFrac: 0.40, LogicRuns: 3, LogicDUE: 0, LogicDUERate: 0,
+			},
+		},
+	}
+	out := Protection(res)
+	for _, want := range []string{
+		"protection ROI", "unsafe ROI/kb", "logic due", "parity", "stuck-at",
+		"parity blind spot", "checker-logic DUE rate 1.000 transient -> 0.000 stuck-at",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Protection output lacks %q:\n%s", want, out)
+		}
+	}
+	csvOut := ProtectionCSV(res)
+	if !strings.HasPrefix(csvOut, "benchmark,level,model,target,scheme,") {
+		t.Errorf("protection CSV header: %q", csvOut)
+	}
+	if !strings.Contains(csvOut, "qsort,rtl,transient,rf,parity,1792,112,100,6,31,") {
+		t.Errorf("protection CSV rows: %q", csvOut)
 	}
 }
 

@@ -55,6 +55,7 @@ type Baseline struct {
 	Pruning     []PruningPoint   `json:"pruning"`
 	AvfPrior    AvfPriorPoint    `json:"avfPrior"`
 	ReplaySched ReplaySchedPoint `json:"replaySched"`
+	Protection  ProtectionPoint  `json:"protection"`
 }
 
 // ReplayPoint is the oneRun replay-throughput measurement for one model.
@@ -123,6 +124,28 @@ type AvfPriorPoint struct {
 	PriorRuns    int     `json:"priorRuns"` // runs to margin with it
 	SavedFrac    float64 `json:"savedFrac"`
 	Drift        float64 `json:"unsafenessDrift"`
+}
+
+// ProtectionPoint runs one protected register-file campaign (parity,
+// pinout observation) at a fixed seed and records its deterministic
+// class split — the extended plan size, the synthesised overhead-region
+// faults and the Masked/DUE counts. Like avf-prior, every field is
+// seed-pinned, so the -baseline gate compares the split exactly: a
+// semantic change anywhere in the protection fold (word arity rule,
+// overhead synthesis, DUE classification) shows up as a gate failure,
+// not a silent drift. Baselines predating the arm carry a zero-valued
+// point and the gate skips it.
+type ProtectionPoint struct {
+	Workload     string  `json:"workload"`
+	Protect      string  `json:"protect"`
+	Injections   int     `json:"injections"`
+	DataBits     int     `json:"dataBits"`
+	OverheadBits int     `json:"overheadBits"`
+	Runs         int     `json:"runs"`
+	OverheadRuns int     `json:"overheadRuns"`
+	Masked       int     `json:"masked"`
+	DUE          int     `json:"due"`
+	Unsafeness   float64 `json:"unsafeness"`
 }
 
 // ReplaySchedPoint measures the injection-locality cursor schedule on
@@ -222,6 +245,12 @@ func run(out, baseline string, maxReg float64) error {
 	}
 	doc.AvfPrior = ap
 
+	pr, err := measureProtection()
+	if err != nil {
+		return err
+	}
+	doc.Protection = pr
+
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -277,6 +306,19 @@ func compareBaseline(doc Baseline, path string, maxReg float64) error {
 		failures = append(failures,
 			fmt.Sprintf("avf-prior runs-to-margin regressed (%d -> %d of %d planned)",
 				was, doc.AvfPrior.PriorRuns, doc.AvfPrior.Injections))
+	}
+	// The protected-campaign arm is deterministic at its fixed seed, so
+	// its class split is gated exactly whenever the committed baseline
+	// carries one (older baselines record a zero-valued point).
+	if was := base.Protection; was.Runs > 0 {
+		now := doc.Protection
+		if now.Runs != was.Runs || now.OverheadRuns != was.OverheadRuns ||
+			now.Masked != was.Masked || now.DUE != was.DUE {
+			failures = append(failures, fmt.Sprintf(
+				"protected-campaign split drifted (runs %d -> %d, overhead %d -> %d, masked %d -> %d, due %d -> %d)",
+				was.Runs, now.Runs, was.OverheadRuns, now.OverheadRuns,
+				was.Masked, now.Masked, was.DUE, now.DUE))
+		}
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {
@@ -602,6 +644,32 @@ func measureAVFPrior() (AvfPriorPoint, error) {
 		ap.SavedFrac = 1 - float64(ap.PriorRuns)/float64(ap.PlainRuns)
 	}
 	return ap, nil
+}
+
+// measureProtection runs the protected-campaign arm: parity on the
+// register file, fixed seed, pinout window — the smallest campaign that
+// exercises the extended fault plan (overhead synthesis) and the
+// use-time DUE classification together.
+func measureProtection() (ProtectionPoint, error) {
+	cfg := campaign.Config{
+		Injections: 120, Seed: 7, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 2_000,
+		Protect: "rf=parity",
+	}
+	res, err := core.RunCampaign("qsort", core.ModelMicroarch, core.CampaignSetup(), cfg)
+	if err != nil {
+		return ProtectionPoint{}, err
+	}
+	return ProtectionPoint{
+		Workload: "qsort", Protect: cfg.Protect, Injections: cfg.Injections,
+		DataBits:     res.ProtectDataBits,
+		OverheadBits: res.ProtectOverheadBits,
+		Runs:         len(res.Outcomes),
+		OverheadRuns: res.OverheadRuns,
+		Masked:       res.Counts[campaign.ClassMasked],
+		DUE:          res.Counts[campaign.ClassDUE],
+		Unsafeness:   res.Unsafeness.P,
+	}, nil
 }
 
 func workload(name string) (*asm.Program, error) {

@@ -33,6 +33,10 @@ func TestCompareBaselineGate(t *testing.T) {
 			{Model: "rtl", ReplaysPerS: 10, MCyclesPerS: 5},
 		},
 		AvfPrior: AvfPriorPoint{Injections: 150, PlainRuns: 50, PriorRuns: 12},
+		Protection: ProtectionPoint{
+			Workload: "qsort", Protect: "rf=parity", Injections: 120,
+			Runs: 120, OverheadRuns: 7, Masked: 80, DUE: 25,
+		},
 	}
 	path := writeBaseline(t, base)
 
@@ -61,6 +65,9 @@ func TestCompareBaselineGate(t *testing.T) {
 		{name: "avf prior regression", mutate: func(d *Baseline) {
 			d.AvfPrior.PriorRuns = 13 // one extra run: deterministic, zero tolerance
 		}, wantErr: "avf-prior runs-to-margin"},
+		{name: "protection split drift", mutate: func(d *Baseline) {
+			d.Protection.DUE = 24 // deterministic class split: zero tolerance
+		}, wantErr: "protected-campaign split"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -78,6 +85,19 @@ func TestCompareBaselineGate(t *testing.T) {
 				t.Fatalf("gate passed, want failure mentioning %q", tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestCompareBaselineSkipsAbsentProtection: a committed baseline that
+// predates the protected-campaign arm carries a zero-valued point; the
+// gate must skip it instead of flagging every current run as drift.
+func TestCompareBaselineSkipsAbsentProtection(t *testing.T) {
+	base := Baseline{Replay: []ReplayPoint{{Model: "microarch", ReplaysPerS: 100, MCyclesPerS: 50}}}
+	path := writeBaseline(t, base)
+	doc := base
+	doc.Protection = ProtectionPoint{Workload: "qsort", Runs: 120, OverheadRuns: 7, DUE: 31}
+	if err := compareBaseline(doc, path, 0.25); err != nil {
+		t.Errorf("zero-valued baseline protection point gated the run: %v", err)
 	}
 }
 
