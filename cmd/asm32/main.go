@@ -26,9 +26,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("asm32", flag.ContinueOnError)
 	var (
-		symbols = fs.Bool("symbols", false, "print the symbol table")
-		hex     = fs.Bool("hex", false, "print text as hex words")
-		version = fs.Bool("version", false, "print version and exit")
+		symbols  = fs.Bool("symbols", false, "print the symbol table")
+		hex      = fs.Bool("hex", false, "print text as hex words")
+		metricsD = fs.Bool("metrics-dump", false, "dump process metric values to stderr at exit (Prometheus text)")
+		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -37,6 +38,11 @@ func run(args []string) error {
 		cli.PrintVersion("asm32")
 		return nil
 	}
+	stopMetrics, err := cli.MetricsFlags{Dump: *metricsD}.Start("asm32")
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: asm32 [-symbols|-hex] file.s")
 	}

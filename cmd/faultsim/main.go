@@ -21,7 +21,11 @@
 // Masked with zero replay cycles (exact), `classes` additionally
 // replays one representative per first-consumer equivalence class and
 // extrapolates MeRLiN-style. -cpuprofile/-memprofile write pprof
-// profiles of the campaign.
+// profiles of the campaign. -metrics ADDR serves live Prometheus
+// metrics and /debug/pprof over HTTP while the campaign runs;
+// -metrics-dump prints the final values to stderr at exit. Metrics are
+// inert: a campaign's classifications and report are byte-identical
+// with observability on or off.
 //
 // -avf attaches an injection-free ACE/AVF estimate to the result: the
 // golden lifetime trace is swept into the target structure's AVF and
@@ -114,6 +118,8 @@ func run(args []string) error {
 		snapPolicy = fs.String("snap-policy", "stride", "golden snapshot placement: stride (fixed interval) or quantile (at the injection-instant distribution's quantiles)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
+		metricsAt  = fs.String("metrics", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while the campaign runs")
+		metricsOut = fs.Bool("metrics-dump", false, "dump the final metric values to stderr at exit (Prometheus text)")
 		checkpoint = fs.String("checkpoint", "", "stream per-run outcomes to JSONL shards in this directory and resume from them")
 		remote     = fs.String("remote", "", "submit the campaign to a faultsimd coordinator at this base URL instead of simulating locally")
 		jsonOut    = fs.Bool("json", false, "emit the result as machine-readable JSON")
@@ -135,6 +141,11 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "faultsim: profile:", perr)
 		}
 	}()
+	stopMetrics, err := cli.MetricsFlags{Addr: *metricsAt, Dump: *metricsOut}.Start("faultsim")
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 
 	m, err := core.ParseModel(*model)
 	if err != nil {

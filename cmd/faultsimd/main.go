@@ -21,6 +21,14 @@
 // disagrees with its local run, replays its leased fault indices in
 // parallel and posts the classifications back.
 //
+// Both roles expose fleet observability: the coordinator serves
+// GET /metrics (Prometheus text) and /debug/pprof/... on its API
+// listener; workers serve the same on a dedicated -metrics address.
+// -journal appends a JSONL campaign event stream (submissions, golden
+// readiness, shard leases/completions, stopping decisions, merges).
+// Logging is structured (log/slog); -log-level debug additionally
+// traces every HTTP request on both roles.
+//
 // Submit campaigns with `faultsim -remote URL ...` or regenerate any
 // paper figure against the fleet with `paper -remote URL ...`.
 package main
@@ -30,13 +38,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/distrib"
+	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -59,6 +69,9 @@ func run(args []string) error {
 		lanes       = fs.Int("lanes", 0, "worker: cap bit-parallel replay lanes per shard (0 = honor campaign config, 1 = force scalar)")
 		poll        = fs.Duration("poll", 0, "worker: idle re-poll interval (default 500ms)")
 		id          = fs.String("id", "", "worker: worker ID in leases and logs (default host-pid)")
+		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn or error (debug traces every HTTP request)")
+		metrics     = fs.String("metrics", "", "worker: serve /metrics and /debug/pprof on this address (coordinator serves them on -listen)")
+		journal     = fs.String("journal", "", "coordinator: append campaign lifecycle events to this JSONL file")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,37 +82,79 @@ func run(args []string) error {
 		return nil
 	}
 
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+	// faultsimd is a service binary: metrics are always live (inertness
+	// is proven separately; see internal/core's inertness test).
+	obs.Enable()
+	prof.EnableRuntimeMetrics()
+
 	switch *role {
 	case "coordinator":
-		return runCoordinator(*listen, *checkpoint, *leaseTTL, *shardSize)
+		return runCoordinator(logger, *listen, *checkpoint, *journal, *leaseTTL, *shardSize)
 	case "worker":
 		if *coordinator == "" {
 			return fmt.Errorf("worker role requires -coordinator URL")
 		}
-		return runWorker(*coordinator, *id, *workers, *lanes, *poll)
+		return runWorker(logger, *coordinator, *id, *metrics, *workers, *lanes, *poll)
 	default:
 		return fmt.Errorf("unknown role %q (coordinator, worker)", *role)
 	}
 }
 
-func runCoordinator(listen, checkpoint string, leaseTTL time.Duration, shardSize int) error {
+// newLogger builds the process slog.Logger at the requested level,
+// writing logfmt-style text to stderr.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (debug, info, warn, error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// requestLogger adapts an slog.Logger to the per-request hook shared by
+// distrib.LogRequests (coordinator side) and WorkerOptions.ReqLog
+// (worker side). Requests log at debug so -log-level info stays quiet
+// under worker heartbeat polling.
+func requestLogger(logger *slog.Logger, role string) func(method, path string, status int, d time.Duration) {
+	return func(method, path string, status int, d time.Duration) {
+		logger.Debug("http", "role", role, "method", method, "path", path,
+			"status", status, "dur", d.Round(time.Microsecond))
+	}
+}
+
+func runCoordinator(logger *slog.Logger, listen, checkpoint, journalPath string, leaseTTL time.Duration, shardSize int) error {
+	var j *obs.Journal
+	if journalPath != "" {
+		var err error
+		if j, err = obs.OpenJournal(journalPath); err != nil {
+			return err
+		}
+		defer j.Close()
+	}
 	c := distrib.NewCoordinator(distrib.CoordinatorOptions{
 		CheckpointDir: checkpoint,
 		LeaseTTL:      leaseTTL,
 		ShardSize:     shardSize,
-		Logf:          log.Printf,
+		Journal:       j,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
 	})
-	srv := &http.Server{Addr: listen, Handler: c.Handler()}
+	handler := distrib.LogRequests(c.Handler(), requestLogger(logger, "coordinator"))
+	srv := &http.Server{Addr: listen, Handler: handler}
 	stop := cli.StopOnSignal("faultsimd")
 	go func() {
 		<-stop
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("faultsimd: shutdown: %v", err)
+			logger.Warn("shutdown", "err", err)
 		}
 	}()
-	log.Printf("faultsimd: coordinator listening on %s (checkpoint %q)", listen, checkpoint)
+	logger.Info("coordinator listening", "addr", listen, "checkpoint", checkpoint, "journal", journalPath)
 	err := srv.ListenAndServe()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		c.Close()
@@ -110,14 +165,24 @@ func runCoordinator(listen, checkpoint string, leaseTTL time.Duration, shardSize
 	return c.Close()
 }
 
-func runWorker(coordinator, id string, workers, lanes int, poll time.Duration) error {
+func runWorker(logger *slog.Logger, coordinator, id, metrics string, workers, lanes int, poll time.Duration) error {
+	if metrics != "" {
+		stop, err := cli.MetricsFlags{Addr: metrics}.Start("faultsimd")
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 	w := distrib.NewWorker(distrib.WorkerOptions{
 		Coordinator: coordinator,
 		ID:          id,
 		Workers:     workers,
 		MaxLanes:    lanes,
 		Poll:        poll,
-		Logf:        log.Printf,
+		ReqLog:      requestLogger(logger, "worker"),
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	stop := cli.StopOnSignal("faultsimd")
@@ -125,7 +190,7 @@ func runWorker(coordinator, id string, workers, lanes int, poll time.Duration) e
 		<-stop
 		cancel()
 	}()
-	log.Printf("faultsimd: worker pulling from %s", coordinator)
+	logger.Info("worker pulling", "coordinator", coordinator)
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		return err
 	}

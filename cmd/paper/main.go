@@ -59,7 +59,11 @@
 // it.
 //
 // -cpuprofile and -memprofile write pprof profiles of the regeneration
-// so hot-path work is measurable without ad-hoc patching.
+// so hot-path work is measurable without ad-hoc patching. -metrics ADDR
+// serves live Prometheus metrics and /debug/pprof over HTTP while the
+// regeneration runs; -metrics-dump prints the final values to stderr at
+// exit. Metrics are inert — regenerated figures are byte-identical with
+// observability on or off.
 //
 // -remote URL runs every campaign on a faultsimd worker fleet through
 // the coordinator at URL instead of simulating locally; the shard
@@ -131,6 +135,8 @@ func run(args []string) error {
 		lanes      = fs.Int("lanes", 64, "bit-parallel lockstep replay width on the RTL model, 1-64 (1 = scalar engine; byte-identical results at any width)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the regeneration to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
+		metricsAt  = fs.String("metrics", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while the regeneration runs")
+		metricsOut = fs.Bool("metrics-dump", false, "dump the final metric values to stderr at exit (Prometheus text)")
 		csv        = fs.Bool("csv", false, "emit figures as CSV instead of tables")
 		jsonOut    = fs.Bool("json", false, "emit figures as machine-readable JSON instead of tables")
 		remote     = fs.String("remote", "", "run every campaign on a faultsimd fleet via this coordinator base URL (checkpointing then lives coordinator-side; -checkpoint is ignored)")
@@ -152,6 +158,11 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "paper: profile:", perr)
 		}
 	}()
+	stopMetrics, err := cli.MetricsFlags{Addr: *metricsAt, Dump: *metricsOut}.Start("paper")
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 
 	params := core.DefaultParams()
 	if *injections > 0 {

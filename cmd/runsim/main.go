@@ -68,6 +68,8 @@ func run(args []string) error {
 		window    = fs.Uint64("window", 0, "cycles simulated after injection with -inject (0 = to program end)")
 		lanes     = fs.Int("lanes", 1, "bit-parallel replay lanes with -inject on the RTL model, 1-64 (1 = scalar probe)")
 		verbose   = fs.Bool("v", false, "print program output")
+		metricsAt = fs.String("metrics", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while the run executes")
+		metricsD  = fs.Bool("metrics-dump", false, "dump the final metric values to stderr at exit (Prometheus text)")
 		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -77,6 +79,11 @@ func run(args []string) error {
 		cli.PrintVersion("runsim")
 		return nil
 	}
+	stopMetrics, err := cli.MetricsFlags{Addr: *metricsAt, Dump: *metricsD}.Start("runsim")
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	if *list {
 		for _, w := range bench.All() {
 			fmt.Printf("%-14s %s\n", w.Name, w.Desc)

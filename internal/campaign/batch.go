@@ -174,6 +174,8 @@ func (r *BatchReplayer) Close() { r.lanes.Detach() }
 // group in lockstep, delivering every outcome through deliver (in
 // whatever order lanes finish — the collector is order-agnostic).
 func (r *BatchReplayer) Replay(next func() (idx int, spec fault.Spec, ok bool), deliver func(idx int, oc RunOutcome) error) error {
+	ff0 := r.FastForward
+	defer func() { obsFFCycles.Add(r.FastForward - ff0) }()
 	for {
 		r.pull = r.pull[:0]
 		for len(r.pull) < r.cfg.Lanes*batchPull {
@@ -248,6 +250,8 @@ func (r *BatchReplayer) replayGroup(group []pulledSpec, deliver func(int, RunOut
 	}
 	r.Groups++
 	r.LaneSum += len(group)
+	obsBatchGroups.Inc()
+	obsBatchLaneSlots.Add(uint64(len(group)))
 
 	remaining := len(r.states)
 	nextRing := r.gold.Cycles()
@@ -350,6 +354,7 @@ func (r *BatchReplayer) retire(k int, oc RunOutcome, deliver func(int, RunOutcom
 	st.done = true
 	*remaining--
 	r.Batched++
+	obsBatchedRuns.Inc()
 	return deliver(st.idx, oc)
 }
 
@@ -369,6 +374,7 @@ func (r *BatchReplayer) peelLanes(peeled uint64, preTick uint64, deliver func(in
 		st.done = true
 		*remaining--
 		r.Peeled++
+		obsBatchPeeled.Inc()
 		if err := deliver(st.idx, oc); err != nil {
 			return err
 		}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/lifetime"
+	"repro/internal/obs"
 	"repro/internal/protect"
 	"repro/internal/refsim"
 	"repro/internal/stats"
@@ -669,6 +670,8 @@ func PrepareGolden(factory Factory, opts GoldenOptions) (*Golden, error) {
 		}
 		g.Elapsed = time.Since(start)
 	}
+	obsGoldenRuns.Inc()
+	obsGoldenSeconds.Observe(g.Elapsed.Seconds())
 	return g, nil
 }
 
@@ -880,9 +883,16 @@ func Run(factory Factory, cfg Config) (*Result, error) {
 		}
 		var buf replayBuf
 		for j := range jobs {
+			var t0 time.Time
+			if timed := obs.Enabled(); timed {
+				t0 = time.Now()
+			}
 			oc, err := oneRunBuf(sim, g, j.spec, cfg, &buf)
 			if err != nil {
 				return err
+			}
+			if !t0.IsZero() {
+				obsReplayTimed(time.Since(t0))
 			}
 			if err := p.Deliver(j.idx, oc); err != nil {
 				return err
@@ -1042,6 +1052,7 @@ func (s *seqStop) deliver(idx int, oc RunOutcome) {
 	s.outcomes[idx] = oc
 	s.have[idx] = true
 	s.delivered++
+	obsNoteOutcome(oc)
 	for s.frontier < len(s.outcomes) && s.have[s.frontier] {
 		if s.est != nil && s.stopAt < 0 {
 			// Extrapolated class members carry no independent evidence
@@ -1057,6 +1068,7 @@ func (s *seqStop) deliver(idx int, oc RunOutcome) {
 			}
 			if s.est.Converged(s.target, s.minRuns) {
 				s.stopAt = s.frontier + 1
+				obsStopFired.Inc()
 			}
 		}
 		s.frontier++

@@ -179,6 +179,8 @@ func NewCursorReplayer(g *Golden, cfg Config, cursor, replay Simulator) *CursorR
 // Replay pulls pending replays from next until exhaustion, executing
 // each pull in injection-cycle order and delivering every outcome.
 func (r *CursorReplayer) Replay(next func() (int, fault.Spec, bool), deliver func(int, RunOutcome) error) error {
+	ff0 := r.FastForward
+	defer func() { obsFFCycles.Add(r.FastForward - ff0) }()
 	for {
 		r.pend = r.pend[:0]
 		for len(r.pend) < cursorPull {
@@ -253,6 +255,7 @@ func (r *CursorReplayer) one(spec fault.Spec) (RunOutcome, error) {
 		r.replay.Restore(r.cursor.Snapshot())
 	}
 	r.Forks++
+	obsCursorForks.Inc()
 
 	// Seed the faulty pinout with the golden transactions between the
 	// nearest snapshot and the injection instant — the prefix a stream

@@ -497,7 +497,9 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 				if err := br.Replay(chunkNext, deliver); err != nil {
 					return fmt.Errorf("%s: %w", c.Key, err)
 				}
-				atomic.AddInt64(&busy[j.camp], int64(time.Since(t0)))
+				d := time.Since(t0)
+				atomic.AddInt64(&busy[j.camp], int64(d))
+				obsBusy(d)
 				continue
 			}
 			if cursorable[j.camp] {
@@ -541,7 +543,9 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 				if err := cr.Replay(chunkNext, deliver); err != nil {
 					return fmt.Errorf("%s: %w", c.Key, err)
 				}
-				atomic.AddInt64(&busy[j.camp], int64(time.Since(t0)))
+				d := time.Since(t0)
+				atomic.AddInt64(&busy[j.camp], int64(d))
+				obsBusy(d)
 				continue
 			}
 			if gr != cur {
@@ -558,7 +562,9 @@ func Sweep(campaigns []SweepCampaign, opt SweepOptions) (*SweepResult, error) {
 				if err != nil {
 					return fmt.Errorf("%s: %w", c.Key, err)
 				}
-				atomic.AddInt64(&busy[j.camp], int64(time.Since(t0)))
+				d := time.Since(t0)
+				atomic.AddInt64(&busy[j.camp], int64(d))
+				obsReplayTimed(d)
 				atomic.AddInt64(&executed[j.camp], 1)
 				// Stamp the class weight before delivery, then fan the
 				// representative's outcome out over its extrapolated

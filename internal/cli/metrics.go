@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/prof"
+)
+
+// MetricsFlags is the shared -metrics / -metrics-dump flag pair. Bind
+// it with flag.StringVar/BoolVar, then call Start after flag.Parse and
+// defer the returned stop function.
+type MetricsFlags struct {
+	// Addr, when non-empty, serves GET /metrics (Prometheus text) and
+	// /debug/pprof/... on that listen address for the life of the
+	// process.
+	Addr string
+
+	// Dump, when true, writes the full Prometheus exposition to stderr
+	// when the returned stop function runs (normally at exit).
+	Dump bool
+}
+
+// Start enables metric collection when either flag is set — binaries
+// default to the inert path otherwise — folds the runtime/metrics
+// snapshot (goroutines, heap, GC) into the registry, and starts the
+// -metrics listener. The returned stop function performs the
+// -metrics-dump write; it is safe to call even when no flag was set.
+func (m MetricsFlags) Start(name string) (stop func(), err error) {
+	if m.Addr == "" && !m.Dump {
+		return func() {}, nil
+	}
+	obs.Enable()
+	prof.EnableRuntimeMetrics()
+	if m.Addr != "" {
+		// Bind synchronously so a bad address or occupied port fails the
+		// flag parse instead of dying silently in a background goroutine.
+		ln, err := net.Listen("tcp", m.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("%s: -metrics listener: %w", name, err)
+		}
+		srv := &http.Server{Handler: obs.MetricsMux()}
+		go srv.Serve(ln)
+		fmt.Fprintf(os.Stderr, "%s: serving /metrics and /debug/pprof on %s\n", name, ln.Addr())
+	}
+	return func() {
+		if m.Dump {
+			obs.Default.WritePrometheus(os.Stderr)
+		}
+	}, nil
+}

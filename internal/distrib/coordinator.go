@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // Coordinator defaults.
@@ -68,6 +69,11 @@ type CoordinatorOptions struct {
 
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
+
+	// Journal, when non-nil, receives the structured campaign event
+	// stream (submitted, golden-ready, shard-leased, shard-done,
+	// stop-fired, result-merged) as JSONL.
+	Journal *obs.Journal
 }
 
 // Coordinator owns the service side of a distributed campaign: it
@@ -87,6 +93,11 @@ type Coordinator struct {
 	order     []string
 	leases    map[string]*activeLease
 	leaseSeq  int
+
+	// Completed-lease round-trip accounting behind the average-latency
+	// gauge; latN guards the division until a first lease completes.
+	latSum time.Duration
+	latN   int
 
 	prepCh   chan *campState
 	goldenMu sync.Mutex
@@ -125,6 +136,7 @@ type activeLease struct {
 	campID   string
 	shard    shardEntry
 	worker   string
+	issuedAt time.Time
 	deadline time.Time
 }
 
@@ -139,11 +151,13 @@ type campState struct {
 	goldenFP     uint64
 	goldenCycles uint64
 
-	// Terminal snapshot of the engine state Progress reports, captured
-	// when planned is released at completion.
-	doneDelivered int
-	doneResumed   int
-	doneStopped   bool
+	// Cached engine state Progress serves. Refreshed at merge time
+	// (prepare, lease fill, outcome merge) rather than recomputed from
+	// the collector on every poll, and final once planned is released.
+	delivered  int
+	resumed    int
+	stopped    bool
+	stopLogged bool // stop-fired journal event emitted
 
 	queue    []shardEntry
 	leased   int
@@ -211,6 +225,22 @@ func (c *Coordinator) Close() error {
 	return first
 }
 
+// journal emits one event to the configured journal (nil-safe).
+func (c *Coordinator) journal(e obs.Event) { c.opt.Journal.Emit(e) }
+
+// syncStateLocked refreshes the campaign's cached progress fields from
+// the live collector — called at merge time (prepare, lease fill,
+// outcome merge), never from the poll path. No-op once planned has
+// been released: the last sync froze the terminal values.
+func syncStateLocked(cs *campState) {
+	if cs.planned == nil {
+		return
+	}
+	cs.delivered = cs.planned.Delivered()
+	cs.resumed = cs.planned.Resumed()
+	cs.stopped = cs.planned.Stopped()
+}
+
 // specID derives the deterministic campaign ID of a normalised spec:
 // identical campaigns — across submissions and coordinator restarts —
 // share an ID, which is what lets checkpoint resume work without any
@@ -256,6 +286,11 @@ func (c *Coordinator) Submit(spec CampaignSpec) (SubmitResponse, error) {
 		return SubmitResponse{}, ErrBusy
 	}
 	c.logf("distrib: campaign %s submitted (%s/%s, n=%d)", id, spec.Workload, spec.Model, spec.Config.Injections)
+	obsCampaignsSubmitted.Inc()
+	c.journal(obs.Event{
+		Event: obs.EvSubmitted, Campaign: id,
+		Workload: spec.Workload, Model: spec.Model, N: spec.Config.Injections,
+	})
 	return SubmitResponse{ID: id, Status: StatusPreparing}, nil
 }
 
@@ -314,9 +349,15 @@ func (c *Coordinator) prepare(cs *campState) {
 	cs.goldenCycles = g.Cycles
 	cs.status = StatusRunning
 	cs.start = time.Now()
+	syncStateLocked(cs)
 	c.maybeFinishLocked(cs) // a fully checkpointed campaign needs no worker
 	c.mu.Unlock()
 	c.logf("distrib: campaign %s running (golden %d cycles, %d resumed)", cs.id, g.Cycles, planned.Resumed())
+	c.journal(obs.Event{
+		Event: obs.EvGoldenReady, Campaign: cs.id,
+		Workload: cs.spec.Workload, Model: cs.spec.Model, N: planned.Resumed(),
+		Detail: fmt.Sprintf("golden %d cycles", g.Cycles),
+	})
 }
 
 // goldenFor returns the shared golden run for one golden shape,
@@ -328,12 +369,14 @@ func (c *Coordinator) goldenFor(key goldenKey, factory campaign.Factory) (*campa
 	c.goldenMu.Lock()
 	if s, ok := c.goldens[key]; ok {
 		c.goldenMu.Unlock()
+		obsGoldenHits.Inc()
 		<-s.ready
 		return s.g, s.err
 	}
 	s := &goldenSlot{ready: make(chan struct{})}
 	c.goldens[key] = s
 	c.goldenMu.Unlock()
+	obsGoldenMisses.Inc()
 
 	s.g, s.err = campaign.PrepareGolden(factory, key.opts)
 	close(s.ready)
@@ -362,6 +405,7 @@ func (c *Coordinator) goldenFor(key goldenKey, factory campaign.Factory) (*campa
 		select {
 		case <-old.ready:
 			delete(c.goldens, k)
+			obsGoldenEvictions.Inc()
 		default:
 		}
 	}
@@ -389,6 +433,7 @@ func (c *Coordinator) Lease(req LeaseRequest) (*Lease, error) {
 			cs.queue = cs.queue[1:]
 		} else {
 			jobs := c.fillShardLocked(cs)
+			syncStateLocked(cs) // NextReplay may have delivered synthetics
 			if len(jobs) == 0 {
 				c.maybeFinishLocked(cs)
 				continue
@@ -396,15 +441,22 @@ func (c *Coordinator) Lease(req LeaseRequest) (*Lease, error) {
 			se = shardEntry{jobs: jobs}
 		}
 		c.leaseSeq++
+		now := time.Now()
 		l := &activeLease{
 			id:       fmt.Sprintf("l%06d", c.leaseSeq),
 			campID:   cs.id,
 			shard:    se,
 			worker:   req.Worker,
-			deadline: time.Now().Add(c.opt.LeaseTTL),
+			issuedAt: now,
+			deadline: now.Add(c.opt.LeaseTTL),
 		}
 		c.leases[l.id] = l
 		cs.leased++
+		obsLeasesIssued.Inc()
+		c.journal(obs.Event{
+			Event: obs.EvShardLeased, Campaign: cs.id,
+			Shard: l.id, Worker: req.Worker, N: len(se.jobs),
+		})
 		return &Lease{
 			API: APIVersion, ID: l.id, CampaignID: cs.id, Spec: cs.spec,
 			GoldenFP: cs.goldenFP, Jobs: se.jobs,
@@ -482,6 +534,7 @@ func (c *Coordinator) Outcomes(batch OutcomeBatch) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked(time.Now())
+	obsOutcomeBatches.Inc()
 	l, ok := c.leases[batch.Lease]
 	if !ok {
 		return ErrGone
@@ -496,6 +549,10 @@ func (c *Coordinator) Outcomes(batch OutcomeBatch) error {
 		c.logf("distrib: campaign %s: worker %s failed shard %s: %s", cs.id, l.worker, l.id, batch.Error)
 		c.requeueLocked(cs, l.shard, batch.Error)
 		return nil
+	}
+	var mergeStart time.Time
+	if obs.Enabled() {
+		mergeStart = time.Now()
 	}
 	byIdx := make(map[int]WireOutcome, len(batch.Outcomes))
 	for _, oc := range batch.Outcomes {
@@ -521,6 +578,31 @@ func (c *Coordinator) Outcomes(batch OutcomeBatch) error {
 		}
 		cs.replayed++
 	}
+	syncStateLocked(cs)
+	obsShardsDone.Inc()
+	if !mergeStart.IsZero() {
+		obsMergeSeconds.Observe(time.Since(mergeStart).Seconds())
+	}
+	// Lease round trip, issue to merge; the average gauge divides only
+	// once at least one lease has completed.
+	rtt := time.Since(l.issuedAt)
+	obsLeaseLatency.Observe(rtt.Seconds())
+	c.latSum += rtt
+	c.latN++
+	if c.latN > 0 {
+		obsLeaseLatencyAvg.Set(c.latSum.Seconds() / float64(c.latN))
+	}
+	c.journal(obs.Event{
+		Event: obs.EvShardDone, Campaign: cs.id,
+		Shard: l.id, Worker: batch.Worker, N: len(l.shard.jobs),
+	})
+	if cs.stopped && !cs.stopLogged {
+		cs.stopLogged = true
+		c.journal(obs.Event{
+			Event: obs.EvStopFired, Campaign: cs.id, N: cs.delivered,
+			Detail: "sequential stopping margin reached",
+		})
+	}
 	c.maybeFinishLocked(cs)
 	return nil
 }
@@ -530,9 +612,11 @@ func (c *Coordinator) Outcomes(batch OutcomeBatch) error {
 func (c *Coordinator) requeueLocked(cs *campState, se shardEntry, reason string) {
 	se.fails++
 	if se.fails >= c.opt.MaxShardFails {
+		obsShardFailures.Inc()
 		c.failLocked(cs, fmt.Sprintf("shard failed %d times: %s", se.fails, reason))
 		return
 	}
+	obsShardRetries.Inc()
 	cs.queue = append(cs.queue, se)
 }
 
@@ -547,6 +631,7 @@ func (c *Coordinator) failLocked(cs *campState, msg string) {
 		}
 	}
 	releasePlanned(cs)
+	obsCampaignsFailed.Inc()
 	c.logf("distrib: campaign %s failed: %s", cs.id, msg)
 }
 
@@ -555,12 +640,7 @@ func (c *Coordinator) failLocked(cs *campState, msg string) {
 // reference): finished campaigns keep only their Result, so a
 // long-lived coordinator's memory tracks live campaigns, not history.
 func releasePlanned(cs *campState) {
-	if cs.planned == nil {
-		return
-	}
-	cs.doneDelivered = cs.planned.Delivered()
-	cs.doneResumed = cs.planned.Resumed()
-	cs.doneStopped = cs.planned.Stopped()
+	syncStateLocked(cs)
 	cs.planned = nil
 }
 
@@ -571,7 +651,9 @@ func (c *Coordinator) maybeFinishLocked(cs *campState) {
 	if cs.status != StatusRunning || len(cs.queue) > 0 || cs.leased > 0 {
 		return
 	}
-	if jobs := c.fillShardLocked(cs); len(jobs) > 0 {
+	jobs := c.fillShardLocked(cs)
+	syncStateLocked(cs)
+	if len(jobs) > 0 {
 		cs.queue = append(cs.queue, shardEntry{jobs: jobs})
 		return
 	}
@@ -588,8 +670,13 @@ func (c *Coordinator) maybeFinishLocked(cs *campState) {
 	cs.result = res
 	cs.status = StatusDone
 	releasePlanned(cs)
+	obsCampaignsDone.Inc()
+	c.journal(obs.Event{
+		Event: obs.EvResultMerged, Campaign: cs.id,
+		Workload: cs.spec.Workload, Model: cs.spec.Model, N: cs.replayed,
+	})
 	c.logf("distrib: campaign %s done (%d replayed by workers, %d resumed, wall %.1fs)",
-		cs.id, cs.replayed, cs.doneResumed, cs.elapsed.Seconds())
+		cs.id, cs.replayed, cs.resumed, cs.elapsed.Seconds())
 }
 
 // expireLocked reclaims shards of leases whose worker stopped
@@ -605,12 +692,17 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		if cs.status != StatusRunning {
 			continue
 		}
+		obsLeasesExpired.Inc()
 		c.logf("distrib: lease %s (worker %s) expired; re-issuing %d jobs", l.id, l.worker, len(l.shard.jobs))
 		c.requeueLocked(cs, l.shard, "lease expired (worker presumed dead)")
 	}
 }
 
-// Progress snapshots one campaign's live state.
+// Progress snapshots one campaign's live state. The poll path serves
+// the cached aggregate refreshed at merge time — it never walks the
+// collector or pulls the producer, so polling costs the same no matter
+// how large the campaign or how many clients watch it. (Completion is
+// always triggered by the merge/lease/prepare paths themselves.)
 func (c *Coordinator) Progress(id string) (Progress, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -618,9 +710,6 @@ func (c *Coordinator) Progress(id string) (Progress, error) {
 	cs, ok := c.campaigns[id]
 	if !ok {
 		return Progress{}, ErrNotFound
-	}
-	if cs.status == StatusRunning {
-		c.maybeFinishLocked(cs)
 	}
 	return c.progressLocked(cs), nil
 }
@@ -633,15 +722,9 @@ func (c *Coordinator) progressLocked(cs *campState) Progress {
 		Queued:     len(cs.queue), Leased: cs.leased,
 		Replayed: cs.replayed, Error: cs.errMsg,
 		GoldenCycles: cs.goldenCycles,
-	}
-	if cs.planned != nil {
-		p.Delivered = cs.planned.Delivered()
-		p.Resumed = cs.planned.Resumed()
-		p.Stopped = cs.planned.Stopped()
-	} else {
-		p.Delivered = cs.doneDelivered
-		p.Resumed = cs.doneResumed
-		p.Stopped = cs.doneStopped
+		Delivered:    cs.delivered,
+		Resumed:      cs.resumed,
+		Stopped:      cs.stopped,
 	}
 	switch {
 	case cs.status == StatusDone || cs.status == StatusFailed:
@@ -659,11 +742,7 @@ func (c *Coordinator) List() []Progress {
 	c.expireLocked(time.Now())
 	out := make([]Progress, 0, len(c.order))
 	for _, id := range c.order {
-		cs := c.campaigns[id]
-		if cs.status == StatusRunning {
-			c.maybeFinishLocked(cs)
-		}
-		out = append(out, c.progressLocked(cs))
+		out = append(out, c.progressLocked(c.campaigns[id]))
 	}
 	return out
 }

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies: the largest legitimate payload is
@@ -22,6 +25,8 @@ const maxBodyBytes = 32 << 20
 //	POST /api/v1/heartbeat             extend a lease
 //	POST /api/v1/outcomes              return a shard's outcomes
 //	GET  /api/v1/healthz               liveness
+//	GET  /metrics                      Prometheus text exposition
+//	GET  /debug/pprof/...              runtime profiler
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
@@ -109,7 +114,31 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "api": APIVersion})
 	})
+	obs.Mount(mux)
 	return mux
+}
+
+// LogRequests wraps h, reporting every request's method, path, status
+// and duration to fn once the response completes — the per-request
+// access log both faultsimd roles hang off slog.
+func LogRequests(h http.Handler, fn func(method, path string, status int, d time.Duration)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		fn(r.Method, r.URL.Path, rec.status, time.Since(start))
+	})
+}
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
 }
 
 func readJSON(r *http.Request, v any) error {

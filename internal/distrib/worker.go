@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // maxWorkerGoldens bounds the worker's golden cache, like the
@@ -61,6 +62,12 @@ type WorkerOptions struct {
 
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
+
+	// ReqLog, when non-nil, receives one line per coordinator HTTP
+	// round trip (method, path, status, duration) — the worker-side
+	// access log faultsimd wires to slog at debug level. Status 0
+	// reports a transport failure.
+	ReqLog func(method, path string, status int, d time.Duration)
 }
 
 // Worker is the fleet side of a distributed campaign: it pulls shard
@@ -139,11 +146,19 @@ func (w *Worker) once(ctx context.Context) (bool, error) {
 	}
 
 	batch := OutcomeBatch{Lease: lease.ID, Worker: w.opt.ID}
+	var shardStart time.Time
+	if obs.Enabled() {
+		shardStart = time.Now()
+	}
 	outs, err := w.executeShard(ctx, lease)
 	if err != nil {
 		batch.Error = err.Error()
 	} else {
 		batch.Outcomes = outs
+		obsWorkerShards.Inc()
+		if !shardStart.IsZero() {
+			obsWorkerShardSeconds.Observe(time.Since(shardStart).Seconds())
+		}
 	}
 	if err := w.postOutcomes(ctx, batch); err != nil {
 		return true, err
@@ -164,6 +179,7 @@ func (w *Worker) executeShard(ctx context.Context, lease *Lease) ([]WireOutcome,
 	}
 	g := entry.g
 	if fp := g.Fingerprint(); fp != lease.GoldenFP {
+		obsWorkerFPRefusals.Inc()
 		return nil, fmt.Errorf("golden fingerprint mismatch (worker %016x, coordinator %016x): version or workload skew", fp, lease.GoldenFP)
 	}
 
@@ -482,10 +498,12 @@ func (w *Worker) golden(spec CampaignSpec) (*goldenEntry, error) {
 		return nil, err
 	}
 	w.logf("distrib worker %s: preparing golden %s/%s", w.opt.ID, spec.Workload, spec.Model)
+	prepStart := time.Now()
 	g, err := campaign.PrepareGolden(factory, key.opts)
 	if err != nil {
 		return nil, err
 	}
+	obsWorkerGoldenSeconds.Observe(time.Since(prepStart).Seconds())
 	for k := range w.goldens {
 		if len(w.goldens) < maxWorkerGoldens {
 			break
@@ -546,6 +564,7 @@ func (w *Worker) postJSON(ctx context.Context, path string, in, out any) (int, e
 	)
 	for a := 0; a < retryAttempts; a++ {
 		if a > 0 {
+			obsWorkerHTTPRetries.Inc()
 			if sleepCtx(ctx, backoffDelay(a-1)) != nil {
 				return code, err
 			}
@@ -572,9 +591,16 @@ func (w *Worker) postJSONOnce(ctx context.Context, path string, in, out any) (in
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
 	resp, err := w.http.Do(req)
 	if err != nil {
+		if w.opt.ReqLog != nil {
+			w.opt.ReqLog(http.MethodPost, path, 0, time.Since(start))
+		}
 		return 0, err
+	}
+	if w.opt.ReqLog != nil {
+		w.opt.ReqLog(http.MethodPost, path, resp.StatusCode, time.Since(start))
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)

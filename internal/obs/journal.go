@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one line of the campaign event journal. TMs is a monotonic
+// millisecond offset from the journal's open time (wall-clock skew and
+// NTP steps cannot reorder events); Wall is the absolute stamp for
+// humans correlating with other logs.
+type Event struct {
+	TMs      int64  `json:"tMs"`
+	Wall     string `json:"wall,omitempty"`
+	Event    string `json:"event"`
+	Campaign string `json:"campaign,omitempty"`
+	Shard    string `json:"shard,omitempty"`
+	Worker   string `json:"worker,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Model    string `json:"model,omitempty"`
+	N        int    `json:"n,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// Canonical event names emitted by the coordinator.
+const (
+	EvSubmitted    = "campaign-submitted"
+	EvGoldenReady  = "golden-ready"
+	EvShardLeased  = "shard-leased"
+	EvShardDone    = "shard-done"
+	EvStopFired    = "stop-fired"
+	EvResultMerged = "result-merged"
+)
+
+// A Journal appends events as JSONL. All methods are safe for
+// concurrent use and are no-ops on a nil receiver, so call sites never
+// need a guard.
+type Journal struct {
+	mu    sync.Mutex
+	w     io.Writer
+	c     io.Closer
+	enc   *json.Encoder
+	start time.Time
+}
+
+// NewJournal writes events to w.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w, enc: json.NewEncoder(w), start: time.Now()}
+}
+
+// OpenJournal opens (appending) a JSONL journal at path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := NewJournal(f)
+	j.c = f
+	return j, nil
+}
+
+// Emit writes one event line, stamping TMs (monotonic since open) and
+// Wall. Write errors are swallowed: the journal is observability, never
+// control flow.
+func (j *Journal) Emit(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e.TMs = time.Since(j.start).Milliseconds()
+	e.Wall = time.Now().UTC().Format(time.RFC3339Nano)
+	_ = j.enc.Encode(e)
+}
+
+// Close closes the underlying file, if the journal owns one.
+func (j *Journal) Close() error {
+	if j == nil || j.c == nil {
+		return nil
+	}
+	return j.c.Close()
+}

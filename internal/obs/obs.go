@@ -1,0 +1,342 @@
+// Package obs is the zero-dependency observability layer: a process-wide
+// metrics registry (counters, gauges, fixed-bucket histograms — all
+// atomic and allocation-free on the hot path) with Prometheus
+// text-format exposition, plus a structured JSONL campaign event
+// journal.
+//
+// Instrumentation is provably inert: every metric mutation is gated on
+// a single process-global atomic bool (off by default), metric values
+// are never read back by the engines, and the inertness test in
+// internal/core asserts byte-identical campaign results and reports
+// with the gate on and off. The only hot-path cost with the gate off is
+// one atomic load per instrumented event.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the process-global instrumentation gate. All metric
+// mutations no-op while it is false, which is the default.
+var enabled atomic.Bool
+
+// Enable turns instrumentation on process-wide.
+func Enable() { enabled.Store(true) }
+
+// Disable turns instrumentation off process-wide.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether instrumentation is on. Callers may use it to
+// gate the *cost of producing* an observation (e.g. a time.Now pair);
+// the metric mutators already gate themselves.
+func Enabled() bool { return enabled.Load() }
+
+// metric is one registered series: a full series name (labels baked in,
+// e.g. `campaign_outcomes_total{class="masked"}`), its help text, a
+// Prometheus type, and a value reader.
+type metric interface {
+	seriesName() string
+	helpText() string
+	promType() string
+	// write appends the series line(s) for this metric to b.
+	write(b *strings.Builder)
+}
+
+// Registry holds a set of metrics and scrape-time collectors. The
+// zero-cost path never touches it: metrics mutate their own atomics and
+// the registry is only walked at exposition time.
+type Registry struct {
+	mu         sync.Mutex
+	metrics    []metric
+	byName     map[string]metric
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]metric{}}
+}
+
+// Default is the process-wide registry used by the package-level
+// constructors and Handler.
+var Default = NewRegistry()
+
+func (r *Registry) register(m metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[m.seriesName()]; ok {
+		return prev
+	}
+	r.byName[m.seriesName()] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// RegisterCollector adds fn to the set of hooks invoked (in
+// registration order, under the registry lock) at the start of every
+// exposition — the place to refresh gauges sampled from e.g.
+// runtime/metrics.
+func (r *Registry) RegisterCollector(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// RegisterCollector adds a scrape-time hook on the default registry.
+func RegisterCollector(fn func()) { Default.RegisterCollector(fn) }
+
+// baseName strips a baked-in label set from a series name:
+// `foo{class="x"}` → `foo`.
+func baseName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// WritePrometheus writes every registered series in Prometheus text
+// exposition format, sorted by series name, with one HELP/TYPE header
+// per base name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	for _, fn := range r.collectors {
+		fn()
+	}
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+
+	sort.Slice(ms, func(i, j int) bool { return ms[i].seriesName() < ms[j].seriesName() })
+	var b strings.Builder
+	lastBase := ""
+	for _, m := range ms {
+		if base := baseName(m.seriesName()); base != lastBase {
+			fmt.Fprintf(&b, "# HELP %s %s\n", base, m.helpText())
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, m.promType())
+			lastBase = base
+		}
+		m.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePrometheus writes the default registry's series to w.
+func WritePrometheus(w io.Writer) error { return Default.WritePrometheus(w) }
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Handler serves the default registry.
+func Handler() http.Handler { return Default.Handler() }
+
+// Mount registers the default registry on /metrics and the runtime
+// profiler under /debug/pprof/ on an existing mux — how the
+// coordinator's API listener grows its observability endpoints.
+func Mount(mux *http.ServeMux) {
+	mux.Handle("GET /metrics", Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// MetricsMux returns a standalone mux serving /metrics and
+// /debug/pprof/ — the endpoint set a binary serves when given a
+// -metrics listen address of its own.
+func MetricsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	Mount(mux)
+	return mux
+}
+
+// Reset zeroes every counter, gauge and histogram in the registry.
+// Test-only convenience; collectors stay registered.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.metrics {
+		switch v := m.(type) {
+		case *Counter:
+			v.v.Store(0)
+		case *Gauge:
+			v.bits.Store(0)
+		case *Histogram:
+			v.count.Store(0)
+			v.sumBits.Store(0)
+			for i := range v.counts {
+				v.counts[i].Store(0)
+			}
+		}
+	}
+}
+
+// A Counter is a monotonically increasing uint64.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// NewCounter registers (or returns the existing) counter with the given
+// full series name on the default registry.
+func NewCounter(name, help string) *Counter {
+	return Default.register(&Counter{name: name, help: help}).(*Counter)
+}
+
+// Inc adds one. No-op while instrumentation is disabled.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op while instrumentation is disabled.
+func (c *Counter) Add(n uint64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) seriesName() string { return c.name }
+func (c *Counter) helpText() string   { return c.help }
+func (c *Counter) promType() string   { return "counter" }
+func (c *Counter) write(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %d\n", c.name, c.v.Load())
+}
+
+// A Gauge is a float64 that can go up and down, stored as atomic bits.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// NewGauge registers (or returns the existing) gauge with the given
+// full series name on the default registry.
+func NewGauge(name, help string) *Gauge {
+	return Default.register(&Gauge{name: name, help: help}).(*Gauge)
+}
+
+// Set stores v. No-op while instrumentation is disabled.
+func (g *Gauge) Set(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d (CAS loop). No-op while instrumentation is disabled.
+func (g *Gauge) Add(d float64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) seriesName() string { return g.name }
+func (g *Gauge) helpText() string   { return g.help }
+func (g *Gauge) promType() string   { return "gauge" }
+func (g *Gauge) write(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %g\n", g.name, g.Value())
+}
+
+// A Histogram counts observations in fixed buckets (upper bounds,
+// ascending; a +Inf bucket is implicit). Observation is a linear scan
+// over the bounds plus two atomic adds — no allocation, no lock.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	counts     []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count      atomic.Uint64
+	sumBits    atomic.Uint64
+}
+
+// DurationBuckets are the default upper bounds (seconds) for
+// latency-style histograms: 100µs … 30s, roughly ×3 apart.
+var DurationBuckets = []float64{1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30}
+
+// NewHistogram registers (or returns the existing) histogram with the
+// given full series name and bucket upper bounds (ascending, +Inf
+// implicit) on the default registry.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := &Histogram{name: name, help: help, bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return Default.register(h).(*Histogram)
+}
+
+// Observe records v. No-op while instrumentation is disabled.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) seriesName() string { return h.name }
+func (h *Histogram) helpText() string   { return h.help }
+func (h *Histogram) promType() string   { return "histogram" }
+func (h *Histogram) write(b *strings.Builder) {
+	base, labels := h.name, ""
+	if i := strings.IndexByte(h.name, '{'); i >= 0 {
+		base, labels = h.name[:i], ","+strings.TrimSuffix(h.name[i+1:], "}")
+	}
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=%q%s} %d\n", base, formatBound(bound), labels, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"%s} %d\n", base, labels, cum)
+	fmt.Fprintf(b, "%s_sum%s %g\n", base, histSuffix(labels), h.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", base, histSuffix(labels), h.count.Load())
+}
+
+func formatBound(v float64) string { return strings.TrimSpace(fmt.Sprintf("%g", v)) }
+
+// histSuffix re-wraps a histogram's baked-in labels (",k=v" form) for
+// the _sum/_count series, which carry no le label.
+func histSuffix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + strings.TrimPrefix(labels, ",") + "}"
+}

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// parseProm is a minimal Prometheus text-format parser: it returns the
+// sample value per full series name (labels included) and the declared
+// TYPE per base name, failing the test on any malformed line.
+func parseProm(t *testing.T, text string) (samples map[string]float64, types map[string]string) {
+	t.Helper()
+	samples = map[string]float64{}
+	types = map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[f[2]] = f[3]
+		case strings.HasPrefix(line, "# HELP "):
+			if len(strings.Fields(line)) < 4 {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("unknown comment line %q", line)
+		default:
+			// series{labels} value — our label values never contain
+			// spaces, so the value is everything past the last space.
+			i := strings.LastIndexByte(line, ' ')
+			if i < 0 {
+				t.Fatalf("malformed sample line %q", line)
+			}
+			v, err := strconv.ParseFloat(line[i+1:], 64)
+			if err != nil {
+				t.Fatalf("bad value in %q: %v", line, err)
+			}
+			name := line[:i]
+			if _, dup := samples[name]; dup {
+				t.Fatalf("duplicate series %q", name)
+			}
+			samples[name] = v
+		}
+	}
+	return samples, types
+}
+
+func newHist(r *Registry, name, help string, bounds []float64) *Histogram {
+	h := &Histogram{name: name, help: help, bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return r.register(h).(*Histogram)
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewRegistry()
+	c := r.register(&Counter{name: `t_outcomes_total{class="masked"}`, help: "outcomes by class"}).(*Counter)
+	c2 := r.register(&Counter{name: `t_outcomes_total{class="sdc"}`, help: "outcomes by class"}).(*Counter)
+	g := r.register(&Gauge{name: "t_busy_ratio", help: "busy fraction"}).(*Gauge)
+	h := newHist(r, "t_latency_seconds", "latency", []float64{0.1, 1})
+	hl := newHist(r, `t_merge_seconds{tier="coord"}`, "merge", []float64{0.5})
+
+	c.Add(3)
+	c2.Inc()
+	g.Set(0.75)
+	for _, v := range []float64{0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	hl.Observe(0.25)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseProm(t, b.String())
+
+	want := map[string]float64{
+		`t_outcomes_total{class="masked"}`:               3,
+		`t_outcomes_total{class="sdc"}`:                  1,
+		"t_busy_ratio":                                   0.75,
+		`t_latency_seconds_bucket{le="0.1"}`:             1,
+		`t_latency_seconds_bucket{le="1"}`:               2,
+		`t_latency_seconds_bucket{le="+Inf"}`:            3,
+		"t_latency_seconds_sum":                          2.55,
+		"t_latency_seconds_count":                        3,
+		`t_merge_seconds_bucket{le="0.5",tier="coord"}`:  1,
+		`t_merge_seconds_bucket{le="+Inf",tier="coord"}`: 1,
+		`t_merge_seconds_sum{tier="coord"}`:              0.25,
+		`t_merge_seconds_count{tier="coord"}`:            1,
+	}
+	for name, v := range want {
+		got, ok := samples[name]
+		if !ok {
+			t.Errorf("series %s missing from exposition:\n%s", name, b.String())
+		} else if diff := got - v; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("series %s = %g, want %g", name, got, v)
+		}
+	}
+	wantTypes := map[string]string{
+		"t_outcomes_total":  "counter",
+		"t_busy_ratio":      "gauge",
+		"t_latency_seconds": "histogram",
+		"t_merge_seconds":   "histogram",
+	}
+	for base, typ := range wantTypes {
+		if types[base] != typ {
+			t.Errorf("TYPE %s = %q, want %q", base, types[base], typ)
+		}
+	}
+}
+
+func TestHandlerAndCollector(t *testing.T) {
+	Enable()
+	defer Disable()
+	c := NewCounter("t_handler_hits_total", "scrapes")
+	var refreshed atomic.Bool
+	RegisterCollector(func() { refreshed.Store(true); c.Inc() })
+
+	srv := httptest.NewServer(MetricsMux())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := parseProm(t, b.String())
+	if !refreshed.Load() {
+		t.Error("collector not invoked at scrape time")
+	}
+	if samples["t_handler_hits_total"] < 1 {
+		t.Errorf("t_handler_hits_total = %g, want >= 1", samples["t_handler_hits_total"])
+	}
+	// pprof rides the same mux.
+	pr, err := srv.Client().Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != 200 {
+		t.Fatalf("GET /debug/pprof/cmdline: %d", pr.StatusCode)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewRegistry()
+	c := r.register(&Counter{name: "t_conc_total", help: "c"}).(*Counter)
+	g := r.register(&Gauge{name: "t_conc_gauge", help: "g"}).(*Gauge)
+	h := newHist(r, "t_conc_seconds", "h", []float64{1, 2, 4})
+
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 5))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %g, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	wantSum := float64(workers) * per / 5 * (0 + 1 + 2 + 3 + 4)
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+}
+
+func TestDisabledIsInert(t *testing.T) {
+	Disable()
+	r := NewRegistry()
+	c := r.register(&Counter{name: "t_off_total", help: "c"}).(*Counter)
+	g := r.register(&Gauge{name: "t_off_gauge", help: "g"}).(*Gauge)
+	h := newHist(r, "t_off_seconds", "h", []float64{1})
+	c.Inc()
+	c.Add(10)
+	g.Set(5)
+	g.Add(5)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("disabled metrics mutated: c=%d g=%g h=%d/%g", c.Value(), g.Value(), h.Count(), h.Sum())
+	}
+}
+
+func TestJournal(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Emit(Event{Event: EvSubmitted, Campaign: "c1", Workload: "qsort", Model: "rtl", N: 400})
+	j.Emit(Event{Event: EvShardLeased, Campaign: "c1", Shard: "s0", Worker: "w0", N: 64})
+	j.Emit(Event{Event: EvResultMerged, Campaign: "c1"})
+
+	var last int64 = -1
+	n := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if e.TMs < last {
+			t.Errorf("timestamps not monotonic: %d after %d", e.TMs, last)
+		}
+		last = e.TMs
+		if e.Event == "" {
+			t.Error("missing event name")
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("journal lines = %d, want 3", n)
+	}
+
+	// Nil journals are inert.
+	var nilJ *Journal
+	nilJ.Emit(Event{Event: "x"})
+	if err := nilJ.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.register(&Counter{name: "t_same", help: "a"}).(*Counter)
+	b := r.register(&Counter{name: "t_same", help: "b"}).(*Counter)
+	if a != b {
+		t.Error("re-registering a series name returned a distinct metric")
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	Enable()
+	defer Disable()
+	r := NewRegistry()
+	c := r.register(&Counter{name: "example_total", help: "an example counter"}).(*Counter)
+	c.Add(2)
+	var b bytes.Buffer
+	_ = r.WritePrometheus(&b)
+	fmt.Print(b.String())
+	// Output:
+	// # HELP example_total an example counter
+	// # TYPE example_total counter
+	// example_total 2
+}

@@ -1,0 +1,95 @@
+package prof
+
+import (
+	rtmetrics "runtime/metrics"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// RuntimeSnapshot is a point-in-time read of the Go runtime's own
+// health metrics — the process-level context every campaign metric sits
+// in (is the fleet slow because of replays, or because the heap is
+// thrashing the collector?).
+type RuntimeSnapshot struct {
+	Goroutines     int
+	HeapBytes      uint64
+	GCCycles       uint64
+	GCPauseSeconds float64 // cumulative stop-the-world pause time
+}
+
+// runtimeKeys are the runtime/metrics samples ReadRuntime pulls;
+// /gc/pauses:seconds is a distribution, approximated by its
+// bucket-midpoint sum into the cumulative pause figure.
+var runtimeKeys = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/sched/pauses/total/gc:seconds",
+}
+
+// ReadRuntime samples the runtime via the runtime/metrics API.
+func ReadRuntime() RuntimeSnapshot {
+	samples := make([]rtmetrics.Sample, len(runtimeKeys))
+	for i, k := range runtimeKeys {
+		samples[i].Name = k
+	}
+	rtmetrics.Read(samples)
+	var s RuntimeSnapshot
+	if v := samples[0].Value; v.Kind() == rtmetrics.KindUint64 {
+		s.Goroutines = int(v.Uint64())
+	}
+	if v := samples[1].Value; v.Kind() == rtmetrics.KindUint64 {
+		s.HeapBytes = v.Uint64()
+	}
+	if v := samples[2].Value; v.Kind() == rtmetrics.KindUint64 {
+		s.GCCycles = v.Uint64()
+	}
+	if v := samples[3].Value; v.Kind() == rtmetrics.KindFloat64Histogram {
+		s.GCPauseSeconds = histogramSum(v.Float64Histogram())
+	}
+	return s
+}
+
+// histogramSum approximates a runtime distribution's total by summing
+// count x bucket midpoint, clamping the open-ended edge buckets to
+// their finite bound.
+func histogramSum(h *rtmetrics.Float64Histogram) float64 {
+	total := 0.0
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		switch {
+		case lo < 0 || lo != lo: // -Inf or NaN edge
+			mid = hi
+		case hi != hi || hi > 1e300: // +Inf edge
+			mid = lo
+		}
+		total += mid * float64(n)
+	}
+	return total
+}
+
+var runtimeObsOnce sync.Once
+
+// EnableRuntimeMetrics folds a live runtime snapshot into the obs
+// registry: four proc_* gauges refreshed by a scrape-time collector, so
+// every /metrics response and -metrics-dump carries them. Idempotent.
+func EnableRuntimeMetrics() {
+	runtimeObsOnce.Do(func() {
+		goroutines := obs.NewGauge("proc_goroutines", "live goroutines")
+		heap := obs.NewGauge("proc_heap_bytes", "bytes of live heap objects")
+		gcCycles := obs.NewGauge("proc_gc_cycles_total", "completed GC cycles")
+		gcPause := obs.NewGauge("proc_gc_pause_seconds_total", "cumulative stop-the-world GC pause time (bucket-midpoint estimate)")
+		obs.RegisterCollector(func() {
+			s := ReadRuntime()
+			goroutines.Set(float64(s.Goroutines))
+			heap.Set(float64(s.HeapBytes))
+			gcCycles.Set(float64(s.GCCycles))
+			gcPause.Set(s.GCPauseSeconds)
+		})
+	})
+}

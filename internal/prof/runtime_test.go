@@ -1,0 +1,43 @@
+package prof
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestReadRuntimeKeys(t *testing.T) {
+	runtime.GC()
+	s := ReadRuntime()
+	t.Logf("%+v", s)
+	if s.Goroutines == 0 {
+		t.Error("goroutines sample missing")
+	}
+	if s.HeapBytes == 0 {
+		t.Error("heap sample missing")
+	}
+	if s.GCCycles == 0 {
+		t.Error("gc cycles sample missing after forced GC")
+	}
+}
+
+func TestEnableRuntimeMetrics(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	EnableRuntimeMetrics()
+	EnableRuntimeMetrics() // idempotent
+
+	var sb strings.Builder
+	obs.Default.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{"proc_goroutines", "proc_heap_bytes", "proc_gc_cycles_total", "proc_gc_pause_seconds_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+	if strings.Contains(out, "proc_goroutines 0") {
+		t.Error("collector did not refresh proc_goroutines before scrape")
+	}
+}

@@ -4,10 +4,12 @@
 // miniature matrix, the adaptive engine's measured savings on a
 // run-to-end campaign (simulated-cycle reduction, sequential-stop runs
 // saved and estimate drift vs the fixed plan), golden-trace pruning's
-// simulated-cycle reduction on both levels, and the injection-locality
+// simulated-cycle reduction on both levels, the injection-locality
 // cursor schedule's throughput and fast-forward elimination (model
-// "replay-sched"). CI runs it on every push so future changes to the
-// hot path have a trajectory to compare against:
+// "replay-sched"), and the observability overhead arm — the same
+// campaign with the metrics registry off and on, gated at 3% throughput
+// loss. CI runs it on every push so future changes to the hot path have
+// a trajectory to compare against:
 //
 //	go run ./tools/benchjson -out BENCH_campaign.json
 //
@@ -44,6 +46,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Baseline is the emitted document.
@@ -56,6 +59,23 @@ type Baseline struct {
 	AvfPrior    AvfPriorPoint    `json:"avfPrior"`
 	ReplaySched ReplaySchedPoint `json:"replaySched"`
 	Protection  ProtectionPoint  `json:"protection"`
+	ObsOverhead ObsOverheadPoint `json:"obsOverhead"`
+}
+
+// ObsOverheadPoint measures what enabling the metrics registry costs
+// the engine hot path: the same campaign run with observability off and
+// on, best-of-3 per arm with the arms interleaved to damp scheduler
+// noise. overheadFrac is the fractional throughput loss of the enabled
+// arm; with -baseline set the run fails when it exceeds 3%, which pins
+// the registry's allocation-free atomic-counter design in CI. Baselines
+// predating the arm carry a zero-valued point and the gate still
+// applies (it compares the two same-run arms, not the baseline).
+type ObsOverheadPoint struct {
+	Workload     string  `json:"workload"`
+	Injections   int     `json:"injections"`
+	PlainRPS     float64 `json:"plainReplaysPerSec"`
+	ObsRPS       float64 `json:"obsReplaysPerSec"`
+	OverheadFrac float64 `json:"overheadFrac"`
 }
 
 // ReplayPoint is the oneRun replay-throughput measurement for one model.
@@ -251,6 +271,12 @@ func run(out, baseline string, maxReg float64) error {
 	}
 	doc.Protection = pr
 
+	oo, err := measureObsOverhead()
+	if err != nil {
+		return err
+	}
+	doc.ObsOverhead = oo
+
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -260,6 +286,14 @@ func run(out, baseline string, maxReg float64) error {
 	}
 	if baseline == "" {
 		return nil
+	}
+	// The observability gate compares this run's two arms against each
+	// other (no hardware dependence), so it rides the -baseline mode
+	// flag rather than any baseline field.
+	if doc.ObsOverhead.OverheadFrac > obsOverheadGate {
+		return fmt.Errorf("metrics overhead %.1f%% exceeds the %.0f%% gate (plain %.1f replays/s, obs %.1f replays/s)",
+			doc.ObsOverhead.OverheadFrac*100, obsOverheadGate*100,
+			doc.ObsOverhead.PlainRPS, doc.ObsOverhead.ObsRPS)
 	}
 	return compareBaseline(doc, baseline, maxReg)
 }
@@ -670,6 +704,56 @@ func measureProtection() (ProtectionPoint, error) {
 		DUE:          res.Counts[campaign.ClassDUE],
 		Unsafeness:   res.Unsafeness.P,
 	}, nil
+}
+
+// obsOverheadGate is the tolerated fractional throughput cost of
+// enabling the metrics registry, enforced whenever -baseline is set.
+const obsOverheadGate = 0.03
+
+// measureObsOverhead times the same full campaign (golden prep reused,
+// replay phase timed) with observability off and on. Arms interleave
+// and each keeps its best of three runs, so transient scheduler noise
+// must hit the same arm three times to skew the ratio.
+func measureObsOverhead() (ObsOverheadPoint, error) {
+	const rounds = 3
+	cfg := campaign.Config{
+		Injections: 120, Seed: 9, Target: fault.TargetRF,
+		Obs: campaign.ObsPinout, Window: 500,
+	}
+	arm := func(enabled bool) (float64, error) {
+		if enabled {
+			obs.Enable()
+		} else {
+			obs.Disable()
+		}
+		defer obs.Disable()
+		start := time.Now()
+		if _, err := core.RunCampaign("qsort", core.ModelMicroarch, core.CampaignSetup(), cfg); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	best := [2]float64{math.Inf(1), math.Inf(1)} // [plain, obs]
+	for r := 0; r < rounds; r++ {
+		for i, enabled := range []bool{false, true} {
+			el, err := arm(enabled)
+			if err != nil {
+				return ObsOverheadPoint{}, err
+			}
+			if el < best[i] {
+				best[i] = el
+			}
+		}
+	}
+	pt := ObsOverheadPoint{
+		Workload: "qsort", Injections: cfg.Injections,
+		PlainRPS: float64(cfg.Injections) / best[0],
+		ObsRPS:   float64(cfg.Injections) / best[1],
+	}
+	if pt.ObsRPS < pt.PlainRPS {
+		pt.OverheadFrac = 1 - pt.ObsRPS/pt.PlainRPS
+	}
+	return pt, nil
 }
 
 func workload(name string) (*asm.Program, error) {

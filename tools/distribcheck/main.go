@@ -7,17 +7,29 @@
 // classification counts and rendered report are byte-identical to the
 // single-process run.
 //
+// It also exercises the observability surface end to end: the
+// coordinator's /metrics endpoint is scraped mid-run (while shards are
+// in flight) and after completion, the surviving worker's -metrics
+// listener is scraped at the end, and the check asserts the key series
+// are present and consistent — the lease-latency histogram, the
+// golden-cache hit/miss counters, at least one shard retry (the killed
+// worker's lease), leases issued >= shards done, and a non-zero
+// worker-side shard count.
+//
 //	go build -o /tmp/faultsimd ./cmd/faultsimd
 //	go run ./tools/distribcheck -bin /tmp/faultsimd
 package main
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"reflect"
+	"strconv"
+	"strings"
 	"time"
 
 	"flag"
@@ -81,12 +93,23 @@ func run() error {
 		return err
 	}
 
+	// Worker 1 survives to the end; give it a -metrics listener so the
+	// worker-side series can be scraped after the campaign completes.
+	wmPort, err := freePort()
+	if err != nil {
+		return err
+	}
+	workerMetricsURL := fmt.Sprintf("http://127.0.0.1:%d", wmPort)
 	workers := make([]*exec.Cmd, 2)
 	for i := range workers {
-		w := exec.Command(*bin,
+		wargs := []string{
 			"-role", "worker", "-coordinator", url,
 			"-id", fmt.Sprintf("ci-w%d", i),
-			"-workers", "2", "-poll", "100ms")
+			"-workers", "2", "-poll", "100ms"}
+		if i == 1 {
+			wargs = append(wargs, "-metrics", fmt.Sprintf("127.0.0.1:%d", wmPort))
+		}
+		w := exec.Command(*bin, wargs...)
 		w.Stdout, w.Stderr = os.Stderr, os.Stderr
 		if err := w.Start(); err != nil {
 			return fmt.Errorf("start worker %d: %w", i, err)
@@ -127,6 +150,17 @@ func run() error {
 			}
 			workers[0].Wait()
 			killed = true
+			// Mid-run scrape: the coordinator must serve valid
+			// Prometheus text while shards are still in flight.
+			mid, err := scrape(url + "/metrics")
+			if err != nil {
+				return fmt.Errorf("mid-run /metrics scrape: %w", err)
+			}
+			if _, ok := mid["distrib_leases_issued_total"]; !ok {
+				return fmt.Errorf("mid-run /metrics missing distrib_leases_issued_total")
+			}
+			fmt.Printf("distribcheck: mid-run scrape ok (%d series, %.0f leases issued)\n",
+				len(mid), mid["distrib_leases_issued_total"])
 		}
 		if p.Status == distrib.StatusDone {
 			break
@@ -151,6 +185,10 @@ func run() error {
 		return err
 	}
 
+	if err := checkMetrics(url, workerMetricsURL); err != nil {
+		return err
+	}
+
 	// -------------------------------------------------- comparison
 	for _, r := range []*campaign.Result{want, got} {
 		r.Elapsed, r.AvgSecPerRun, r.GoldenElapsed = 0, 0, 0
@@ -170,6 +208,76 @@ func run() error {
 	fmt.Printf("distribcheck: fleet result byte-identical across %d outcomes (counts %v)\n",
 		len(got.Outcomes), got.Counts)
 	return nil
+}
+
+// checkMetrics asserts the fleet's observability series after the
+// campaign: coordinator lease/cache/retry accounting and the surviving
+// worker's shard counters.
+func checkMetrics(coordURL, workerURL string) error {
+	cm, err := scrape(coordURL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("coordinator /metrics: %w", err)
+	}
+	if _, ok := cm[`distrib_lease_latency_seconds_bucket{le="+Inf"}`]; !ok {
+		return fmt.Errorf("coordinator /metrics missing the lease-latency histogram")
+	}
+	hits, misses := cm["distrib_golden_cache_hits_total"], cm["distrib_golden_cache_misses_total"]
+	if hits+misses == 0 {
+		return fmt.Errorf("coordinator /metrics: golden cache saw no traffic (hits %v, misses %v)", hits, misses)
+	}
+	if cm["distrib_shard_retries_total"] < 1 {
+		return fmt.Errorf("coordinator /metrics: no shard retry recorded despite the killed worker")
+	}
+	issued, done := cm["distrib_leases_issued_total"], cm["distrib_shards_done_total"]
+	if issued < done || done == 0 {
+		return fmt.Errorf("coordinator /metrics: leases issued %v < shards done %v (or none done)", issued, done)
+	}
+	wm, err := scrape(workerURL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("worker /metrics: %w", err)
+	}
+	if wm["worker_shards_total"] == 0 {
+		return fmt.Errorf("worker /metrics: worker_shards_total is 0")
+	}
+	if wm["worker_golden_prep_seconds_count"] == 0 {
+		return fmt.Errorf("worker /metrics: no golden preparation recorded")
+	}
+	fmt.Printf("distribcheck: metrics ok (leases %v >= shards done %v, retries %v, cache %v hit / %v miss, worker shards %v)\n",
+		issued, done, cm["distrib_shard_retries_total"], hits, misses, wm["worker_shards_total"])
+	return nil
+}
+
+// scrape fetches a /metrics endpoint and parses the Prometheus text
+// exposition into series -> value (labels kept verbatim in the key).
+func scrape(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("bad exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in line %q: %w", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out, nil
 }
 
 func freePort() (int, error) {
